@@ -1,0 +1,134 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (Section V). Each BenchmarkFigN runs the corresponding
+// experiment and prints the same rows/series the paper reports; run with
+//
+//	go test -bench=. -benchmem
+//
+// The campaign scale defaults to 64 cores so a full pass stays tractable;
+// set REPRO_FULL=1 (or REPRO_CORES=n) for the paper's 1024-core geometry.
+// All benchmarks share one memoized campaign, mirroring how the paper's
+// figures share the same underlying simulations.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	campaignOnce sync.Once
+	campaign     *experiments.Runner
+)
+
+func sharedCampaign() *experiments.Runner {
+	campaignOnce.Do(func() {
+		campaign = experiments.NewRunner(experiments.DefaultOptions())
+	})
+	return campaign
+}
+
+// runFigure executes the experiment once per benchmark invocation and
+// prints its table on the first iteration. Memoization makes repeated
+// iterations (b.N > 1) nearly free.
+func runFigure(b *testing.B, name string, f func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := f()
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if i == 0 {
+			fmt.Println(t)
+		}
+	}
+}
+
+func BenchmarkFig3_LatencyVsLoad(b *testing.B) {
+	o := sharedCampaign().Opt
+	runFigure(b, "Fig3", func() (*experiments.Table, error) {
+		return experiments.Fig3(o, nil), nil
+	})
+}
+
+func BenchmarkFig4_Runtime(b *testing.B) {
+	runFigure(b, "Fig4", sharedCampaign().Fig4)
+}
+
+func BenchmarkFig5_TrafficMix(b *testing.B) {
+	runFigure(b, "Fig5", sharedCampaign().Fig5)
+}
+
+func BenchmarkFig6_OfferedLoad(b *testing.B) {
+	runFigure(b, "Fig6", sharedCampaign().Fig6)
+}
+
+func BenchmarkFig7_EnergyBreakdown(b *testing.B) {
+	runFigure(b, "Fig7", sharedCampaign().Fig7)
+}
+
+func BenchmarkFig8_EnergyDelay(b *testing.B) {
+	runFigure(b, "Fig8", func() (*experiments.Table, error) {
+		t, avgB, avgP, err := sharedCampaign().Fig8()
+		if err == nil {
+			b.ReportMetric(avgB, "EDBCast/ATAC+")
+			b.ReportMetric(avgP, "EDPure/ATAC+")
+		}
+		return t, err
+	})
+}
+
+func BenchmarkFig9_WaveguideLoss(b *testing.B) {
+	runFigure(b, "Fig9", sharedCampaign().Fig9)
+}
+
+func BenchmarkFig10_Area(b *testing.B) {
+	runFigure(b, "Fig10", func() (*experiments.Table, error) {
+		// Area is a model-only figure: always evaluated at the paper's
+		// 1024-core geometry.
+		o := sharedCampaign().Opt
+		o.Cores = 1024
+		return experiments.Fig10(o)
+	})
+}
+
+func BenchmarkFig11_FlitWidth(b *testing.B) {
+	runFigure(b, "Fig11", sharedCampaign().Fig11)
+}
+
+func BenchmarkFig12_BNetVsStarNet(b *testing.B) {
+	runFigure(b, "Fig12", sharedCampaign().Fig12)
+}
+
+func BenchmarkFig13_RoutingED(b *testing.B) {
+	runFigure(b, "Fig13", sharedCampaign().Fig13)
+}
+
+func BenchmarkFig14_CoherenceED(b *testing.B) {
+	runFigure(b, "Fig14", sharedCampaign().Fig14)
+}
+
+func BenchmarkFig15_SharerDelay(b *testing.B) {
+	runFigure(b, "Fig15", sharedCampaign().Fig15)
+}
+
+func BenchmarkFig16_SharerEnergy(b *testing.B) {
+	runFigure(b, "Fig16", sharedCampaign().Fig16)
+}
+
+func BenchmarkFig17_CoreEnergy(b *testing.B) {
+	runFigure(b, "Fig17", sharedCampaign().Fig17)
+}
+
+func BenchmarkTableV_LinkUtilization(b *testing.B) {
+	runFigure(b, "TableV", sharedCampaign().TableV)
+}
+
+// BenchmarkAblations evaluates the design choices DESIGN.md calls out:
+// SWMR broadcast support, receive-network count, and select-link lag.
+func BenchmarkAblations(b *testing.B) {
+	runFigure(b, "Ablations", sharedCampaign().Ablations)
+}

@@ -1,0 +1,194 @@
+// Command atacsim runs one benchmark on one architecture and prints the
+// performance and energy results.
+//
+// Usage:
+//
+//	atacsim -bench radix -net atac+ -cores 64 -scale 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/stats"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atacsim: ")
+
+	var (
+		bench   = flag.String("bench", "radix", "benchmark: dynamic_graph, radix, barnes, fmm, ocean_contig, lu_contig, ocean_non_contig, lu_non_contig")
+		net     = flag.String("net", "atac+", "network: pure, bcast, atac, atac+")
+		cores   = flag.Int("cores", 64, "total cores (perfect square, multiple of cluster size)")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		sharers = flag.Int("sharers", 4, "ACKwise/DirKB hardware sharer pointers")
+		proto   = flag.String("coherence", "ackwise", "coherence protocol: ackwise, dirkb")
+		flit    = flag.Int("flit", 64, "flit width in bits")
+		rthres  = flag.Int("rthres", 0, "distance routing threshold (0 = auto)")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		heat    = flag.Bool("heatmap", false, "print the mesh congestion heatmap")
+		traceN  = flag.Int("trace", 0, "dump the last N protocol events after the run")
+		cfgPath = flag.String("config", "", "load the system configuration from this JSON file (overrides the geometry flags)")
+		dumpCfg = flag.String("dumpconfig", "", "write the effective configuration as JSON to this file and exit")
+	)
+	flag.Parse()
+
+	if *bench == "list" {
+		for _, n := range workloadNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var cfg config.Config
+	var err error
+	if *cfgPath != "" {
+		cfg, err = config.LoadFile(*cfgPath)
+	} else {
+		cfg, err = buildConfig(*net, *cores, *sharers, *proto, *flit, *rthres, *seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dumpCfg != "" {
+		if err := cfg.SaveFile(*dumpCfg); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *dumpCfg)
+		return
+	}
+
+	sys, err := system.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := system.WorkloadFor(cfg, *bench, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ring *trace.Ring
+	if *traceN > 0 {
+		ring = trace.New(*traceN)
+		sys.Coh.Tracer = ring
+	}
+	res, err := sys.Run(spec, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := energy.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bd := energy.Combine(m, res)
+
+	fmt.Printf("benchmark        %s on %v (%d cores, %v%d)\n",
+		res.Benchmark, cfg.Network.Kind, cfg.Cores, cfg.Coherence.Kind, cfg.Coherence.Sharers)
+	fmt.Printf("completion time  %d cycles (%.3f ms at 1 GHz)\n", res.Cycles, float64(res.Cycles)*1e-6)
+	fmt.Printf("instructions     %d (IPC %.3f)\n", res.Instructions, res.IPC())
+	fmt.Printf("offered load     %.4f flits/cycle/core\n", res.OfferedLoad())
+	fmt.Printf("broadcast recv   %.1f%% of deliveries\n", res.BroadcastRecvFraction()*100)
+	fmt.Printf("L1D misses       %d (of %d accesses)\n", res.Coh.L1DMisses, res.Coh.L1DReads+res.Coh.L1DWrites)
+	fmt.Printf("L2 misses        %d; inv broadcasts %d; inv unicasts %d\n",
+		res.Coh.L2Misses, res.Coh.InvBroadcasts, res.Coh.InvUnicasts)
+	if cfg.Network.Kind.IsOptical() {
+		fmt.Printf("SWMR link        %.1f%% utilized, %.1f unicasts/broadcast\n",
+			res.LinkUtilization*100, res.UnicastsPerBcast)
+	}
+	fmt.Printf("energy           %v\n", bd)
+	fmt.Printf("E-D product      %.6g J·s\n", energy.EDP(m, res))
+
+	if *heat {
+		var mesh interface{ RouterFlits() []uint64 }
+		if sys.Atac != nil {
+			mesh = sys.Atac.ENet()
+		} else if mm, ok := sys.Net.(interface{ RouterFlits() []uint64 }); ok {
+			mesh = mm
+		}
+		if mesh != nil {
+			dim := cfg.MeshDim()
+			hm := stats.NewHeatmap(dim)
+			for i, v := range mesh.RouterFlits() {
+				hm.Add(i%dim, i/dim, v)
+			}
+			x, y, v := hm.Hottest()
+			fmt.Printf("\nmesh congestion heatmap (hottest router (%d,%d): %d flits):\n%s", x, y, v, hm.Render())
+		}
+	}
+	if ring != nil {
+		fmt.Printf("\nlast %d of %d protocol events:\n%s", len(ring.Entries()), ring.Total(), ring.Dump())
+	}
+}
+
+func workloadNames() []string {
+	var names []string
+	for _, s := range workload.ExtendedCatalog(16, 1, 1) {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+func buildConfig(net string, cores, sharers int, proto string, flit, rthres int, seed int64) (config.Config, error) {
+	var kind config.NetworkKind
+	switch strings.ToLower(net) {
+	case "pure", "emesh-pure":
+		kind = config.EMeshPure
+	case "bcast", "emesh-bcast":
+		kind = config.EMeshBCast
+	case "atac":
+		kind = config.ATAC
+	case "atac+", "atacplus":
+		kind = config.ATACPlus
+	default:
+		return config.Config{}, fmt.Errorf("unknown network %q", net)
+	}
+	cfg := config.Default().WithNetwork(kind)
+	cfg.Cores = cores
+	cfg.Seed = seed
+	if cores < 64 {
+		cfg.ClusterDim = 2
+	}
+	cfg.Caches.DirSlices = cfg.Clusters()
+	cfg.Memory.Controllers = cfg.Clusters()
+	cfg.Coherence.Sharers = sharers
+	cfg.Network.FlitBits = flit
+	switch strings.ToLower(proto) {
+	case "ackwise":
+		cfg.Coherence.Kind = config.ACKwise
+	case "dirkb":
+		cfg.Coherence.Kind = config.DirKB
+	default:
+		return config.Config{}, fmt.Errorf("unknown coherence %q", proto)
+	}
+	if rthres > 0 {
+		cfg.Network.RThres = rthres
+	} else if cores < 1024 {
+		cfg.Network.RThres = max(2, cfg.MeshDim()/2)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func init() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "atacsim: run one benchmark on one on-chip network architecture\n\n")
+		flag.PrintDefaults()
+	}
+}

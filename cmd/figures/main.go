@@ -1,0 +1,144 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section and writes them to stdout (and optionally a file).
+//
+// Usage:
+//
+//	figures -cores 256            # the whole campaign at 256 cores
+//	figures -cores 1024 -only 8   # just Fig 8 at paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/plot"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+
+	var (
+		cores  = flag.Int("cores", 64, "total cores (paper: 1024)")
+		scale  = flag.Int("scale", 1, "workload scale factor")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		only   = flag.String("only", "", "comma-separated subset, e.g. 3,8,tablev")
+		out    = flag.String("o", "", "also write results to this file")
+		svgDir = flag.String("svg", "", "also render each figure as an SVG into this directory")
+		format = flag.String("format", "text", "output format: text, csv, json")
+		quiet  = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	f, err := report.ParseFormat(*format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed}
+	r := experiments.NewRunner(o)
+	if !*quiet {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ...", s) }
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(strings.ToLower(*only), ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			want[s] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	fmt.Fprintf(w, "ATAC+ evaluation campaign: %d cores, scale %d, seed %d\n\n", o.Cores, o.Scale, o.Seed)
+
+	type job struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	jobs := []job{
+		{"3", func() (*experiments.Table, error) { return experiments.Fig3(o, nil), nil }},
+		{"4", r.Fig4},
+		{"5", r.Fig5},
+		{"6", r.Fig6},
+		{"7", r.Fig7},
+		{"8", func() (*experiments.Table, error) { t, _, _, err := r.Fig8(); return t, err }},
+		{"9", r.Fig9},
+		{"10", func() (*experiments.Table, error) { return experiments.Fig10(o) }},
+		{"11", r.Fig11},
+		{"12", r.Fig12},
+		{"13", r.Fig13},
+		{"14", r.Fig14},
+		{"15", r.Fig15},
+		{"16", r.Fig16},
+		{"17", r.Fig17},
+		{"tablev", r.TableV},
+		{"ablations", r.Ablations},
+	}
+	for _, j := range jobs {
+		if !sel(j.id) {
+			continue
+		}
+		t, err := j.run()
+		if err != nil {
+			log.Fatalf("figure %s: %v", j.id, err)
+		}
+		if err := report.Write(w, t, f); err != nil {
+			log.Fatal(err)
+		}
+		if *svgDir != "" {
+			if err := writeSVG(*svgDir, j.id, t); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+// writeSVG renders a figure table as an SVG and writes fig<id>.svg:
+// Fig 3 (latency vs load) becomes a log-y line chart, everything else a
+// grouped bar chart.
+func writeSVG(dir, id string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	parse := func(s string) (float64, bool) {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		return v, err == nil
+	}
+	path := filepath.Join(dir, "fig"+id+".svg")
+	if id == "3" {
+		l := &plot.Line{Title: t.Title, XLabel: t.Columns[0], YLabel: "latency (cycles)", LogY: true}
+		for ci := 1; ci < len(t.Columns); ci++ {
+			s := plot.Series{Name: t.Columns[ci]}
+			for _, row := range t.Rows {
+				x, okX := parse(row[0])
+				y, okY := parse(row[ci])
+				if okX && okY {
+					s.X = append(s.X, x)
+					s.Y = append(s.Y, y)
+				}
+			}
+			l.Series = append(l.Series, s)
+		}
+		return os.WriteFile(path, []byte(l.RenderLine()), 0o644)
+	}
+	bar := plot.FromTable(t.Title, t.Columns[0], t.Columns, t.Rows, parse)
+	return os.WriteFile(path, []byte(bar.RenderBar()), 0o644)
+}

@@ -1,0 +1,63 @@
+// Command netsweep runs the network-only latency-vs-load sweeps of Fig 3:
+// uniform-random unicast traffic with a configurable broadcast fraction,
+// swept across offered loads for each routing scheme.
+//
+// Usage:
+//
+//	netsweep -cores 256 -loads 0.01,0.05,0.1,0.2 -bcast 0.001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netsweep: ")
+
+	var (
+		cores   = flag.Int("cores", 64, "total cores")
+		loadStr = flag.String("loads", "0.01,0.02,0.04,0.08,0.12,0.16", "offered loads, flits/cycle/core")
+		bcast   = flag.Float64("bcast", 0.001, "broadcast fraction of injected messages")
+		warmup  = flag.Uint64("warmup", 3000, "warmup cycles")
+		measure = flag.Uint64("measure", 6000, "measurement cycles")
+		seed    = flag.Int64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	var loads []float64
+	for _, s := range strings.Split(*loadStr, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			log.Fatalf("bad load %q: %v", s, err)
+		}
+		loads = append(loads, v)
+	}
+
+	o := experiments.Options{Cores: *cores, Scale: 1, Seed: *seed}
+	cfg := o.Config(config.ATACPlus)
+	schemes := experiments.Fig3Schemes(cfg.MeshDim())
+
+	fmt.Printf("%-10s", "load")
+	for _, s := range schemes {
+		fmt.Printf("  %14s", s.Name)
+	}
+	fmt.Println()
+	for _, load := range loads {
+		fmt.Printf("%-10.3f", load)
+		for _, sch := range schemes {
+			lat := experiments.SyntheticLatency(o, sch, load, *bcast,
+				sim.Time(*warmup), sim.Time(*measure))
+			fmt.Printf("  %14.2f", lat)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,163 @@
+// Command sweep runs one-dimensional parameter sweeps of the full system
+// and emits CSV: runtime, energy, and E-D product per swept value. It
+// generalizes the fixed sweeps behind Figs 9, 11, 13, 15 and 16.
+//
+// Usage:
+//
+//	sweep -param flit   -values 16,32,64,128,256 -bench radix
+//	sweep -param rthres -values 2,4,8,12         -bench ocean_contig
+//	sweep -param sharers -values 4,8,16,32       -bench barnes
+//	sweep -param load -pattern tornado -values 2,5,10,20   (load in % — network only)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	var (
+		param   = flag.String("param", "flit", "swept parameter: flit, rthres, sharers, load")
+		values  = flag.String("values", "", "comma-separated integer values")
+		bench   = flag.String("bench", "radix", "benchmark (system sweeps)")
+		net     = flag.String("net", "atac+", "network: pure, bcast, atac, atac+")
+		cores   = flag.Int("cores", 64, "total cores")
+		pattern = flag.String("pattern", "uniform", "traffic pattern (load sweeps): "+strings.Join(traffic.Patterns(), ", "))
+		seed    = flag.Int64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	vals, err := parseInts(*values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(vals) == 0 {
+		log.Fatal("no -values given")
+	}
+
+	switch *param {
+	case "load":
+		sweepLoad(*pattern, *cores, vals, *seed)
+	case "flit", "rthres", "sharers":
+		sweepSystem(*param, *bench, *net, *cores, vals, *seed)
+	default:
+		log.Fatalf("unknown -param %q", *param)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func baseConfig(net string, cores int, seed int64) (config.Config, error) {
+	var kind config.NetworkKind
+	switch strings.ToLower(net) {
+	case "pure":
+		kind = config.EMeshPure
+	case "bcast":
+		kind = config.EMeshBCast
+	case "atac":
+		kind = config.ATAC
+	case "atac+":
+		kind = config.ATACPlus
+	default:
+		return config.Config{}, fmt.Errorf("unknown network %q", net)
+	}
+	cfg := config.Default().WithNetwork(kind)
+	cfg.Cores = cores
+	cfg.Seed = seed
+	if cores < 64 {
+		cfg.ClusterDim = 2
+	}
+	cfg.Caches.DirSlices = cfg.Clusters()
+	cfg.Memory.Controllers = cfg.Clusters()
+	if cores < 1024 {
+		cfg.Network.RThres = cfg.MeshDim() / 2
+		if cfg.Network.RThres < 2 {
+			cfg.Network.RThres = 2
+		}
+	}
+	return cfg, cfg.Validate()
+}
+
+func sweepSystem(param, bench, net string, cores int, vals []int, seed int64) {
+	fmt.Printf("%s,cycles,instructions,energy_mJ,edp_uJs\n", param)
+	for _, v := range vals {
+		cfg, err := baseConfig(net, cores, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch param {
+		case "flit":
+			cfg.Network.FlitBits = v
+		case "rthres":
+			cfg.Network.Routing = config.DistanceRouting
+			cfg.Network.RThres = v
+		case "sharers":
+			cfg.Coherence.Sharers = v
+		}
+		if err := cfg.Validate(); err != nil {
+			log.Fatalf("value %d: %v", v, err)
+		}
+		res, err := system.RunBenchmark(cfg, bench, 1, 0)
+		if err != nil {
+			log.Fatalf("value %d: %v", v, err)
+		}
+		m, err := energy.Build(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bd := energy.Combine(m, res)
+		fmt.Printf("%d,%d,%d,%.4f,%.4f\n", v, res.Cycles, res.Instructions,
+			bd.Total()*1e3, energy.EDP(m, res)*1e6)
+	}
+	fmt.Fprintln(os.Stderr, "done")
+}
+
+func sweepLoad(pattern string, cores int, percents []int, seed int64) {
+	cfg, err := baseConfig("atac+", cores, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := traffic.ByName(pattern, cfg.MeshDim(), 0.001)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("load_pct,injected,delivered,mean_lat,p50,p95,p99,max")
+	for _, pc := range percents {
+		var k sim.Kernel
+		a := noc.NewAtac(&k, &cfg)
+		res := traffic.Drive(&k, a, cfg.Cores, p, float64(pc)/100, cfg.Network.FlitBits,
+			2000, 6000, 20000, seed)
+		fmt.Printf("%d,%d,%d,%.2f,%d,%d,%d,%d\n", pc, res.Injected, res.Delivered,
+			res.Latency.Mean(), res.Latency.Percentile(50), res.Latency.Percentile(95),
+			res.Latency.Percentile(99), res.Latency.Max())
+	}
+	fmt.Fprintln(os.Stderr, "done")
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("16, 32,64 ,128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{16, 32, 64, 128}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parsed %v, want %v", got, want)
+		}
+	}
+	if _, err := parseInts("1,x,3"); err == nil {
+		t.Error("bad value accepted")
+	}
+	if vals, err := parseInts(" , ,"); err != nil || len(vals) != 0 {
+		t.Errorf("empty fields: %v %v", vals, err)
+	}
+}
+
+func TestBaseConfig(t *testing.T) {
+	for _, net := range []string{"pure", "bcast", "atac", "atac+"} {
+		cfg, err := baseConfig(net, 64, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", net, err)
+		}
+		if cfg.Caches.DirSlices != cfg.Clusters() {
+			t.Errorf("%s: slices mismatch", net)
+		}
+	}
+	if _, err := baseConfig("ring", 64, 1); err == nil {
+		t.Error("unknown network accepted")
+	}
+}

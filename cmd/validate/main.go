@@ -1,0 +1,86 @@
+// Command validate runs the full correctness matrix: every workload
+// (including the extension kernels) on every network architecture and both
+// coherence protocols, each validated against its sequential reference.
+// It is the repository's end-to-end health check.
+//
+// Usage:
+//
+//	validate              # 16-core matrix (~1 min)
+//	validate -cores 64    # larger machines, same matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("validate: ")
+
+	var (
+		cores = flag.Int("cores", 16, "total cores")
+		seed  = flag.Int64("seed", 42, "seed")
+		scale = flag.Int("scale", 1, "workload scale")
+	)
+	flag.Parse()
+
+	networks := []config.NetworkKind{config.EMeshPure, config.EMeshBCast, config.ATAC, config.ATACPlus}
+	protocols := []config.CoherenceKind{config.ACKwise, config.DirKB}
+
+	var pass, fail int
+	start := time.Now()
+	for _, spec := range workload.ExtendedCatalog(*cores, *seed, *scale) {
+		for _, nk := range networks {
+			for _, ck := range protocols {
+				cfg := config.Default().WithNetwork(nk)
+				cfg.Cores = *cores
+				cfg.Seed = *seed
+				if *cores < 64 {
+					cfg.ClusterDim = 2
+				}
+				cfg.Caches.DirSlices = cfg.Clusters()
+				cfg.Memory.Controllers = cfg.Clusters()
+				cfg.Coherence.Kind = ck
+				if *cores < 1024 {
+					cfg.Network.RThres = max(2, cfg.MeshDim()/2)
+				}
+				if err := cfg.Validate(); err != nil {
+					log.Fatal(err)
+				}
+				sys, err := system.New(cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := sys.Run(spec, 500_000_000)
+				status := "PASS"
+				if err != nil {
+					status = "FAIL: " + err.Error()
+					fail++
+				} else {
+					pass++
+				}
+				fmt.Printf("%-16s %-12v %-8v cycles=%-9d %s\n",
+					spec.Name, nk, ck, res.Cycles, status)
+			}
+		}
+	}
+	fmt.Printf("\n%d passed, %d failed in %v\n", pass, fail, time.Since(start).Round(time.Second))
+	if fail > 0 {
+		os.Exit(1)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

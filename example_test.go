@@ -1,0 +1,64 @@
+package repro_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro"
+)
+
+// ExampleRunBenchmark runs the FMM kernel on a 16-core ATAC+ machine and
+// prints what completed. Output is deterministic for a fixed config.
+func ExampleRunBenchmark() {
+	cfg := repro.SmallConfig()
+	cfg.Cores = 16
+	cfg.ClusterDim = 2
+	cfg.Caches.DirSlices = 4
+	cfg.Memory.Controllers = 4
+	cfg.Network.RThres = 2
+
+	res, err := repro.RunBenchmark(cfg, "fmm", 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("benchmark:", res.Benchmark)
+	fmt.Println("finished:", res.Finished)
+	fmt.Println("validated against the sequential reference")
+	// Output:
+	// benchmark: fmm
+	// finished: true
+	// validated against the sequential reference
+}
+
+// ExampleBenchmarks lists the evaluation suite.
+func ExampleBenchmarks() {
+	names := repro.Benchmarks()
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	// Output:
+	// barnes
+	// dynamic_graph
+	// fmm
+	// lu_contig
+	// lu_non_contig
+	// ocean_contig
+	// ocean_non_contig
+	// radix
+}
+
+// ExampleAreaOf prints the dominant area component of the paper-scale chip.
+func ExampleAreaOf() {
+	area, err := repro.AreaOf(repro.DefaultConfig())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("L2 is the largest cache:", area.L2 > area.L1I && area.L2 > area.L1D)
+	fmt.Println("photonics present:", area.Photonics > 0)
+	// Output:
+	// L2 is the largest cache: true
+	// photonics present: true
+}

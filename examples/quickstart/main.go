@@ -1,0 +1,53 @@
+// Quickstart: run one benchmark on a 64-core ATAC+ machine and print its
+// performance and energy results through the public repro API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 64-core ATAC+ machine: 16 clusters of 4 cores, adaptive SWMR
+	// optical network, StarNet receive networks, ACKwise4 coherence.
+	cfg := repro.SmallConfig()
+
+	fmt.Println("running radix sort on", cfg.Network.Kind, "with", cfg.Cores, "cores...")
+	res, err := repro.RunBenchmark(cfg, "radix", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("completed in %d cycles (%.3f ms at 1 GHz)\n", res.Cycles, float64(res.Cycles)*1e-6)
+	fmt.Printf("retired %d instructions, IPC %.3f\n", res.Instructions, res.IPC())
+	fmt.Printf("network: %.4f flits/cycle/core offered, %.1f%% broadcast deliveries\n",
+		res.OfferedLoad(), res.BroadcastRecvFraction()*100)
+	fmt.Printf("optical link: %.1f%% utilized, %.0f unicasts per broadcast\n",
+		res.LinkUtilization*100, res.UnicastsPerBcast)
+
+	bd, err := repro.EnergyOf(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nenergy breakdown:")
+	fmt.Printf("  cores:   %8.3f mJ (DD %.3f + NDD %.3f)\n", bd.Core()*1e3, bd.CoreDD*1e3, bd.CoreNDD*1e3)
+	fmt.Printf("  caches:  %8.3f mJ\n", bd.Caches()*1e3)
+	fmt.Printf("  network: %8.3f mJ (laser %.3f, mod/rx %.3f, electrical %.3f)\n",
+		bd.Network()*1e3, bd.Laser*1e3, bd.ONetOther*1e3, (bd.NetElecDyn+bd.NetElecStatic)*1e3)
+
+	edp, err := repro.EDPOf(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nenergy-delay product: %.6g J·s\n", edp)
+
+	area, err := repro.AreaOf(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("die area: %.1f mm² (photonics %.1f mm²)\n", area.Total(), area.Photonics)
+}

@@ -1,0 +1,84 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Micro-benchmarks of the coherence layer (host performance tracking).
+
+func benchSystem(b *testing.B) (*sim.Kernel, *System) {
+	cfg := config.Tiny()
+	var k sim.Kernel
+	n := &cfg.Network
+	mesh := noc.NewMesh(&k, cfg.MeshDim(), n.FlitBits, n.BufFlits, n.RouterDelay, n.LinkDelay, true)
+	cfgp := cfg
+	return &k, NewSystem(&k, &cfgp, mesh)
+}
+
+func BenchmarkLocalHits(b *testing.B) {
+	k, s := benchSystem(b)
+	// Warm the line.
+	done := false
+	k.Schedule(0, func() { s.Access(0, OpStore, 0x100, 1, nil, func(uint64) { done = true }) })
+	k.RunAll()
+	if !done {
+		b.Fatal("warmup failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(0, func() { s.Access(0, OpLoad, 0x100, 0, nil, func(uint64) {}) })
+		k.RunAll()
+	}
+}
+
+func BenchmarkRemoteMissMigration(b *testing.B) {
+	k, s := benchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Ping-pong a dirty line between two cores.
+		core := i % 2
+		k.Schedule(0, func() { s.Access(core, OpStore, 0x200, uint64(i), nil, func(uint64) {}) })
+		k.RunAll()
+	}
+}
+
+func BenchmarkContendedFetchAdd(b *testing.B) {
+	k, s := benchSystem(b)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core := rng.Intn(16)
+		k.Schedule(0, func() {
+			s.Access(core, OpRMW, 0x300, 0, func(v uint64) uint64 { return v + 1 }, func(uint64) {})
+		})
+		k.RunAll()
+	}
+	b.StopTimer()
+	if got := s.Vals.Read(0x300); got != uint64(b.N) {
+		b.Fatalf("lost updates: %d != %d", got, b.N)
+	}
+}
+
+func BenchmarkBroadcastInvalidation(b *testing.B) {
+	k, s := benchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// All cores share, then one writes: ACKwise4 overflow broadcast.
+		for c := 0; c < 16; c++ {
+			c := c
+			k.Schedule(0, func() { s.Access(c, OpLoad, 0x400, 0, nil, func(uint64) {}) })
+			k.RunAll()
+		}
+		k.Schedule(0, func() { s.Access(0, OpStore, 0x400, uint64(i), nil, func(uint64) {}) })
+		k.RunAll()
+	}
+}

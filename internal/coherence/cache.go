@@ -1,0 +1,131 @@
+package coherence
+
+// cacheArray is a set-associative tag array with LRU replacement. It
+// tracks per-line coherence state but no data (see the package comment).
+type cacheArray struct {
+	sets    int
+	assoc   int
+	entries []cacheEntry // sets*assoc, set-major
+	clock   uint64       // LRU timestamp source
+}
+
+type cacheEntry struct {
+	line  uint64
+	state State
+	lru   uint64
+}
+
+// newCacheArray builds an array covering sizeBytes with the given line
+// size and associativity. Geometry is validated by config; a too-small
+// cache degrades to one set.
+func newCacheArray(sizeBytes, lineBytes, assoc int) *cacheArray {
+	lines := sizeBytes / lineBytes
+	if lines < 1 {
+		lines = 1
+	}
+	if assoc > lines {
+		assoc = lines
+	}
+	sets := lines / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	return &cacheArray{
+		sets:    sets,
+		assoc:   assoc,
+		entries: make([]cacheEntry, sets*assoc),
+	}
+}
+
+func (c *cacheArray) setOf(line uint64) int { return int(line % uint64(c.sets)) }
+
+// lookup returns the line's state (Invalid if absent) and refreshes LRU.
+func (c *cacheArray) lookup(line uint64) State {
+	base := c.setOf(line) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		e := &c.entries[i]
+		if e.state != Invalid && e.line == line {
+			c.clock++
+			e.lru = c.clock
+			return e.state
+		}
+	}
+	return Invalid
+}
+
+// peek returns the state without touching LRU.
+func (c *cacheArray) peek(line uint64) State {
+	base := c.setOf(line) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		e := &c.entries[i]
+		if e.state != Invalid && e.line == line {
+			return e.state
+		}
+	}
+	return Invalid
+}
+
+// setState transitions an existing line; it is a no-op if absent.
+func (c *cacheArray) setState(line uint64, s State) {
+	base := c.setOf(line) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		e := &c.entries[i]
+		if e.state != Invalid && e.line == line {
+			if s == Invalid {
+				e.state = Invalid
+				return
+			}
+			e.state = s
+			return
+		}
+	}
+}
+
+// insert places a line in the given state, returning the victim that had
+// to be evicted (evicted==false if a free way existed). The caller handles
+// victim write-back / directory notification.
+func (c *cacheArray) insert(line uint64, s State) (victimLine uint64, victimState State, evicted bool) {
+	base := c.setOf(line) * c.assoc
+	// Already present: state change only.
+	for i := base; i < base+c.assoc; i++ {
+		if e := &c.entries[i]; e.state != Invalid && e.line == line {
+			e.state = s
+			c.clock++
+			e.lru = c.clock
+			return 0, Invalid, false
+		}
+	}
+	// Free way?
+	for i := base; i < base+c.assoc; i++ {
+		if e := &c.entries[i]; e.state == Invalid {
+			c.clock++
+			*e = cacheEntry{line: line, state: s, lru: c.clock}
+			return 0, Invalid, false
+		}
+	}
+	// Evict LRU.
+	v := base
+	for i := base + 1; i < base+c.assoc; i++ {
+		if c.entries[i].lru < c.entries[v].lru {
+			v = i
+		}
+	}
+	victimLine, victimState = c.entries[v].line, c.entries[v].state
+	c.clock++
+	c.entries[v] = cacheEntry{line: line, state: s, lru: c.clock}
+	return victimLine, victimState, true
+}
+
+// invalidate removes a line (no-op if absent).
+func (c *cacheArray) invalidate(line uint64) { c.setState(line, Invalid) }
+
+// countState returns how many lines are in state s (test helper).
+func (c *cacheArray) countState(s State) int {
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].state == s {
+			n++
+		}
+	}
+	return n
+}

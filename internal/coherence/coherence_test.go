@@ -1,0 +1,533 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// fixture builds a 16-core system over an EMesh-BCast network (broadcast
+// support keeps ACKwise overflow paths exercised).
+func fixture(t *testing.T, mut func(*config.Config)) (*sim.Kernel, *System) {
+	t.Helper()
+	cfg := config.Tiny()
+	cfg.Network.Kind = config.EMeshBCast
+	if mut != nil {
+		mut(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var k sim.Kernel
+	n := &cfg.Network
+	mesh := noc.NewMesh(&k, cfg.MeshDim(), n.FlitBits, n.BufFlits, n.RouterDelay, n.LinkDelay, true)
+	cfgp := cfg
+	return &k, NewSystem(&k, &cfgp, mesh)
+}
+
+// atacFixture builds the system over the ATAC+ fabric, where distance
+// routing genuinely reorders broadcasts against unicasts.
+func atacFixture(t *testing.T, mut func(*config.Config)) (*sim.Kernel, *System) {
+	t.Helper()
+	cfg := config.Tiny()
+	if mut != nil {
+		mut(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var k sim.Kernel
+	a := noc.NewAtac(&k, &cfg)
+	return &k, NewSystem(&k, a.Cfg, a)
+}
+
+// do issues a single access from within the kernel and returns its result
+// after the kernel drains.
+func do(k *sim.Kernel, s *System, core int, op AccessOp, addr, val uint64) uint64 {
+	var out uint64
+	k.Schedule(0, func() {
+		s.Access(core, op, addr, val, nil, func(v uint64) { out = v })
+	})
+	k.RunAll()
+	return out
+}
+
+// seq runs a chain of operations on one core, each issued when the
+// previous completes.
+type oper struct {
+	core int
+	op   AccessOp
+	addr uint64
+	val  uint64
+}
+
+func runChain(k *sim.Kernel, s *System, ops []oper, results *[]uint64) {
+	var step func(i int)
+	step = func(i int) {
+		if i == len(ops) {
+			return
+		}
+		o := ops[i]
+		s.Access(o.core, o.op, o.addr, o.val, nil, func(v uint64) {
+			*results = append(*results, v)
+			step(i + 1)
+		})
+	}
+	k.Schedule(0, func() { step(0) })
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	k, s := fixture(t, nil)
+	if got := do(k, s, 3, OpStore, 0x1000, 42); got != 42 {
+		t.Fatalf("store returned %d", got)
+	}
+	if got := do(k, s, 7, OpLoad, 0x1000, 0); got != 42 {
+		t.Fatalf("remote load = %d, want 42", got)
+	}
+	if got := do(k, s, 3, OpLoad, 0x1000, 0); got != 42 {
+		t.Fatalf("writer reload = %d, want 42", got)
+	}
+	if !s.Quiesced() {
+		t.Fatal("directory not quiesced")
+	}
+}
+
+func TestColdLoadIsZero(t *testing.T) {
+	k, s := fixture(t, nil)
+	if got := do(k, s, 0, OpLoad, 0xdead00, 0); got != 0 {
+		t.Fatalf("cold load = %d, want 0", got)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	k, s := fixture(t, nil)
+	// Many cores read the line; then one writes; then all re-read.
+	for c := 0; c < 16; c++ {
+		do(k, s, c, OpLoad, 0x2000, 0)
+	}
+	// ACKwise4 with 16 sharers: the sharer list must have overflowed,
+	// so the write triggers a broadcast invalidation.
+	do(k, s, 5, OpStore, 0x2000, 99)
+	if s.stats.InvBroadcasts == 0 {
+		t.Error("expected a broadcast invalidation after sharer overflow")
+	}
+	for c := 0; c < 16; c++ {
+		if got := do(k, s, c, OpLoad, 0x2000, 0); got != 99 {
+			t.Fatalf("core %d sees %d, want 99", c, got)
+		}
+	}
+}
+
+func TestUnicastInvalidationUnderK(t *testing.T) {
+	k, s := fixture(t, nil)
+	// Only 3 sharers (< K=4): invalidations must be unicasts.
+	for _, c := range []int{1, 2, 3} {
+		do(k, s, c, OpLoad, 0x3000, 0)
+	}
+	pre := s.stats.InvBroadcasts
+	do(k, s, 8, OpStore, 0x3000, 7)
+	if s.stats.InvBroadcasts != pre {
+		t.Error("unexpected broadcast for under-K sharers")
+	}
+	if s.stats.InvUnicasts != 3 {
+		t.Errorf("InvUnicasts = %d, want 3", s.stats.InvUnicasts)
+	}
+}
+
+func TestUpgradeFastPath(t *testing.T) {
+	k, s := fixture(t, nil)
+	do(k, s, 4, OpLoad, 0x4000, 0)
+	do(k, s, 4, OpStore, 0x4000, 5)
+	if s.stats.UpgradeFastPath != 1 {
+		t.Errorf("UpgradeFastPath = %d, want 1", s.stats.UpgradeFastPath)
+	}
+}
+
+func TestDirtyLineMigration(t *testing.T) {
+	k, s := fixture(t, nil)
+	do(k, s, 0, OpStore, 0x5000, 11) // core 0 owns M
+	// Remote read forces a write-back demotion.
+	if got := do(k, s, 9, OpLoad, 0x5000, 0); got != 11 {
+		t.Fatalf("reader got %d", got)
+	}
+	// Remote write forces a flush of... now Shared{0,9}: invalidations.
+	if got := do(k, s, 2, OpStore, 0x5000, 12); got != 12 {
+		t.Fatalf("writer got %d", got)
+	}
+	// And a flush when a fourth core writes over the new owner.
+	if got := do(k, s, 3, OpStore, 0x5000, 13); got != 13 {
+		t.Fatalf("second writer got %d", got)
+	}
+	if got := do(k, s, 0, OpLoad, 0x5000, 0); got != 13 {
+		t.Fatalf("final read %d, want 13", got)
+	}
+}
+
+func TestFetchAddAtomicity(t *testing.T) {
+	// The decisive coherence test: concurrent fetch-adds must never lose
+	// an update. 16 cores x 25 increments on one word.
+	k, s := fixture(t, nil)
+	const per = 25
+	doneCnt := 0
+	for c := 0; c < 16; c++ {
+		c := c
+		var step func(i int)
+		step = func(i int) {
+			if i == per {
+				doneCnt++
+				return
+			}
+			s.Access(c, OpRMW, 0x6000, 0, func(v uint64) uint64 { return v + 1 }, func(uint64) {
+				step(i + 1)
+			})
+		}
+		k.Schedule(sim.Time(c), func() { step(0) })
+	}
+	k.RunAll()
+	if doneCnt != 16 {
+		t.Fatalf("only %d cores completed", doneCnt)
+	}
+	if got := s.Vals.Read(0x6000); got != 16*per {
+		t.Fatalf("counter = %d, want %d (lost updates!)", got, 16*per)
+	}
+	if !s.Quiesced() {
+		t.Fatal("not quiesced")
+	}
+}
+
+func TestEvictionPressure(t *testing.T) {
+	// Tiny L2 (1 KB = 16 lines) forces constant evictions; values must
+	// survive through memory.
+	k, s := fixture(t, func(c *config.Config) {
+		c.Caches.L1DKB = 1
+		c.Caches.L2KB = 1
+		c.Caches.L1Assoc = 2
+		c.Caches.L2Assoc = 2
+	})
+	const words = 256 // 32 lines x 8 words, far exceeding the L2
+	for i := uint64(0); i < words; i++ {
+		do(k, s, 0, OpStore, 0x10000+i*8, i+1)
+	}
+	for i := uint64(0); i < words; i++ {
+		if got := do(k, s, 0, OpLoad, 0x10000+i*8, 0); got != i+1 {
+			t.Fatalf("word %d = %d, want %d", i, got, i+1)
+		}
+	}
+	if s.stats.EvictionsM == 0 {
+		t.Error("expected dirty evictions under pressure")
+	}
+	if !s.Quiesced() {
+		t.Fatal("not quiesced")
+	}
+}
+
+func TestSharedEvictionNotifiesACKwise(t *testing.T) {
+	k, s := fixture(t, func(c *config.Config) {
+		c.Caches.L1DKB = 1
+		c.Caches.L2KB = 1
+	})
+	// Fill with clean shared lines only: evictions must send EvictS.
+	for i := uint64(0); i < 64; i++ {
+		do(k, s, 0, OpLoad, 0x20000+i*512, 0) // distinct lines, same set region
+	}
+	if s.stats.EvictionsS == 0 {
+		t.Error("ACKwise must notify shared evictions")
+	}
+}
+
+func TestDirKBSilentEvictions(t *testing.T) {
+	k, s := fixture(t, func(c *config.Config) {
+		c.Coherence.Kind = config.DirKB
+		c.Caches.L1DKB = 1
+		c.Caches.L2KB = 1
+	})
+	for i := uint64(0); i < 64; i++ {
+		do(k, s, 0, OpLoad, 0x20000+i*512, 0)
+	}
+	if s.stats.EvictionsS != 0 {
+		t.Errorf("DirkB must evict shared lines silently, saw %d EvictS", s.stats.EvictionsS)
+	}
+	// Re-reading after silent eviction must still work (stale directory
+	// list tolerated).
+	if got := do(k, s, 1, OpStore, 0x20000, 77); got != 77 {
+		t.Fatal("write after silent eviction failed")
+	}
+}
+
+func TestDirKBBroadcastAcksFromAll(t *testing.T) {
+	k, s := fixture(t, func(c *config.Config) {
+		c.Coherence.Kind = config.DirKB
+	})
+	for c := 0; c < 16; c++ {
+		do(k, s, c, OpLoad, 0x7000, 0)
+	}
+	pre := s.stats.AcksCollected
+	do(k, s, 0, OpStore, 0x7000, 1)
+	acks := s.stats.AcksCollected - pre
+	if acks != 16 {
+		t.Errorf("DirkB collected %d acks, want 16 (all cores)", acks)
+	}
+}
+
+func TestACKwiseBroadcastAcksFromSharersOnly(t *testing.T) {
+	k, s := fixture(t, nil)
+	for c := 0; c < 8; c++ {
+		do(k, s, c, OpLoad, 0x8000, 0)
+	}
+	pre := s.stats.AcksCollected
+	do(k, s, 0, OpStore, 0x8000, 1)
+	acks := s.stats.AcksCollected - pre
+	// 8 sharers (including the writer, which also acks the broadcast).
+	if acks != 8 {
+		t.Errorf("ACKwise collected %d acks, want 8 (actual sharers)", acks)
+	}
+}
+
+// randomStress drives random concurrent traffic and then verifies the
+// final memory image against a sequentially-applied oracle... the oracle
+// here is indirect: we verify protocol liveness, quiescence, and the
+// single-writer invariant sampled at completion.
+func randomStress(t *testing.T, k *sim.Kernel, s *System, seed int64, nops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	completed := 0
+	for c := 0; c < s.Cfg.Cores; c++ {
+		c := c
+		var step func(n int)
+		step = func(n int) {
+			if n == 0 {
+				return
+			}
+			addr := 0x9000 + uint64(rng.Intn(32))*8
+			op := OpLoad
+			switch rng.Intn(3) {
+			case 1:
+				op = OpStore
+			case 2:
+				op = OpRMW
+			}
+			s.Access(c, op, addr, uint64(n), func(v uint64) uint64 { return v + 1 }, func(uint64) {
+				completed++
+				step(n - 1)
+			})
+		}
+		k.Schedule(sim.Time(rng.Intn(10)), func() { step(nops) })
+	}
+	k.RunAll()
+	if completed != s.Cfg.Cores*nops {
+		t.Fatalf("completed %d of %d accesses", completed, s.Cfg.Cores*nops)
+	}
+	if !s.Quiesced() {
+		t.Fatal("not quiesced")
+	}
+	checkSingleWriter(t, s)
+}
+
+// checkSingleWriter verifies the MSI invariant across all caches at
+// quiescence: for each line, either one Modified holder and no Shared
+// holders, or any number of Shared holders.
+func checkSingleWriter(t *testing.T, s *System) {
+	t.Helper()
+	type holders struct{ m, sh int }
+	lines := make(map[uint64]*holders)
+	for _, c := range s.ctrls {
+		for i := range c.l2.entries {
+			e := c.l2.entries[i]
+			if e.state == Invalid {
+				continue
+			}
+			h := lines[e.line]
+			if h == nil {
+				h = &holders{}
+				lines[e.line] = h
+			}
+			if e.state == Modified {
+				h.m++
+			} else {
+				h.sh++
+			}
+		}
+	}
+	for line, h := range lines {
+		if h.m > 1 || (h.m == 1 && h.sh > 0) {
+			t.Fatalf("line %#x: %d Modified, %d Shared holders", line, h.m, h.sh)
+		}
+	}
+}
+
+func TestRandomStressACKwiseMesh(t *testing.T) {
+	k, s := fixture(t, nil)
+	randomStress(t, k, s, 1, 40)
+}
+
+func TestRandomStressDirKBMesh(t *testing.T) {
+	k, s := fixture(t, func(c *config.Config) { c.Coherence.Kind = config.DirKB })
+	randomStress(t, k, s, 2, 40)
+}
+
+func TestRandomStressACKwiseATAC(t *testing.T) {
+	k, s := atacFixture(t, nil)
+	randomStress(t, k, s, 3, 40)
+}
+
+func TestRandomStressATACSmallCache(t *testing.T) {
+	k, s := atacFixture(t, func(c *config.Config) {
+		c.Caches.L1DKB = 1
+		c.Caches.L2KB = 1
+	})
+	randomStress(t, k, s, 4, 40)
+}
+
+func TestRandomStressDirKBATAC(t *testing.T) {
+	k, s := atacFixture(t, func(c *config.Config) { c.Coherence.Kind = config.DirKB })
+	randomStress(t, k, s, 5, 40)
+}
+
+func TestFetchAddAtomicityATAC(t *testing.T) {
+	// Same atomicity check across the reordering ATAC+ fabric.
+	k, s := atacFixture(t, nil)
+	const per = 25
+	for c := 0; c < 16; c++ {
+		c := c
+		var step func(i int)
+		step = func(i int) {
+			if i == per {
+				return
+			}
+			s.Access(c, OpRMW, 0x6000, 0, func(v uint64) uint64 { return v + 1 }, func(uint64) {
+				step(i + 1)
+			})
+		}
+		k.Schedule(sim.Time(c), func() { step(0) })
+	}
+	k.RunAll()
+	if got := s.Vals.Read(0x6000); got != 16*per {
+		t.Fatalf("counter = %d, want %d", got, 16*per)
+	}
+}
+
+func TestWaitChangeWakesOnInvalidation(t *testing.T) {
+	k, s := fixture(t, nil)
+	woke := false
+	// Core 1 loads the flag (becomes a sharer), then waits for change.
+	k.Schedule(0, func() {
+		s.Access(1, OpLoad, 0xa000, 0, nil, func(uint64) {
+			s.WaitChange(1, 0xa000, func() { woke = true })
+		})
+	})
+	// Core 2 writes the flag later: invalidation must wake core 1.
+	k.Schedule(200, func() {
+		s.Access(2, OpStore, 0xa000, 1, nil, func(uint64) {})
+	})
+	k.RunAll()
+	if !woke {
+		t.Fatal("waiter not woken by invalidation")
+	}
+}
+
+func TestWaitChangeImmediateWhenAbsent(t *testing.T) {
+	k, s := fixture(t, nil)
+	woke := false
+	k.Schedule(0, func() { s.WaitChange(4, 0xb000, func() { woke = true }) })
+	k.RunAll()
+	if !woke {
+		t.Fatal("absent-line waiter must fire immediately")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, sim.Time) {
+		k, s := atacFixture(t, nil)
+		rng := rand.New(rand.NewSource(9))
+		for c := 0; c < 16; c++ {
+			c := c
+			var step func(n int)
+			step = func(n int) {
+				if n == 0 {
+					return
+				}
+				addr := 0xc000 + uint64(rng.Intn(16))*8
+				s.Access(c, OpRMW, addr, 0, func(v uint64) uint64 { return v + 3 }, func(uint64) { step(n - 1) })
+			}
+			k.Schedule(sim.Time(c%4), func() { step(30) })
+		}
+		k.RunAll()
+		return s.stats.DirAccesses, s.stats.InvBroadcasts, k.Now()
+	}
+	a1, b1, t1 := run()
+	a2, b2, t2 := run()
+	if a1 != a2 || b1 != b2 || t1 != t2 {
+		t.Fatalf("nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", a1, b1, t1, a2, b2, t2)
+	}
+}
+
+func TestValueStore(t *testing.T) {
+	v := NewValueStore()
+	if v.Read(0x40) != 0 {
+		t.Error("cold read not zero")
+	}
+	v.Write(0x40, 7)
+	if v.Read(0x40) != 7 || v.Read(0x44) != 7 {
+		t.Error("word aliasing broken") // 0x44 shares the 8-byte word
+	}
+	if v.Read(0x48) != 0 {
+		t.Error("adjacent word contaminated")
+	}
+}
+
+func TestSeqArithmetic(t *testing.T) {
+	if !seqLE(1, 2) || seqLE(2, 1) || !seqLE(5, 5) {
+		t.Error("basic comparisons broken")
+	}
+	// Wraparound: 65535 <= 2 in serial arithmetic.
+	if !seqLE(65535, 2) || seqLE(2, 65535) {
+		t.Error("wraparound comparison broken")
+	}
+}
+
+func TestCacheArrayLRU(t *testing.T) {
+	c := newCacheArray(4*64, 64, 2) // 4 lines, 2-way: 2 sets
+	// Same-set lines (set = line % 2): 0, 2, 4 conflict.
+	c.insert(0, Shared)
+	c.insert(2, Shared)
+	c.lookup(0) // refresh 0
+	vl, vs, ev := c.insert(4, Modified)
+	if !ev || vl != 2 || vs != Shared {
+		t.Fatalf("evicted (%d,%v,%v), want line 2 Shared", vl, vs, ev)
+	}
+	if c.peek(0) != Shared || c.peek(4) != Modified {
+		t.Error("survivors corrupted")
+	}
+}
+
+func TestCacheArrayStateOps(t *testing.T) {
+	c := newCacheArray(1024, 64, 4)
+	if c.lookup(5) != Invalid {
+		t.Error("phantom hit")
+	}
+	c.insert(5, Shared)
+	c.setState(5, Modified)
+	if c.peek(5) != Modified {
+		t.Error("setState failed")
+	}
+	c.invalidate(5)
+	if c.peek(5) != Invalid {
+		t.Error("invalidate failed")
+	}
+	if c.countState(Invalid) != len(c.entries) {
+		t.Error("countState broken")
+	}
+}
+
+func TestRandomStressAdaptiveRouting(t *testing.T) {
+	// Adaptive routing varies the path per message; the fabric's
+	// per-pair FIFO restoration must keep the protocol sound.
+	k, s := atacFixture(t, func(c *config.Config) {
+		c.Network.Routing = config.AdaptiveRouting
+		c.Network.AdaptiveQueueMax = 1 // divert aggressively
+	})
+	randomStress(t, k, s, 6, 40)
+}

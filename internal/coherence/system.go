@@ -1,0 +1,205 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ValueStore is the single authoritative backing store for all simulated
+// memory words (8-byte granularity). Absent words read as zero.
+type ValueStore struct {
+	words map[uint64]uint64
+}
+
+// NewValueStore returns an empty store.
+func NewValueStore() *ValueStore { return &ValueStore{words: make(map[uint64]uint64)} }
+
+// Read returns the word at byte address addr (aligned down to 8 bytes).
+func (v *ValueStore) Read(addr uint64) uint64 { return v.words[addr>>3] }
+
+// Write stores the word at byte address addr.
+func (v *ValueStore) Write(addr, val uint64) { v.words[addr>>3] = val }
+
+// System wires per-core cache controllers, directory slices and memory
+// controllers over a network, and exposes the core-facing Access API.
+type System struct {
+	K    *sim.Kernel
+	Cfg  *config.Config
+	Net  noc.Network
+	Vals *ValueStore
+	// Tracer, when non-nil, records protocol events (debugging aid;
+	// nil costs nothing).
+	Tracer *trace.Ring
+
+	ctrls  []*Ctrl
+	dirs   []*DirSlice
+	mems   []*mem.Controller
+	dirAt  map[int]*DirSlice       // core -> slice located there
+	memAt  map[int]*mem.Controller // core -> controller located there
+	stats  Stats
+	lineSz uint64
+}
+
+// NewSystem builds the coherence layer on the given network. The network's
+// deliver callback is claimed by the System.
+func NewSystem(k *sim.Kernel, cfg *config.Config, net noc.Network) *System {
+	s := &System{
+		K: k, Cfg: cfg, Net: net, Vals: NewValueStore(),
+		dirAt:  make(map[int]*DirSlice),
+		memAt:  make(map[int]*mem.Controller),
+		lineSz: uint64(cfg.Caches.LineBytes),
+	}
+	s.ctrls = make([]*Ctrl, cfg.Cores)
+	for i := range s.ctrls {
+		s.ctrls[i] = newCtrl(s, i)
+	}
+	s.dirs = make([]*DirSlice, cfg.Caches.DirSlices)
+	for i := range s.dirs {
+		core := s.DirCore(i)
+		s.dirs[i] = newDirSlice(s, i, core)
+		s.dirAt[core] = s.dirs[i]
+	}
+	s.mems = make([]*mem.Controller, cfg.Memory.Controllers)
+	for i := range s.mems {
+		core := s.MemCore(i)
+		s.mems[i] = mem.NewController(k, core, cfg.Memory.LatencyCycles, cfg.Caches.LineBytes, cfg.Memory.GBPerSec)
+		s.memAt[core] = s.mems[i]
+	}
+	net.SetDeliver(s.onDeliver)
+	return s
+}
+
+// Stats returns the live protocol counter block.
+func (s *System) Stats() *Stats { return &s.stats }
+
+// LineOf returns the cache line index of a byte address.
+func (s *System) LineOf(addr uint64) uint64 { return addr / s.lineSz }
+
+// SliceOf returns the directory slice owning a line (static interleave).
+func (s *System) SliceOf(line uint64) int { return int(line % uint64(s.Cfg.Caches.DirSlices)) }
+
+// DirCore returns the core hosting directory slice i: the top-left core of
+// cluster i (mod cluster count), spreading slices across the die.
+func (s *System) DirCore(i int) int {
+	cfg := s.Cfg
+	dim := cfg.MeshDim()
+	cw := dim / cfg.ClusterDim
+	cl := i % cfg.Clusters()
+	cx, cy := cl%cw, cl/cw
+	return (cy * cfg.ClusterDim * dim) + cx*cfg.ClusterDim
+}
+
+// MemCore returns the core hosting memory controller i: the bottom-right
+// core of cluster i (mod cluster count).
+func (s *System) MemCore(i int) int {
+	cfg := s.Cfg
+	dim := cfg.MeshDim()
+	cw := dim / cfg.ClusterDim
+	cl := i % cfg.Clusters()
+	cx, cy := cl%cw, cl/cw
+	x := cx*cfg.ClusterDim + cfg.ClusterDim - 1
+	y := cy*cfg.ClusterDim + cfg.ClusterDim - 1
+	return y*dim + x
+}
+
+// MemCtrlFor returns the controller serving a line.
+func (s *System) MemCtrlFor(line uint64) *mem.Controller {
+	return s.mems[int(line%uint64(len(s.mems)))]
+}
+
+// Access performs one memory operation for core. Exactly one access may be
+// outstanding per core (in-order blocking core model); done is called with
+// the loaded value (loads), the previous value (RMW), or the stored value.
+// For OpRMW, f maps the old value to the new one. Access must be invoked
+// from within a kernel event.
+func (s *System) Access(core int, op AccessOp, addr uint64, storeVal uint64, f func(uint64) uint64, done func(uint64)) {
+	s.ctrls[core].access(op, addr, storeVal, f, done)
+}
+
+// WaitChange invokes done the next time the line holding addr is
+// invalidated or downgraded at this core (local spin-wait modelling: a
+// waiting core holds the line Shared and sleeps; the coherence
+// invalidation is the wake-up). If the core does not currently hold the
+// line, done fires immediately — the value may already have changed.
+func (s *System) WaitChange(core int, addr uint64, done func()) {
+	s.ctrls[core].waitChange(addr, done)
+}
+
+// Quiesced reports whether no coherence transaction is in flight anywhere
+// (test hook; cores may still hold pending accesses if the caller manages
+// them).
+func (s *System) Quiesced() bool {
+	for _, d := range s.dirs {
+		if !d.quiesced() {
+			return false
+		}
+	}
+	return true
+}
+
+// trace records one protocol event when tracing is enabled.
+func (s *System) trace(kind, format string, args ...any) {
+	if s.Tracer != nil {
+		s.Tracer.Record(s.K.Now(), kind, format, args...)
+	}
+}
+
+// send wraps a protocol message and injects it into the network.
+func (s *System) send(src, dst int, m *Msg) {
+	s.trace("msg", "%d->%d %v", src, dst, m)
+	s.Net.Send(&noc.Message{
+		Src: src, Dst: dst,
+		Class:   classOf(m.Type),
+		Bits:    m.Type.Bits(),
+		Payload: m,
+	})
+}
+
+func classOf(t MsgType) noc.Class {
+	if t.CarriesData() {
+		return noc.ClassData
+	}
+	return noc.ClassCoherence
+}
+
+// onDeliver dispatches network deliveries to the component at dst.
+func (s *System) onDeliver(dst int, nm *noc.Message) {
+	m, ok := nm.Payload.(*Msg)
+	if !ok {
+		panic(fmt.Sprintf("coherence: foreign payload %T delivered to core %d", nm.Payload, dst))
+	}
+	switch m.Type {
+	case MsgShReq, MsgExReq, MsgEvictS, MsgEvictM, MsgInvAck, MsgInvAckData, MsgWBRep, MsgFlushRep:
+		d := s.dirAt[dst]
+		if d == nil || d.slice != m.Slice {
+			panic(fmt.Sprintf("coherence: %v delivered to core %d which hosts no slice %d", m, dst, m.Slice))
+		}
+		d.handle(m)
+	case MsgMemRsp:
+		s.dirAt[dst].handle(m)
+	case MsgMemRead:
+		mc := s.memAt[dst]
+		line, slice, from := m.Line, m.Slice, m.From
+		mc.Read(func() {
+			s.stats.MemReads++
+			s.send(mc.Core, from, &Msg{Type: MsgMemRsp, Line: line, From: mc.Core, Slice: slice})
+		})
+	case MsgMemWrite:
+		s.memAt[dst].Write()
+		s.stats.MemWrites++
+	case MsgInvBcast:
+		s.ctrls[dst].handleBcast(m)
+	default:
+		// Directory -> core unicasts, subject to sequence-number
+		// ordering (Section IV-C1).
+		s.ctrls[dst].handleUnicast(m)
+	}
+}
+
+// seqLE reports a <= b in wraparound (serial-number) arithmetic.
+func seqLE(a, b uint16) bool { return int16(b-a) >= 0 }

@@ -1,0 +1,409 @@
+// Package config holds every architectural and technology parameter of the
+// simulated system, mirroring Tables I–IV of the paper. A Config fully
+// determines a simulation: two runs with equal Configs (and equal workload
+// seeds) produce identical results.
+package config
+
+import "fmt"
+
+// NetworkKind selects the on-chip interconnect architecture under study.
+type NetworkKind int
+
+const (
+	// EMeshPure is a plain electrical 2-D mesh. Broadcasts are performed
+	// as N-1 serialized unicasts at the source.
+	EMeshPure NetworkKind = iota
+	// EMeshBCast is an electrical mesh with native multicast support in
+	// each router (tree-based flit replication).
+	EMeshBCast
+	// ATAC is the original ATAC architecture: ENet mesh + ONet optical
+	// broadcast ring + BNet electrical broadcast fan-out trees, with
+	// cluster-based unicast routing.
+	ATAC
+	// ATACPlus is the paper's proposal: ENet + adaptive SWMR ONet +
+	// point-to-point StarNet, with distance-based unicast routing.
+	ATACPlus
+)
+
+func (k NetworkKind) String() string {
+	switch k {
+	case EMeshPure:
+		return "EMesh-Pure"
+	case EMeshBCast:
+		return "EMesh-BCast"
+	case ATAC:
+		return "ATAC"
+	case ATACPlus:
+		return "ATAC+"
+	default:
+		return fmt.Sprintf("NetworkKind(%d)", int(k))
+	}
+}
+
+// IsOptical reports whether the network contains the ONet optical fabric.
+func (k NetworkKind) IsOptical() bool { return k == ATAC || k == ATACPlus }
+
+// ReceiveNet selects the hub-to-core distribution network inside a cluster.
+type ReceiveNet int
+
+const (
+	// StarNet is a 1-to-16 demultiplexer with point-to-point links
+	// (ATAC+ default): a unicast drives one link, a broadcast all 16.
+	StarNet ReceiveNet = iota
+	// BNet is the original ATAC broadcast fan-out tree: every flit is
+	// delivered to all 16 cores regardless of destination.
+	BNet
+)
+
+func (r ReceiveNet) String() string {
+	if r == BNet {
+		return "BNet"
+	}
+	return "StarNet"
+}
+
+// RoutingPolicy selects how inter-cluster unicasts are routed in ATAC/ATAC+.
+type RoutingPolicy int
+
+const (
+	// ClusterRouting sends every inter-cluster unicast over the ONet
+	// (original ATAC policy).
+	ClusterRouting RoutingPolicy = iota
+	// DistanceRouting sends a unicast over the ENet when the Manhattan
+	// distance between sender and receiver is below RThres hops, and
+	// over the ONet otherwise (ATAC+ policy).
+	DistanceRouting
+	// ENetOnlyRouting ("Distance-All" in the paper) sends every unicast
+	// over the ENet; the ONet carries only broadcasts.
+	ENetOnlyRouting
+	// AdaptiveRouting extends DistanceRouting with load awareness: a
+	// unicast beyond RThres still falls back to the ENet when its
+	// cluster's optical transmit queue is congested. The paper observes
+	// that the performance-optimal policy "is adaptive" but evaluates an
+	// oblivious one for simplicity; this is that extension.
+	AdaptiveRouting
+)
+
+func (p RoutingPolicy) String() string {
+	switch p {
+	case ClusterRouting:
+		return "Cluster"
+	case DistanceRouting:
+		return "Distance"
+	case ENetOnlyRouting:
+		return "Distance-All"
+	case AdaptiveRouting:
+		return "Adaptive"
+	default:
+		return fmt.Sprintf("RoutingPolicy(%d)", int(p))
+	}
+}
+
+// CoherenceKind selects the cache coherence protocol.
+type CoherenceKind int
+
+const (
+	// ACKwise tracks up to K sharers exactly; beyond K it keeps only a
+	// count, broadcasts invalidations, and collects acknowledgements
+	// from actual sharers only. It cannot support silent evictions.
+	ACKwise CoherenceKind = iota
+	// DirKB is a limited directory that broadcasts invalidations on
+	// sharer-list overflow and collects acknowledgements from every
+	// core in the system. It supports silent evictions of shared lines.
+	DirKB
+)
+
+func (c CoherenceKind) String() string {
+	if c == DirKB {
+		return "DirKB"
+	}
+	return "ACKwise"
+}
+
+// Flavor is an ATAC+ optical technology scenario (Table IV).
+type Flavor int
+
+const (
+	// FlavorDefault: practical devices, power-gated laser, athermal
+	// rings (the "ATAC+" row of Table IV).
+	FlavorDefault Flavor = iota
+	// FlavorIdeal: lossless devices, 100%-efficient power-gated laser,
+	// athermal rings.
+	FlavorIdeal
+	// FlavorRingTuned: practical devices, power-gated laser, rings
+	// require active thermal tuning.
+	FlavorRingTuned
+	// FlavorCons: practical devices, laser always on at worst-case
+	// (broadcast) power, rings require thermal tuning.
+	FlavorCons
+)
+
+func (f Flavor) String() string {
+	switch f {
+	case FlavorIdeal:
+		return "ATAC+(Ideal)"
+	case FlavorRingTuned:
+		return "ATAC+(RingTuned)"
+	case FlavorCons:
+		return "ATAC+(Cons)"
+	default:
+		return "ATAC+"
+	}
+}
+
+// LaserGated reports whether this flavor's laser can be power gated and
+// mode throttled.
+func (f Flavor) LaserGated() bool { return f != FlavorCons }
+
+// Athermal reports whether this flavor's rings need no thermal tuning.
+func (f Flavor) Athermal() bool { return f == FlavorDefault || f == FlavorIdeal }
+
+// Caches holds the cache hierarchy parameters (Table I).
+type Caches struct {
+	L1IKB        int // private L1 instruction cache size, KB
+	L1DKB        int // private L1 data cache size, KB
+	L2KB         int // private L2 cache size, KB
+	LineBytes    int // cache block size, bytes
+	L1Assoc      int
+	L2Assoc      int
+	L1HitCycles  int // L1-D hit latency
+	L2HitCycles  int // L2 access latency (on top of L1 miss)
+	MSHRs        int // outstanding misses per core (store-buffer driven)
+	DirSlices    int // number of distributed directory slices (64 in the paper)
+	DirAccCycles int // directory cache access latency
+}
+
+// Network holds interconnect parameters (Table I).
+type Network struct {
+	Kind          NetworkKind
+	FlitBits      int // flit width in bits (64 default; Fig 11 sweeps 16..256)
+	RouterDelay   int // electrical router pipeline delay, cycles
+	LinkDelay     int // electrical link traversal, cycles
+	BufFlits      int // input buffer depth per router port, flits
+	ONetLinkDelay int // optical propagation delay, cycles
+	SelectDataLag int // select-link lead time before data, cycles
+	ReceiveNet    ReceiveNet
+	StarNetsPerCl int // parallel receive networks per cluster
+	Routing       RoutingPolicy
+	RThres        int // distance threshold in hops for Distance/AdaptiveRouting
+	// AdaptiveQueueMax is the hub transmit-queue depth (in packets) above
+	// which AdaptiveRouting diverts unicasts back to the ENet.
+	AdaptiveQueueMax int
+	Flavor           Flavor
+	SeqNumBits       int // sequence number width for reorder detection
+	// BcastAsUnicast disables the ONet's native broadcast mode: every
+	// broadcast is serialized as one unicast per hub over the optical
+	// link (the ablation discussed in Section V-D for networks without
+	// broadcast-capable SWMR links).
+	BcastAsUnicast bool
+}
+
+// Memory holds the external memory parameters (Table I).
+type Memory struct {
+	Controllers   int     // on-chip memory controllers
+	LatencyCycles int     // DRAM access latency (100 ns at 1 GHz)
+	GBPerSec      float64 // bandwidth per controller
+}
+
+// Coherence holds protocol parameters.
+type Coherence struct {
+	Kind    CoherenceKind
+	Sharers int // K: hardware sharer pointers per directory entry
+}
+
+// Core holds the core model parameters (Section V-G).
+type Core struct {
+	PeakPowerW  float64 // peak core power, W (20 mW in the paper)
+	NDDFraction float64 // non-data-dependent fraction of peak power
+}
+
+// Config is the complete system configuration.
+type Config struct {
+	Cores      int // total processing cores (1024 in the paper)
+	ClusterDim int // cores per cluster edge (4 => 16-core clusters)
+	FreqGHz    float64
+	Caches     Caches
+	Network    Network
+	Memory     Memory
+	Coherence  Coherence
+	Core       Core
+	Seed       int64 // base seed for all per-core PRNGs
+}
+
+// MeshDim returns the edge length of the global core mesh.
+func (c *Config) MeshDim() int {
+	d := 1
+	for d*d < c.Cores {
+		d++
+	}
+	return d
+}
+
+// ClusterCores returns the number of cores per cluster.
+func (c *Config) ClusterCores() int { return c.ClusterDim * c.ClusterDim }
+
+// Clusters returns the number of clusters (= ONet hubs).
+func (c *Config) Clusters() int { return c.Cores / c.ClusterCores() }
+
+// ClusterOf returns the cluster index owning core id.
+func (c *Config) ClusterOf(core int) int {
+	dim := c.MeshDim()
+	x, y := core%dim, core/dim
+	cw := dim / c.ClusterDim // clusters per row
+	return (y/c.ClusterDim)*cw + x/c.ClusterDim
+}
+
+// HubCore returns the core co-located with cluster cl's hub (the cluster's
+// center-most core; the hub attaches to this core's ENet router).
+func (c *Config) HubCore(cl int) int {
+	dim := c.MeshDim()
+	cw := dim / c.ClusterDim
+	cx, cy := cl%cw, cl/cw
+	x := cx*c.ClusterDim + c.ClusterDim/2
+	y := cy*c.ClusterDim + c.ClusterDim/2
+	return y*dim + x
+}
+
+// CoreXY returns mesh coordinates of a core.
+func (c *Config) CoreXY(core int) (x, y int) {
+	dim := c.MeshDim()
+	return core % dim, core / dim
+}
+
+// Distance returns the Manhattan distance in mesh hops between two cores.
+func (c *Config) Distance(a, b int) int {
+	ax, ay := c.CoreXY(a)
+	bx, by := c.CoreXY(b)
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Validate checks internal consistency and returns a descriptive error for
+// the first violated constraint.
+func (c *Config) Validate() error {
+	dim := c.MeshDim()
+	if dim*dim != c.Cores {
+		return fmt.Errorf("config: Cores = %d is not a perfect square", c.Cores)
+	}
+	if c.ClusterDim <= 0 || dim%c.ClusterDim != 0 {
+		return fmt.Errorf("config: ClusterDim %d does not tile mesh dim %d", c.ClusterDim, dim)
+	}
+	if c.Network.FlitBits <= 0 {
+		return fmt.Errorf("config: FlitBits must be positive, got %d", c.Network.FlitBits)
+	}
+	if c.Caches.LineBytes <= 0 || c.Caches.LineBytes%8 != 0 {
+		return fmt.Errorf("config: LineBytes must be a positive multiple of 8, got %d", c.Caches.LineBytes)
+	}
+	if c.Coherence.Sharers < 1 {
+		return fmt.Errorf("config: Coherence.Sharers must be >= 1, got %d", c.Coherence.Sharers)
+	}
+	if c.Caches.DirSlices <= 0 || c.Caches.DirSlices > c.Cores {
+		return fmt.Errorf("config: DirSlices %d out of range (1..%d)", c.Caches.DirSlices, c.Cores)
+	}
+	if c.Memory.Controllers <= 0 {
+		return fmt.Errorf("config: Memory.Controllers must be positive, got %d", c.Memory.Controllers)
+	}
+	if c.Network.Kind.IsOptical() {
+		if c.Clusters() < 2 {
+			return fmt.Errorf("config: optical network needs >= 2 clusters, got %d", c.Clusters())
+		}
+		if (c.Network.Routing == DistanceRouting || c.Network.Routing == AdaptiveRouting) && c.Network.RThres < 1 {
+			return fmt.Errorf("config: %v routing needs RThres >= 1, got %d", c.Network.Routing, c.Network.RThres)
+		}
+	}
+	return nil
+}
+
+// Default returns the paper's full-scale configuration: 1024 cores in 64
+// clusters of 16, ATAC+ network with Distance-15 routing and the StarNet,
+// ACKwise4 coherence (Tables I and IV defaults).
+func Default() Config {
+	return Config{
+		Cores:      1024,
+		ClusterDim: 4,
+		FreqGHz:    1.0,
+		Caches: Caches{
+			L1IKB:        32,
+			L1DKB:        32,
+			L2KB:         256,
+			LineBytes:    64,
+			L1Assoc:      4,
+			L2Assoc:      8,
+			L1HitCycles:  1,
+			L2HitCycles:  8,
+			MSHRs:        8,
+			DirSlices:    64,
+			DirAccCycles: 1,
+		},
+		Network: Network{
+			Kind:             ATACPlus,
+			FlitBits:         64,
+			RouterDelay:      1,
+			LinkDelay:        1,
+			BufFlits:         4,
+			ONetLinkDelay:    3,
+			SelectDataLag:    1,
+			ReceiveNet:       StarNet,
+			StarNetsPerCl:    2,
+			Routing:          DistanceRouting,
+			RThres:           15,
+			AdaptiveQueueMax: 8,
+			Flavor:           FlavorDefault,
+			SeqNumBits:       16,
+		},
+		Memory: Memory{
+			Controllers:   64,
+			LatencyCycles: 100,
+			GBPerSec:      5,
+		},
+		Coherence: Coherence{Kind: ACKwise, Sharers: 4},
+		Core:      Core{PeakPowerW: 0.020, NDDFraction: 0.10},
+		Seed:      42,
+	}
+}
+
+// Small returns a reduced 64-core configuration (16 clusters of 4 cores)
+// used by tests and the quickstart example. It exercises exactly the same
+// code paths as Default at a fraction of the cost.
+func Small() Config {
+	c := Default()
+	c.Cores = 64
+	c.ClusterDim = 2
+	c.Caches.DirSlices = 16
+	c.Memory.Controllers = 16
+	c.Network.RThres = 4
+	return c
+}
+
+// Tiny returns a 16-core configuration (4 clusters of 4) for unit tests.
+func Tiny() Config {
+	c := Default()
+	c.Cores = 16
+	c.ClusterDim = 2
+	c.Caches.DirSlices = 4
+	c.Memory.Controllers = 4
+	c.Network.RThres = 2
+	return c
+}
+
+// WithNetwork returns a copy of c configured for the given network kind,
+// adjusting receive-net and routing defaults to that architecture's
+// canonical settings.
+func (c Config) WithNetwork(k NetworkKind) Config {
+	c.Network.Kind = k
+	switch k {
+	case ATAC:
+		c.Network.ReceiveNet = BNet
+		c.Network.Routing = ClusterRouting
+	case ATACPlus:
+		c.Network.ReceiveNet = StarNet
+		c.Network.Routing = DistanceRouting
+	}
+	return c
+}

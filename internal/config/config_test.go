@@ -1,0 +1,189 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	for _, c := range []Config{Default(), Small(), Tiny()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("preset invalid: %v", err)
+		}
+	}
+}
+
+func TestGeometryDefault(t *testing.T) {
+	c := Default()
+	if got := c.MeshDim(); got != 32 {
+		t.Errorf("MeshDim = %d, want 32", got)
+	}
+	if got := c.Clusters(); got != 64 {
+		t.Errorf("Clusters = %d, want 64", got)
+	}
+	if got := c.ClusterCores(); got != 16 {
+		t.Errorf("ClusterCores = %d, want 16", got)
+	}
+}
+
+func TestClusterOf(t *testing.T) {
+	c := Default()
+	// Core 0 is at (0,0) -> cluster 0. Core 31 is at (31,0) -> cluster 7.
+	if got := c.ClusterOf(0); got != 0 {
+		t.Errorf("ClusterOf(0) = %d, want 0", got)
+	}
+	if got := c.ClusterOf(31); got != 7 {
+		t.Errorf("ClusterOf(31) = %d, want 7", got)
+	}
+	// Core at (0,4) = id 128 -> cluster 8 (second cluster row).
+	if got := c.ClusterOf(128); got != 8 {
+		t.Errorf("ClusterOf(128) = %d, want 8", got)
+	}
+}
+
+func TestHubCoreInOwnCluster(t *testing.T) {
+	for _, c := range []Config{Default(), Small(), Tiny()} {
+		for cl := 0; cl < c.Clusters(); cl++ {
+			h := c.HubCore(cl)
+			if got := c.ClusterOf(h); got != cl {
+				t.Fatalf("%d cores: HubCore(%d) = %d lies in cluster %d", c.Cores, cl, h, got)
+			}
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	c := Default()
+	if d := c.Distance(0, 0); d != 0 {
+		t.Errorf("Distance(0,0) = %d", d)
+	}
+	if d := c.Distance(0, 31); d != 31 {
+		t.Errorf("Distance(0,31) = %d, want 31", d)
+	}
+	if d := c.Distance(0, 1023); d != 62 {
+		t.Errorf("Distance(0,1023) = %d, want 62", d)
+	}
+	// Symmetry property.
+	f := func(a, b uint16) bool {
+		x, y := int(a)%c.Cores, int(b)%c.Cores
+		return c.Distance(x, y) == c.Distance(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterPartitionProperty(t *testing.T) {
+	// Every cluster must contain exactly ClusterCores cores.
+	for _, c := range []Config{Default(), Small(), Tiny()} {
+		counts := make([]int, c.Clusters())
+		for id := 0; id < c.Cores; id++ {
+			cl := c.ClusterOf(id)
+			if cl < 0 || cl >= c.Clusters() {
+				t.Fatalf("ClusterOf(%d) = %d out of range", id, cl)
+			}
+			counts[cl]++
+		}
+		for cl, n := range counts {
+			if n != c.ClusterCores() {
+				t.Fatalf("%d cores: cluster %d has %d cores, want %d", c.Cores, cl, n, c.ClusterCores())
+			}
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"non-square cores", func(c *Config) { c.Cores = 1000 }},
+		{"cluster does not tile", func(c *Config) { c.ClusterDim = 5 }},
+		{"zero flit", func(c *Config) { c.Network.FlitBits = 0 }},
+		{"bad line size", func(c *Config) { c.Caches.LineBytes = 60 }},
+		{"zero sharers", func(c *Config) { c.Coherence.Sharers = 0 }},
+		{"too many dir slices", func(c *Config) { c.Caches.DirSlices = 2048 }},
+		{"no mem controllers", func(c *Config) { c.Memory.Controllers = 0 }},
+		{"distance routing without rthres", func(c *Config) { c.Network.RThres = 0 }},
+	}
+	for _, tc := range cases {
+		c := Default()
+		tc.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestWithNetwork(t *testing.T) {
+	c := Default().WithNetwork(ATAC)
+	if c.Network.ReceiveNet != BNet || c.Network.Routing != ClusterRouting {
+		t.Errorf("ATAC defaults wrong: %v %v", c.Network.ReceiveNet, c.Network.Routing)
+	}
+	c = Default().WithNetwork(EMeshPure)
+	if c.Network.Kind != EMeshPure {
+		t.Errorf("kind not set")
+	}
+	if c.Network.Kind.IsOptical() {
+		t.Errorf("EMeshPure reported optical")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	pairs := []struct {
+		got, want string
+	}{
+		{EMeshPure.String(), "EMesh-Pure"},
+		{EMeshBCast.String(), "EMesh-BCast"},
+		{ATACPlus.String(), "ATAC+"},
+		{ATAC.String(), "ATAC"},
+		{FlavorCons.String(), "ATAC+(Cons)"},
+		{FlavorIdeal.String(), "ATAC+(Ideal)"},
+		{FlavorRingTuned.String(), "ATAC+(RingTuned)"},
+		{FlavorDefault.String(), "ATAC+"},
+		{ClusterRouting.String(), "Cluster"},
+		{ENetOnlyRouting.String(), "Distance-All"},
+		{ACKwise.String(), "ACKwise"},
+		{DirKB.String(), "DirKB"},
+		{BNet.String(), "BNet"},
+		{StarNet.String(), "StarNet"},
+	}
+	for _, p := range pairs {
+		if p.got != p.want {
+			t.Errorf("String() = %q, want %q", p.got, p.want)
+		}
+	}
+}
+
+func TestFlavorCapabilities(t *testing.T) {
+	if FlavorCons.LaserGated() {
+		t.Error("Cons flavor must not gate the laser")
+	}
+	if !FlavorDefault.LaserGated() || !FlavorIdeal.LaserGated() || !FlavorRingTuned.LaserGated() {
+		t.Error("gating flavors wrong")
+	}
+	if FlavorRingTuned.Athermal() || FlavorCons.Athermal() {
+		t.Error("tuned flavors must not be athermal")
+	}
+	if !FlavorDefault.Athermal() || !FlavorIdeal.Athermal() {
+		t.Error("athermal flavors wrong")
+	}
+}
+
+func TestAdaptiveRoutingConfig(t *testing.T) {
+	c := Default()
+	c.Network.Routing = AdaptiveRouting
+	if err := c.Validate(); err != nil {
+		t.Fatalf("adaptive config rejected: %v", err)
+	}
+	if AdaptiveRouting.String() != "Adaptive" {
+		t.Errorf("String() = %q", AdaptiveRouting.String())
+	}
+	c.Network.RThres = 0
+	if err := c.Validate(); err == nil {
+		t.Error("adaptive routing without RThres accepted")
+	}
+	if c.Network.AdaptiveQueueMax != 8 {
+		t.Errorf("default AdaptiveQueueMax = %d, want 8", c.Network.AdaptiveQueueMax)
+	}
+}

@@ -1,0 +1,155 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The enum types marshal as their human-readable names so configuration
+// files read naturally ("network": {"Kind": "ATAC+"}).
+
+// MarshalJSON implements json.Marshaler.
+func (k NetworkKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (k *NetworkKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "EMesh-Pure":
+		*k = EMeshPure
+	case "EMesh-BCast":
+		*k = EMeshBCast
+	case "ATAC":
+		*k = ATAC
+	case "ATAC+":
+		*k = ATACPlus
+	default:
+		return fmt.Errorf("config: unknown network kind %q", s)
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r ReceiveNet) MarshalJSON() ([]byte, error) { return json.Marshal(r.String()) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *ReceiveNet) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "StarNet":
+		*r = StarNet
+	case "BNet":
+		*r = BNet
+	default:
+		return fmt.Errorf("config: unknown receive net %q", s)
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p RoutingPolicy) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *RoutingPolicy) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "Cluster":
+		*p = ClusterRouting
+	case "Distance":
+		*p = DistanceRouting
+	case "Distance-All":
+		*p = ENetOnlyRouting
+	case "Adaptive":
+		*p = AdaptiveRouting
+	default:
+		return fmt.Errorf("config: unknown routing policy %q", s)
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c CoherenceKind) MarshalJSON() ([]byte, error) { return json.Marshal(c.String()) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *CoherenceKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "ACKwise":
+		*c = ACKwise
+	case "DirKB":
+		*c = DirKB
+	default:
+		return fmt.Errorf("config: unknown coherence kind %q", s)
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (f Flavor) MarshalJSON() ([]byte, error) { return json.Marshal(f.String()) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Flavor) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "ATAC+":
+		*f = FlavorDefault
+	case "ATAC+(Ideal)":
+		*f = FlavorIdeal
+	case "ATAC+(RingTuned)":
+		*f = FlavorRingTuned
+	case "ATAC+(Cons)":
+		*f = FlavorCons
+	default:
+		return fmt.Errorf("config: unknown flavor %q", s)
+	}
+	return nil
+}
+
+// ToJSON renders the configuration as indented JSON.
+func (c Config) ToJSON() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// FromJSON parses a configuration, starting from Default() so omitted
+// fields keep their defaults, and validates the result.
+func FromJSON(data []byte) (Config, error) {
+	c := Default()
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, fmt.Errorf("config: %w", err)
+	}
+	return c, c.Validate()
+}
+
+// LoadFile reads and parses a configuration file.
+func LoadFile(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	return FromJSON(data)
+}
+
+// SaveFile writes the configuration as JSON.
+func (c Config) SaveFile(path string) error {
+	data, err := c.ToJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,127 @@
+package config
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Default()
+	orig.Cores = 256
+	orig.Caches.DirSlices = 16
+	orig.Memory.Controllers = 16
+	orig.Network.Routing = AdaptiveRouting
+	orig.Coherence.Kind = DirKB
+	orig.Network.Flavor = FlavorRingTuned
+
+	data, err := orig.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ATAC+"`, `"Adaptive"`, `"DirKB"`, `"ATAC+(RingTuned)"`, `"StarNet"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", back, orig)
+	}
+}
+
+func TestFromJSONPartial(t *testing.T) {
+	// Omitted fields keep Default() values.
+	c, err := FromJSON([]byte(`{"Cores": 64, "ClusterDim": 2,
+		"Caches": {"L1IKB":32,"L1DKB":32,"L2KB":256,"LineBytes":64,"L1Assoc":4,"L2Assoc":8,
+		"L1HitCycles":1,"L2HitCycles":8,"MSHRs":8,"DirSlices":16,"DirAccCycles":1},
+		"Memory": {"Controllers":16,"LatencyCycles":100,"GBPerSec":5},
+		"Network": {"Kind":"EMesh-BCast","FlitBits":64,"RouterDelay":1,"LinkDelay":1,"BufFlits":4,
+		"ONetLinkDelay":3,"SelectDataLag":1,"ReceiveNet":"StarNet","StarNetsPerCl":2,
+		"Routing":"Distance","RThres":4,"Flavor":"ATAC+","SeqNumBits":16,"AdaptiveQueueMax":8}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cores != 64 || c.Network.Kind != EMeshBCast {
+		t.Fatalf("parsed %+v", c)
+	}
+	if c.FreqGHz != 1.0 { // untouched default
+		t.Errorf("FreqGHz = %v", c.FreqGHz)
+	}
+}
+
+func TestFromJSONRejects(t *testing.T) {
+	cases := []string{
+		`{"Network": {"Kind": "Hypercube"}}`,
+		`{"Network": {"Routing": "Magic"}}`,
+		`{"Coherence": {"Kind": "MOESI"}}`,
+		`{"Network": {"Flavor": "ATAC++"}}`,
+		`{"Network": {"ReceiveNet": "Bus"}}`,
+		`{"Cores": 1000}`, // not a perfect square: fails Validate
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := FromJSON([]byte(c)); err == nil {
+			t.Errorf("accepted %s", c)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	orig := Small()
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// Property: Validate never panics and ToJSON round-trips for arbitrary
+// (possibly invalid) configurations.
+func TestValidateNeverPanics(t *testing.T) {
+	f := func(cores uint16, cd, flit, sharers uint8, kind, routing uint8) bool {
+		c := Default()
+		c.Cores = int(cores)
+		c.ClusterDim = int(cd%8) + 1
+		c.Network.FlitBits = int(flit)
+		c.Coherence.Sharers = int(sharers)
+		c.Network.Kind = NetworkKind(kind % 5) // includes one invalid value
+		c.Network.Routing = RoutingPolicy(routing % 5)
+		_ = c.Validate() // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every valid preset survives a JSON round trip bit-exactly.
+func TestJSONRoundTripProperty(t *testing.T) {
+	for _, c := range []Config{Default(), Small(), Tiny(),
+		Default().WithNetwork(EMeshPure), Default().WithNetwork(ATAC)} {
+		data, err := c.ToJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != c {
+			t.Fatalf("round trip mismatch for %v", c.Network.Kind)
+		}
+	}
+}

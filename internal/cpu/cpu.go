@@ -1,0 +1,209 @@
+// Package cpu models the paper's in-order, single-issue, 1 GHz core
+// (Table I): one cycle per ALU instruction, blocking on memory accesses
+// through the coherence hierarchy. Each core executes a workload program
+// that runs on its own goroutine and synchronizes with the simulation
+// kernel through a strict two-channel handshake, so execution is fully
+// deterministic: exactly one program runs at a time, and only while the
+// kernel waits for its next operation.
+package cpu
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/coherence"
+	"repro/internal/sim"
+)
+
+// opKind enumerates operations a program can request of its core.
+type opKind uint8
+
+const (
+	opLoad opKind = iota
+	opStore
+	opRMW
+	opCompute
+	opWaitUntil
+	opFinish
+)
+
+type opReq struct {
+	kind opKind
+	addr uint64
+	val  uint64
+	n    int64
+	f    func(uint64) uint64
+	pred func(uint64) bool
+}
+
+// Program is the code a core executes. It runs on a dedicated goroutine
+// and may only interact with the simulation through the Proc.
+type Program func(p *Proc)
+
+// Core is one simulated core.
+type Core struct {
+	ID  int
+	K   *sim.Kernel
+	Coh *coherence.System
+
+	ops    chan opReq
+	resume chan uint64
+	kill   chan struct{}
+
+	// Instructions counts retired instructions (ALU + memory); each is
+	// also an L1-I access for the energy model.
+	Instructions uint64
+	// FinishTime is when the program returned; valid once Finished.
+	FinishTime sim.Time
+	Finished   bool
+
+	onFinish func(*Core)
+}
+
+// NewCore builds a core attached to the coherence system.
+func NewCore(id int, k *sim.Kernel, coh *coherence.System) *Core {
+	return &Core{
+		ID: id, K: k, Coh: coh,
+		ops:    make(chan opReq),
+		resume: make(chan uint64),
+		kill:   make(chan struct{}),
+	}
+}
+
+// Start launches the program. onFinish (optional) is invoked in a kernel
+// event when the program returns. Start must be called before the kernel
+// runs past time zero.
+func (c *Core) Start(prog Program, onFinish func(*Core)) {
+	c.onFinish = onFinish
+	go func() {
+		defer func() {
+			// Deliver the finish op unless we were killed.
+			select {
+			case c.ops <- opReq{kind: opFinish}:
+			case <-c.kill:
+			}
+		}()
+		p := &Proc{core: c}
+		<-c.resume // initial kick from the kernel
+		prog(p)
+	}()
+	c.K.Schedule(0, func() {
+		c.resume <- 0
+		c.step(<-c.ops)
+	})
+}
+
+// Kill tears down the program goroutine (used when a run is abandoned).
+func (c *Core) Kill() {
+	if !c.Finished {
+		close(c.kill)
+	}
+}
+
+// next hands the completed value back to the program and executes its next
+// operation. Runs inside a kernel event.
+func (c *Core) next(v uint64) {
+	c.resume <- v
+	c.step(<-c.ops)
+}
+
+// step dispatches one program operation.
+func (c *Core) step(op opReq) {
+	switch op.kind {
+	case opFinish:
+		c.Finished = true
+		c.FinishTime = c.K.Now()
+		if c.onFinish != nil {
+			c.onFinish(c)
+		}
+	case opCompute:
+		if op.n < 1 {
+			op.n = 1
+		}
+		c.Instructions += uint64(op.n)
+		c.K.Schedule(sim.Time(op.n), func() { c.next(0) })
+	case opLoad:
+		c.Instructions++
+		c.Coh.Access(c.ID, coherence.OpLoad, op.addr, 0, nil, c.next)
+	case opStore:
+		c.Instructions++
+		c.Coh.Access(c.ID, coherence.OpStore, op.addr, op.val, nil, c.next)
+	case opRMW:
+		c.Instructions++
+		c.Coh.Access(c.ID, coherence.OpRMW, op.addr, 0, op.f, c.next)
+	case opWaitUntil:
+		c.waitUntil(op.addr, op.pred)
+	default:
+		panic(fmt.Sprintf("cpu: core %d: unknown op %d", c.ID, op.kind))
+	}
+}
+
+// waitUntil implements the local spin-wait: load the word; if the
+// predicate fails, hold the line Shared and sleep until the coherence
+// protocol invalidates it, then retry. Each retry costs one load
+// instruction — exactly the traffic profile of a local spin loop.
+func (c *Core) waitUntil(addr uint64, pred func(uint64) bool) {
+	c.Instructions++
+	c.Coh.Access(c.ID, coherence.OpLoad, addr, 0, nil, func(v uint64) {
+		if pred(v) {
+			c.next(v)
+			return
+		}
+		c.Coh.WaitChange(c.ID, addr, func() { c.waitUntil(addr, pred) })
+	})
+}
+
+// Proc is the program-facing handle. All methods block the program
+// goroutine until the simulated operation completes.
+type Proc struct {
+	core *Core
+}
+
+// ID returns this core's index.
+func (p *Proc) ID() int { return p.core.ID }
+
+// NCores returns the total core count.
+func (p *Proc) NCores() int { return p.core.Coh.Cfg.Cores }
+
+// send issues one operation and waits for its completion value.
+func (p *Proc) send(op opReq) uint64 {
+	select {
+	case p.core.ops <- op:
+	case <-p.core.kill:
+		runtime.Goexit()
+	}
+	select {
+	case v := <-p.core.resume:
+		return v
+	case <-p.core.kill:
+		runtime.Goexit()
+	}
+	return 0
+}
+
+// Load reads the 8-byte word at addr through the cache hierarchy.
+func (p *Proc) Load(addr uint64) uint64 { return p.send(opReq{kind: opLoad, addr: addr}) }
+
+// Store writes the word at addr.
+func (p *Proc) Store(addr, val uint64) { p.send(opReq{kind: opStore, addr: addr, val: val}) }
+
+// FetchAdd atomically adds delta to the word at addr, returning the
+// previous value.
+func (p *Proc) FetchAdd(addr, delta uint64) uint64 {
+	return p.send(opReq{kind: opRMW, addr: addr, f: func(v uint64) uint64 { return v + delta }})
+}
+
+// RMW applies f atomically to the word at addr, returning the old value.
+func (p *Proc) RMW(addr uint64, f func(uint64) uint64) uint64 {
+	return p.send(opReq{kind: opRMW, addr: addr, f: f})
+}
+
+// Compute retires n ALU instructions (n cycles).
+func (p *Proc) Compute(n int64) { p.send(opReq{kind: opCompute, n: n}) }
+
+// WaitUntil spins locally until pred holds for the word at addr and
+// returns the satisfying value. The spin is cache-friendly: it sleeps on
+// the Shared copy and retries only on invalidation.
+func (p *Proc) WaitUntil(addr uint64, pred func(uint64) bool) uint64 {
+	return p.send(opReq{kind: opWaitUntil, addr: addr, pred: pred})
+}

@@ -1,0 +1,175 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func fixture(t *testing.T) (*sim.Kernel, *coherence.System, []*Core) {
+	t.Helper()
+	cfg := config.Tiny()
+	cfg.Network.Kind = config.EMeshBCast
+	var k sim.Kernel
+	n := &cfg.Network
+	mesh := noc.NewMesh(&k, cfg.MeshDim(), n.FlitBits, n.BufFlits, n.RouterDelay, n.LinkDelay, true)
+	coh := coherence.NewSystem(&k, &cfg, mesh)
+	cores := make([]*Core, cfg.Cores)
+	for i := range cores {
+		cores[i] = NewCore(i, &k, coh)
+	}
+	return &k, coh, cores
+}
+
+func TestComputeTiming(t *testing.T) {
+	k, _, cores := fixture(t)
+	var end sim.Time
+	cores[0].Start(func(p *Proc) {
+		p.Compute(100)
+	}, func(c *Core) { end = c.FinishTime })
+	k.RunAll()
+	if end < 100 || end > 105 {
+		t.Errorf("100-instruction program finished at %d", end)
+	}
+	if cores[0].Instructions != 100 {
+		t.Errorf("Instructions = %d, want 100", cores[0].Instructions)
+	}
+}
+
+func TestLoadStoreThroughCore(t *testing.T) {
+	k, coh, cores := fixture(t)
+	var got uint64
+	cores[0].Start(func(p *Proc) {
+		p.Store(0x100, 7)
+		got = p.Load(0x100)
+	}, nil)
+	k.RunAll()
+	if got != 7 {
+		t.Errorf("load = %d, want 7", got)
+	}
+	if coh.Vals.Read(0x100) != 7 {
+		t.Error("value store not updated")
+	}
+	if !cores[0].Finished {
+		t.Error("core did not finish")
+	}
+}
+
+func TestCrossCoreCommunication(t *testing.T) {
+	k, _, cores := fixture(t)
+	var seen uint64
+	cores[0].Start(func(p *Proc) {
+		p.Compute(50)
+		p.Store(0x200, 99)
+	}, nil)
+	cores[1].Start(func(p *Proc) {
+		seen = p.WaitUntil(0x200, func(v uint64) bool { return v != 0 })
+	}, nil)
+	k.RunAll()
+	if seen != 99 {
+		t.Errorf("waiter saw %d, want 99", seen)
+	}
+}
+
+func TestFetchAddAcrossCores(t *testing.T) {
+	k, coh, cores := fixture(t)
+	const per = 20
+	for _, c := range cores {
+		c.Start(func(p *Proc) {
+			for i := 0; i < per; i++ {
+				p.FetchAdd(0x300, 1)
+			}
+		}, nil)
+	}
+	k.RunAll()
+	want := uint64(len(cores) * per)
+	if got := coh.Vals.Read(0x300); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+func TestAllCoresFinish(t *testing.T) {
+	k, _, cores := fixture(t)
+	finished := 0
+	for _, c := range cores {
+		c.Start(func(p *Proc) {
+			p.Compute(int64(10 + p.ID()))
+			p.Store(uint64(0x1000+p.ID()*64), uint64(p.ID()))
+		}, func(*Core) { finished++ })
+	}
+	k.RunAll()
+	if finished != len(cores) {
+		t.Fatalf("%d of %d cores finished", finished, len(cores))
+	}
+}
+
+func TestRMWReturnsOld(t *testing.T) {
+	k, _, cores := fixture(t)
+	var old uint64
+	cores[2].Start(func(p *Proc) {
+		p.Store(0x400, 10)
+		old = p.RMW(0x400, func(v uint64) uint64 { return v * 3 })
+	}, nil)
+	k.RunAll()
+	if old != 10 {
+		t.Errorf("RMW old = %d, want 10", old)
+	}
+}
+
+func TestKillAbandonedProgram(t *testing.T) {
+	k, _, cores := fixture(t)
+	cores[0].Start(func(p *Proc) {
+		// Spin forever on a flag nobody sets.
+		p.WaitUntil(0x500, func(v uint64) bool { return v == 1 })
+	}, nil)
+	cores[1].Start(func(p *Proc) { p.Compute(10) }, nil)
+	// Load the flag first so core 0 has something to hold.
+	k.Run(10000)
+	if cores[0].Finished {
+		t.Fatal("spinner should not finish")
+	}
+	cores[0].Kill()
+	// The kernel must drain without the spinner.
+	k.RunAll()
+	if !cores[1].Finished {
+		t.Fatal("other core blocked by spinner")
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() (sim.Time, uint64) {
+		k, coh, cores := fixture(t)
+		for _, c := range cores {
+			c.Start(func(p *Proc) {
+				for i := 0; i < 10; i++ {
+					p.FetchAdd(0x600, uint64(p.ID()))
+					p.Compute(3)
+				}
+			}, nil)
+		}
+		k.RunAll()
+		return k.Now(), coh.Vals.Read(0x600)
+	}
+	t1, v1 := run()
+	t2, v2 := run()
+	if t1 != t2 || v1 != v2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", t1, v1, t2, v2)
+	}
+}
+
+func TestInstructionCountsMemoryOps(t *testing.T) {
+	k, _, cores := fixture(t)
+	cores[0].Start(func(p *Proc) {
+		p.Compute(5)
+		p.Store(0x700, 1)
+		p.Load(0x700)
+		p.FetchAdd(0x700, 1)
+	}, nil)
+	k.RunAll()
+	if got := cores[0].Instructions; got != 8 {
+		t.Errorf("Instructions = %d, want 8 (5 ALU + 3 memory)", got)
+	}
+}

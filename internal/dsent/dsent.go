@@ -1,0 +1,167 @@
+// Package dsent provides first-order power and area models for on-chip
+// electrical routers, links, and the ATAC cluster networks (BNet, StarNet,
+// hub), in the spirit of the DSENT tool the paper uses. Per-event energies
+// are derived from the 11 nm technology parameters in internal/tech; the
+// photonic side of DSENT lives in internal/photonics.
+package dsent
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tech"
+)
+
+// RouterSpec describes one wormhole router.
+type RouterSpec struct {
+	Ports    int // input/output ports (5 for a mesh router)
+	FlitBits int
+	BufFlits int // input buffer depth per port, flits
+}
+
+// Router holds per-event energies and static costs of one router.
+type Router struct {
+	Spec RouterSpec
+
+	BufWriteJ float64 // energy to write one flit into an input buffer
+	BufReadJ  float64 // energy to read one flit out
+	XbarJ     float64 // crossbar traversal per flit
+	ArbJ      float64 // switch allocation per flit
+	LeakageW  float64
+	ClockW    float64 // ungated clock power
+	AreaMM2   float64
+}
+
+// PerFlitJ returns the total dynamic energy of one flit transiting the
+// router (buffer write + read + crossbar + arbitration).
+func (r Router) PerFlitJ() float64 { return r.BufWriteJ + r.BufReadJ + r.XbarJ + r.ArbJ }
+
+// BuildRouter solves the router model.
+func BuildRouter(t tech.Params, spec RouterSpec) (Router, error) {
+	if spec.Ports < 2 || spec.FlitBits <= 0 || spec.BufFlits <= 0 {
+		return Router{}, fmt.Errorf("dsent: bad router spec %+v", spec)
+	}
+	bits := float64(spec.FlitBits)
+	ports := float64(spec.Ports)
+
+	// Input buffers are flip-flop based at these shallow depths:
+	// ~5 fF switched per bit per write (cell + wordline share).
+	bufWrite := t.SwitchEnergyJ(5 * bits)
+	bufRead := t.SwitchEnergyJ(3 * bits)
+	// Crossbar wire length grows with port count; ~3 fF per bit per
+	// port traversed.
+	xbar := t.SwitchEnergyJ(3 * bits * ports)
+	arb := t.SwitchEnergyJ(20 + 4*ports)
+
+	// Static: total buffer bits leak; clock drives buffer flops and
+	// pipeline registers every cycle when ungated.
+	bufBits := bits * float64(spec.BufFlits) * ports
+	widthUM := bufBits * 4 * t.GateLengthNM * 1e-3 // flops are wider than SRAM
+	leak := widthUM * t.LeakagePowerWPerUM() * 1.5 // + control logic share
+	clockCap := bufBits * t.ClockCapFFPerGate * 2
+	clock := t.SwitchEnergyJ(clockCap) * 1e9 // 1 GHz
+
+	// Area: buffers dominate; crossbar grows quadratically with ports.
+	bufArea := bufBits * t.SRAMBitAreaUM2() * 4
+	xbarArea := bits * ports * ports * 0.05
+	return Router{
+		Spec:      spec,
+		BufWriteJ: bufWrite,
+		BufReadJ:  bufRead,
+		XbarJ:     xbar,
+		ArbJ:      arb,
+		LeakageW:  leak,
+		ClockW:    clock,
+		AreaMM2:   (bufArea + xbarArea) * 1e-6,
+	}, nil
+}
+
+// Link holds the model of one point-to-point repeated electrical link.
+type Link struct {
+	LengthMM float64
+	FlitBits int
+
+	PerFlitJ float64 // dynamic energy per flit traversal
+	LeakageW float64 // repeater leakage
+	AreaMM2  float64 // repeater area (wires ride over logic)
+}
+
+// BuildLink solves a mesh link of the given length.
+func BuildLink(t tech.Params, flitBits int, lengthMM float64) (Link, error) {
+	if flitBits <= 0 || lengthMM <= 0 {
+		return Link{}, fmt.Errorf("dsent: bad link %d bits %.3f mm", flitBits, lengthMM)
+	}
+	perBit := t.WireEnergyJPerBitMM() * lengthMM
+	// Repeaters every ~0.3 mm; each ~1.5 µm total width per bit.
+	nRep := math.Ceil(lengthMM / 0.3)
+	widthUM := float64(flitBits) * nRep * 1.5
+	return Link{
+		LengthMM: lengthMM,
+		FlitBits: flitBits,
+		PerFlitJ: perBit * float64(flitBits),
+		LeakageW: widthUM * t.LeakagePowerWPerUM(),
+		AreaMM2:  widthUM * 2 * 1e-6, // ~2 µm² of drive per µm width
+	}, nil
+}
+
+// ClusterNets holds the energy model of the hub-to-core receive networks
+// (Section IV-B): the BNet fan-out tree and the StarNet demux, plus the
+// hub's electrical buffering.
+type ClusterNets struct {
+	// BNetFlitJ is the energy to broadcast one flit to all cores of a
+	// cluster over the fan-out tree (always pays the full tree).
+	BNetFlitJ float64
+	// StarUnicastFlitJ is one flit over a single StarNet link.
+	StarUnicastFlitJ float64
+	// StarBroadcastFlitJ is one flit over all ClusterCores links.
+	StarBroadcastFlitJ float64
+	// HubFlitJ is the hub-internal buffering/mux energy per flit.
+	HubFlitJ float64
+	// HubLeakageW and HubClockW are per-hub static costs, including the
+	// receive network drivers.
+	HubLeakageW float64
+	HubClockW   float64
+	// AreaMM2 is the per-cluster area of hub + receive networks.
+	AreaMM2 float64
+}
+
+// BuildClusterNets models the receive networks of one cluster whose cores
+// span a region of clusterSpanMM per side.
+//
+// The paper's calibration points (Section IV-B): a StarNet unicast costs
+// ~1/8 of a BNet flit; a StarNet broadcast costs ~2x a BNet flit. These
+// fall out of the wire topology: the BNet tree drives ~2·span of trunk
+// plus 16 short taps with fan-out amplification, while one StarNet link
+// drives ~span/2 of dedicated wire on average.
+func BuildClusterNets(t tech.Params, flitBits, clusterCores int, clusterSpanMM float64) (ClusterNets, error) {
+	if flitBits <= 0 || clusterCores <= 0 || clusterSpanMM <= 0 {
+		return ClusterNets{}, fmt.Errorf("dsent: bad cluster nets (%d bits, %d cores, %.3f mm)",
+			flitBits, clusterCores, clusterSpanMM)
+	}
+	perBitMM := t.WireEnergyJPerBitMM()
+	bits := float64(flitBits)
+
+	// One StarNet point-to-point link: average hub->core distance is
+	// ~span/2 (Manhattan, hub centered).
+	starLink := perBitMM * bits * (clusterSpanMM / 2)
+	// The BNet tree: trunk + taps reach every core; total switched wire
+	// ~= cores/4 · span (a fanout tree over a span×span region), which
+	// lands StarNet unicast at ~1/8 of BNet for a 16-core cluster.
+	bnet := perBitMM * bits * (float64(clusterCores) / 4 * clusterSpanMM)
+
+	hub := t.SwitchEnergyJ(8 * bits) // buffer + mux stage
+	hubBits := bits * 16             // hub queue flops
+	leak := hubBits * 4 * t.GateLengthNM * 1e-3 * t.LeakagePowerWPerUM() * 2
+	clock := t.SwitchEnergyJ(hubBits*t.ClockCapFFPerGate*2) * 1e9
+
+	area := (hubBits*t.SRAMBitAreaUM2()*4 + bits*float64(clusterCores)*0.2) * 1e-6
+	return ClusterNets{
+		BNetFlitJ:          bnet,
+		StarUnicastFlitJ:   starLink,
+		StarBroadcastFlitJ: starLink * float64(clusterCores),
+		HubFlitJ:           hub,
+		HubLeakageW:        leak,
+		HubClockW:          clock,
+		AreaMM2:            area,
+	}, nil
+}

@@ -1,0 +1,103 @@
+package dsent
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+)
+
+func TestRouterModel(t *testing.T) {
+	r, err := BuildRouter(tech.Default11nm(), RouterSpec{Ports: 5, FlitBits: 64, BufFlits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerFlitJ() <= 0 {
+		t.Fatal("per-flit energy must be positive")
+	}
+	// Routers at 11 nm: tens to hundreds of fJ per flit.
+	if r.PerFlitJ() < 1e-14 || r.PerFlitJ() > 1e-12 {
+		t.Errorf("router per-flit %v J out of plausible range", r.PerFlitJ())
+	}
+	if r.LeakageW <= 0 || r.ClockW <= 0 || r.AreaMM2 <= 0 {
+		t.Errorf("static costs: %v %v %v", r.LeakageW, r.ClockW, r.AreaMM2)
+	}
+}
+
+func TestRouterScalesWithWidth(t *testing.T) {
+	tp := tech.Default11nm()
+	r64, _ := BuildRouter(tp, RouterSpec{Ports: 5, FlitBits: 64, BufFlits: 4})
+	r256, err := BuildRouter(tp, RouterSpec{Ports: 5, FlitBits: 256, BufFlits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r256.PerFlitJ() <= r64.PerFlitJ()*3 {
+		t.Errorf("256-bit router flit energy %v should be ~4x 64-bit %v",
+			r256.PerFlitJ(), r64.PerFlitJ())
+	}
+}
+
+func TestRouterRejects(t *testing.T) {
+	tp := tech.Default11nm()
+	for _, s := range []RouterSpec{{Ports: 1, FlitBits: 64, BufFlits: 4},
+		{Ports: 5, FlitBits: 0, BufFlits: 4}, {Ports: 5, FlitBits: 64, BufFlits: 0}} {
+		if _, err := BuildRouter(tp, s); err == nil {
+			t.Errorf("spec %+v accepted", s)
+		}
+	}
+}
+
+func TestLinkModel(t *testing.T) {
+	tp := tech.Default11nm()
+	l, err := BuildLink(tp, 64, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ~0.7 mm 64-bit hop should cost a few pJ at 11 nm — this is what
+	// makes the mesh's distance-proportional energy (Section IV-C).
+	if l.PerFlitJ < 5e-13 || l.PerFlitJ > 1e-11 {
+		t.Errorf("link per-flit %v J out of plausible pJ range", l.PerFlitJ)
+	}
+	l2, _ := BuildLink(tp, 64, 1.4)
+	if got := l2.PerFlitJ / l.PerFlitJ; got < 1.99 || got > 2.01 {
+		t.Errorf("link energy not linear in length: ratio %v", got)
+	}
+	if _, err := BuildLink(tp, 0, 1); err == nil {
+		t.Error("zero-width link accepted")
+	}
+	if _, err := BuildLink(tp, 64, 0); err == nil {
+		t.Error("zero-length link accepted")
+	}
+}
+
+func TestClusterNetsCalibration(t *testing.T) {
+	// Paper Section IV-B: StarNet unicast ≈ 1/8 of BNet; StarNet
+	// broadcast ≈ 2x BNet (for a 16-core cluster).
+	cn, err := BuildClusterNets(tech.Default11nm(), 64, 16, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniRatio := cn.StarUnicastFlitJ / cn.BNetFlitJ
+	if uniRatio < 1.0/10 || uniRatio > 1.0/6 {
+		t.Errorf("StarNet unicast / BNet = %v, want ~1/8", uniRatio)
+	}
+	bcastRatio := cn.StarBroadcastFlitJ / cn.BNetFlitJ
+	if bcastRatio < 1.7 || bcastRatio > 2.3 {
+		t.Errorf("StarNet broadcast / BNet = %v, want ~2", bcastRatio)
+	}
+	if cn.HubFlitJ <= 0 || cn.HubLeakageW <= 0 || cn.HubClockW <= 0 || cn.AreaMM2 <= 0 {
+		t.Error("hub costs must be positive")
+	}
+}
+
+func TestClusterNetsRejects(t *testing.T) {
+	tp := tech.Default11nm()
+	if _, err := BuildClusterNets(tp, 0, 16, 2.5); err == nil {
+		t.Error("zero flit accepted")
+	}
+	if _, err := BuildClusterNets(tp, 64, 0, 2.5); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := BuildClusterNets(tp, 64, 16, 0); err == nil {
+		t.Error("zero span accepted")
+	}
+}

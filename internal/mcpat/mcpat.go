@@ -1,0 +1,133 @@
+// Package mcpat provides a first-order SRAM/cache power, area and timing
+// model in the spirit of McPAT/CACTI, specialised to the structures the
+// paper evaluates: private L1-I, L1-D and L2 caches and the distributed
+// directory cache. Per-access dynamic energies scale with the accessed
+// bitline/wordline lengths (∝ √bits per sub-array and line width), leakage
+// and area scale with total bits.
+package mcpat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tech"
+)
+
+// CacheSpec describes one cache structure.
+type CacheSpec struct {
+	Name      string
+	SizeBytes int
+	Assoc     int
+	LineBytes int
+	// TagBits per line; 0 means derive from a 48-bit physical address.
+	TagBits int
+}
+
+// Model holds the solved energy/area/leakage numbers for one cache.
+type Model struct {
+	Spec CacheSpec
+
+	ReadEnergyJ  float64 // dynamic energy per read access
+	WriteEnergyJ float64 // dynamic energy per write access
+	TagEnergyJ   float64 // dynamic energy per tag-only probe (miss check, snoop)
+	LeakageW     float64 // static leakage power of the whole structure
+	ClockW       float64 // ungated clock power of the structure
+	AreaMM2      float64
+}
+
+// Build solves the model for a cache on the given technology.
+func Build(t tech.Params, spec CacheSpec) (Model, error) {
+	if spec.SizeBytes <= 0 || spec.LineBytes <= 0 || spec.Assoc <= 0 {
+		return Model{}, fmt.Errorf("mcpat: non-positive geometry in %+v", spec)
+	}
+	if spec.SizeBytes%spec.LineBytes != 0 {
+		return Model{}, fmt.Errorf("mcpat: size %d not a multiple of line %d", spec.SizeBytes, spec.LineBytes)
+	}
+	lines := spec.SizeBytes / spec.LineBytes
+	if spec.Assoc > lines {
+		return Model{}, fmt.Errorf("mcpat: associativity %d exceeds %d lines", spec.Assoc, lines)
+	}
+	tagBits := spec.TagBits
+	if tagBits == 0 {
+		sets := lines / spec.Assoc
+		setBits := int(math.Round(math.Log2(float64(sets))))
+		offBits := int(math.Round(math.Log2(float64(spec.LineBytes))))
+		tagBits = 48 - setBits - offBits
+		if tagBits < 8 {
+			tagBits = 8
+		}
+	}
+
+	dataBits := float64(spec.SizeBytes * 8)
+	totTagBits := float64(lines * tagBits)
+	totalBits := dataBits + totTagBits
+
+	// Dynamic energy: accessing one line reads Assoc tags plus one data
+	// line (phased tag-then-data access, the low-power organisation
+	// McPAT assumes for L2+). Bitline energy grows with the square root
+	// of the array size (sub-array height).
+	subarrayRows := math.Sqrt(totalBits / 8) // bits per bitline column
+	bitlineCapFF := 0.05 * subarrayRows      // ~0.05 fF per cell on a bitline
+	lineBits := float64(spec.LineBytes * 8)
+
+	dataAccess := t.SwitchEnergyJ(bitlineCapFF) * lineBits
+	tagAccess := t.SwitchEnergyJ(bitlineCapFF) * float64(tagBits*spec.Assoc)
+	// Decoder/wordline/sense overhead: ~40% on top of bitline energy.
+	const periphOverhead = 1.4
+
+	// Leakage: each bit leaks through ~4 transistor-widths of off
+	// current (6T HVT cell plus precharge/sense share).
+	widthPerBitUM := 4 * t.GateLengthNM * 1e-3
+	leak := totalBits * widthPerBitUM * t.LeakagePowerWPerUM()
+
+	// Ungated clock: pipeline latches at the array interface, a small
+	// constant per structure plus per-line-width component at 1 GHz.
+	clockCapFF := (lineBits + 64) * t.ClockCapFFPerGate * 8
+	clockW := t.SwitchEnergyJ(clockCapFF) * 1e9 // events per second at 1 GHz
+
+	return Model{
+		Spec:         spec,
+		ReadEnergyJ:  dataAccess * periphOverhead,
+		WriteEnergyJ: dataAccess * periphOverhead * 1.15, // write drivers cost extra
+		TagEnergyJ:   tagAccess * periphOverhead,
+		LeakageW:     leak,
+		ClockW:       clockW,
+		AreaMM2:      totalBits * t.SRAMBitAreaUM2() * 1e-6,
+	}, nil
+}
+
+// DirectorySpec returns the cache spec for one directory slice of a system
+// with the given parameters. Each directory entry holds the tag, 2 state
+// bits, K sharer pointers of log2(cores) bits each, and a sharer count —
+// this is how ACKwise_K's area/energy scales with K (Figs 15/16).
+func DirectorySpec(cores, slices, sharers, lineBytes, l2KBPerCore int) CacheSpec {
+	ptrBits := int(math.Ceil(math.Log2(float64(cores))))
+	if ptrBits < 1 {
+		ptrBits = 1
+	}
+	entryBits := 2 + sharers*ptrBits + ptrBits // state + pointers + count
+	// The directory must cover all L2 lines in the system; each slice
+	// covers its share.
+	linesTracked := cores * l2KBPerCore * 1024 / lineBytes / slices
+	sizeBytes := linesTracked * (entryBits + 7) / 8
+	if sizeBytes < 64 {
+		sizeBytes = 64
+	}
+	// Round to a multiple of an 8-byte pseudo-line for the array model.
+	const dirLine = 8
+	sizeBytes = (sizeBytes + dirLine - 1) / dirLine * dirLine
+	return CacheSpec{
+		Name:      "directory",
+		SizeBytes: sizeBytes,
+		Assoc:     min(16, sizeBytes/dirLine),
+		LineBytes: dirLine,
+		TagBits:   26,
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package mcpat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tech"
+)
+
+func l2spec() CacheSpec {
+	return CacheSpec{Name: "L2", SizeBytes: 256 * 1024, Assoc: 8, LineBytes: 64}
+}
+
+func TestBuildL2(t *testing.T) {
+	m, err := Build(tech.Default11nm(), l2spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ReadEnergyJ <= 0 || m.WriteEnergyJ <= m.ReadEnergyJ {
+		t.Errorf("energies: read %v write %v", m.ReadEnergyJ, m.WriteEnergyJ)
+	}
+	if m.TagEnergyJ >= m.ReadEnergyJ {
+		t.Errorf("tag probe %v should be cheaper than full read %v", m.TagEnergyJ, m.ReadEnergyJ)
+	}
+	// Plausibility at 11 nm: a 256 KB read should cost picojoules.
+	if m.ReadEnergyJ < 1e-13 || m.ReadEnergyJ > 1e-10 {
+		t.Errorf("L2 read energy %v J out of plausible pJ range", m.ReadEnergyJ)
+	}
+	if m.LeakageW <= 0 || m.ClockW <= 0 || m.AreaMM2 <= 0 {
+		t.Errorf("static numbers: leak %v clock %v area %v", m.LeakageW, m.ClockW, m.AreaMM2)
+	}
+	// 1024 private 256 KB L2s should dominate a manycore die but stay
+	// well under 1000 mm² total.
+	tot := m.AreaMM2 * 1024
+	if tot < 10 || tot > 1000 {
+		t.Errorf("1024 L2s occupy %v mm², implausible", tot)
+	}
+}
+
+func TestL1CheaperThanL2(t *testing.T) {
+	tp := tech.Default11nm()
+	l1, err := Build(tp, CacheSpec{Name: "L1", SizeBytes: 32 * 1024, Assoc: 4, LineBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Build(tp, l2spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.ReadEnergyJ >= l2.ReadEnergyJ {
+		t.Errorf("L1 read %v not cheaper than L2 read %v", l1.ReadEnergyJ, l2.ReadEnergyJ)
+	}
+	if l1.LeakageW >= l2.LeakageW {
+		t.Errorf("L1 leakage %v not below L2 leakage %v", l1.LeakageW, l2.LeakageW)
+	}
+	if l1.AreaMM2 >= l2.AreaMM2 {
+		t.Errorf("L1 area %v not below L2 area %v", l1.AreaMM2, l2.AreaMM2)
+	}
+}
+
+func TestBuildRejects(t *testing.T) {
+	tp := tech.Default11nm()
+	bad := []CacheSpec{
+		{SizeBytes: 0, Assoc: 1, LineBytes: 64},
+		{SizeBytes: 1024, Assoc: 0, LineBytes: 64},
+		{SizeBytes: 1000, Assoc: 1, LineBytes: 64}, // not a multiple
+		{SizeBytes: 128, Assoc: 64, LineBytes: 64}, // assoc > lines
+	}
+	for i, s := range bad {
+		if _, err := Build(tp, s); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestDirectoryScalesWithSharers(t *testing.T) {
+	// Figs 15/16: directory area/energy grows with the ACKwise sharer
+	// count; full-map (1024 sharers) must cost about two orders of
+	// magnitude more storage than ACKwise4.
+	tp := tech.Default11nm()
+	prev := 0.0
+	var first, last Model
+	for i, k := range []int{4, 8, 16, 32, 1024} {
+		spec := DirectorySpec(1024, 64, k, 64, 256)
+		m, err := Build(tp, spec)
+		if err != nil {
+			t.Fatalf("sharers %d: %v", k, err)
+		}
+		if m.AreaMM2 <= prev {
+			t.Fatalf("directory area not increasing at k=%d", k)
+		}
+		prev = m.AreaMM2
+		if i == 0 {
+			first = m
+		}
+		last = m
+	}
+	if r := last.AreaMM2 / first.AreaMM2; r < 10 {
+		t.Errorf("full-map/ACKwise4 directory area ratio %v, want >= 10", r)
+	}
+}
+
+func TestDirectorySpecCoverage(t *testing.T) {
+	spec := DirectorySpec(1024, 64, 4, 64, 256)
+	// 1024 cores × 256 KB / 64 B lines = 4M lines; 64 slices → 64K
+	// entries per slice. Entry ≈ 2+4·10+10 = 52 bits → ~7 bytes.
+	entries := 1024 * 256 * 1024 / 64 / 64
+	if spec.SizeBytes < entries*6 || spec.SizeBytes > entries*8 {
+		t.Errorf("slice size %d bytes for %d entries out of range", spec.SizeBytes, entries)
+	}
+}
+
+// Property: energy and area are monotone in cache size.
+func TestMonotoneInSize(t *testing.T) {
+	tp := tech.Default11nm()
+	f := func(kbRaw uint8) bool {
+		kb := int(kbRaw)%512 + 2
+		a, err1 := Build(tp, CacheSpec{Name: "a", SizeBytes: kb * 1024, Assoc: 2, LineBytes: 64})
+		b, err2 := Build(tp, CacheSpec{Name: "b", SizeBytes: kb * 2 * 1024, Assoc: 2, LineBytes: 64})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return b.ReadEnergyJ > a.ReadEnergyJ && b.AreaMM2 > a.AreaMM2 && b.LeakageW > a.LeakageW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

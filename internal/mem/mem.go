@@ -1,0 +1,68 @@
+// Package mem models the on-chip memory controllers and external DRAM
+// (Table I: 64 controllers, 100 ns access latency, 5 GB/s each). Each
+// controller is attached to a core and reached over the regular on-chip
+// network; it serves line fetches and write-backs through a bandwidth-
+// limited FIFO queue.
+package mem
+
+import (
+	"repro/internal/sim"
+)
+
+// Controller is one memory controller. Requests are serviced FIFO; each
+// line transfer occupies the channel for its serialization time, and a
+// fetch additionally pays the DRAM access latency.
+type Controller struct {
+	K    *sim.Kernel
+	Core int // the core this controller replaces/occupies
+
+	LatencyCycles int      // DRAM access latency
+	ServiceCycles sim.Time // channel occupancy per line transfer
+
+	nextFree sim.Time
+
+	Reads, Writes uint64
+	BusyCycles    uint64 // total channel occupancy, for utilization stats
+}
+
+// NewController builds a controller for the given line size and bandwidth
+// at a 1-cycle-per-ns clock.
+func NewController(k *sim.Kernel, core, latencyCycles, lineBytes int, gbPerSec float64) *Controller {
+	svc := sim.Time(1)
+	if gbPerSec > 0 {
+		s := float64(lineBytes) / gbPerSec // ns per line at 1 GHz
+		svc = sim.Time(s)
+		if float64(svc) < s {
+			svc++
+		}
+		if svc < 1 {
+			svc = 1
+		}
+	}
+	return &Controller{K: k, Core: core, LatencyCycles: latencyCycles, ServiceCycles: svc}
+}
+
+// Read queues a line fetch and calls done when the data is available at
+// the controller (the caller adds network time for the response).
+func (c *Controller) Read(done func()) {
+	c.Reads++
+	start := c.K.Now()
+	if c.nextFree > start {
+		start = c.nextFree
+	}
+	c.nextFree = start + c.ServiceCycles
+	c.BusyCycles += uint64(c.ServiceCycles)
+	c.K.At(start+sim.Time(c.LatencyCycles), done)
+}
+
+// Write queues a line write-back; write-backs occupy bandwidth but need no
+// completion signal (the simulator's value store is globally consistent).
+func (c *Controller) Write() {
+	c.Writes++
+	start := c.K.Now()
+	if c.nextFree > start {
+		start = c.nextFree
+	}
+	c.nextFree = start + c.ServiceCycles
+	c.BusyCycles += uint64(c.ServiceCycles)
+}

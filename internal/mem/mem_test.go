@@ -1,0 +1,80 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestReadLatency(t *testing.T) {
+	var k sim.Kernel
+	c := NewController(&k, 0, 100, 64, 5)
+	var done sim.Time
+	k.Schedule(0, func() {
+		c.Read(func() { done = k.Now() })
+	})
+	k.RunAll()
+	// 100 ns DRAM latency; service time does not delay an idle queue's
+	// first request beyond the access latency.
+	if done != 100 {
+		t.Errorf("read completed at %d, want 100", done)
+	}
+	if c.Reads != 1 {
+		t.Errorf("Reads = %d", c.Reads)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	var k sim.Kernel
+	// 64B line at 5 GB/s = 12.8 ns -> 13 cycles of channel occupancy.
+	c := NewController(&k, 0, 100, 64, 5)
+	if c.ServiceCycles != 13 {
+		t.Fatalf("ServiceCycles = %d, want 13", c.ServiceCycles)
+	}
+	var times []sim.Time
+	k.Schedule(0, func() {
+		for i := 0; i < 4; i++ {
+			c.Read(func() { times = append(times, k.Now()) })
+		}
+	})
+	k.RunAll()
+	if len(times) != 4 {
+		t.Fatalf("%d completions", len(times))
+	}
+	// Completions must be spaced by the service time: 100, 113, 126, 139.
+	for i, want := range []sim.Time{100, 113, 126, 139} {
+		if times[i] != want {
+			t.Errorf("completion %d at %d, want %d", i, times[i], want)
+		}
+	}
+	if c.BusyCycles != 4*13 {
+		t.Errorf("BusyCycles = %d, want 52", c.BusyCycles)
+	}
+}
+
+func TestWritesOccupyChannel(t *testing.T) {
+	var k sim.Kernel
+	c := NewController(&k, 0, 100, 64, 5)
+	var done sim.Time
+	k.Schedule(0, func() {
+		c.Write()
+		c.Write()
+		c.Read(func() { done = k.Now() })
+	})
+	k.RunAll()
+	// Two writes occupy 26 cycles before the read's access begins.
+	if done != 126 {
+		t.Errorf("read behind writes completed at %d, want 126", done)
+	}
+	if c.Writes != 2 {
+		t.Errorf("Writes = %d", c.Writes)
+	}
+}
+
+func TestZeroBandwidthFallback(t *testing.T) {
+	var k sim.Kernel
+	c := NewController(&k, 0, 50, 64, 0)
+	if c.ServiceCycles < 1 {
+		t.Errorf("ServiceCycles = %d, want >= 1", c.ServiceCycles)
+	}
+}

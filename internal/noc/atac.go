@@ -1,0 +1,416 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// Atac is the composed ATAC/ATAC+ fabric (Section III/IV of the paper):
+//
+//   - an ENet: the full-chip electrical wormhole mesh (transport mode),
+//     used core->hub, for intra-cluster unicasts, and for short-distance
+//     unicasts under distance-based routing;
+//   - one hub per cluster with an adaptive SWMR optical channel (ONet):
+//     each hub owns a dedicated wavelength set, so there is no optical
+//     arbitration; a select link notifies receivers one cycle before data;
+//   - per-cluster receive networks (StarNet demux or BNet fan-out trees)
+//     carrying data from the hub to the cores.
+//
+// The routing policy (cluster-based, distance-based with RThres, or
+// ENet-only) decides which unicasts ride the ONet. Broadcasts always ride
+// the ONet.
+type Atac struct {
+	K   *sim.Kernel
+	Cfg *config.Config
+
+	enet    *Mesh
+	hubs    []*hub
+	deliver DeliverFunc
+	stats   Stats
+	// pendingTX[cluster] counts messages committed to that cluster's
+	// optical channel but not yet transmitted (the token counter the
+	// adaptive routing policy consults).
+	pendingTX []int
+
+	// Per-pair FIFO restoration for adaptive routing: once the path of a
+	// (src,dst) pair can vary per message, the coherence protocol's
+	// same-pair ordering assumption must be enforced at the receiving
+	// NIC (a small reorder CAM in hardware). Unused (nil) for the
+	// oblivious policies, whose fixed paths are FIFO by construction.
+	pairNext map[pairKey]uint64
+	pairWant map[pairKey]uint64
+	pairHeld map[pairKey]map[uint64]*Message
+
+	// outstanding counts in-flight optical/receive-net jobs (test hook).
+	outstanding int
+}
+
+// NewAtac builds the fabric from a validated config with an optical
+// network kind.
+func NewAtac(k *sim.Kernel, cfg *config.Config) *Atac {
+	if !cfg.Network.Kind.IsOptical() {
+		panic(fmt.Sprintf("noc: NewAtac called for %v", cfg.Network.Kind))
+	}
+	a := &Atac{K: k, Cfg: cfg}
+	n := &cfg.Network
+	a.enet = NewMesh(k, cfg.MeshDim(), n.FlitBits, n.BufFlits, n.RouterDelay, n.LinkDelay, false)
+	a.enet.Transport = true
+	a.enet.SetDeliver(a.enetDeliver)
+	a.pendingTX = make([]int, cfg.Clusters())
+	if cfg.Network.Routing == config.AdaptiveRouting {
+		a.pairNext = make(map[pairKey]uint64)
+		a.pairWant = make(map[pairKey]uint64)
+		a.pairHeld = make(map[pairKey]map[uint64]*Message)
+	}
+	a.hubs = make([]*hub, cfg.Clusters())
+	for i := range a.hubs {
+		h := &hub{a: a, cluster: i}
+		h.rxFree = make([]sim.Time, n.StarNetsPerCl)
+		a.hubs[i] = h
+	}
+	return a
+}
+
+// SetDeliver implements Network.
+func (a *Atac) SetDeliver(fn DeliverFunc) { a.deliver = fn }
+
+// Stats implements Network; ENet flit counters are folded in on read.
+func (a *Atac) Stats() *Stats {
+	ms := a.enet.Stats()
+	a.stats.MeshLinkFlits = ms.MeshLinkFlits
+	a.stats.MeshRouterFlits = ms.MeshRouterFlits
+	return &a.stats
+}
+
+// ENet exposes the underlying electrical mesh (for area/static accounting).
+func (a *Atac) ENet() *Mesh { return a.enet }
+
+// Drained reports whether no traffic remains anywhere in the fabric.
+func (a *Atac) Drained() bool {
+	if !a.enet.Drained() || a.outstanding != 0 {
+		return false
+	}
+	for _, h := range a.hubs {
+		if h.txBusy || len(h.txq) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Send implements Network.
+func (a *Atac) Send(m *Message) {
+	m.Inject = a.K.Now()
+	n := FlitsFor(m.Bits, a.Cfg.Network.FlitBits)
+	a.stats.InjectedFlits += uint64(n)
+	if m.Dst == BroadcastDst {
+		a.stats.BroadcastSent++
+		a.sendViaHub(m)
+		return
+	}
+	a.stats.UnicastSent++
+	if a.pairNext != nil {
+		k := pairKey{m.Src, m.Dst}
+		m.pairSeq = a.pairNext[k] + 1 // 1-based; 0 means unsequenced
+		a.pairNext[k] = m.pairSeq
+	}
+	if m.Dst == m.Src {
+		a.K.Schedule(1, func() { a.deliverCore(m.Dst, m) })
+		return
+	}
+	srcCl, dstCl := a.Cfg.ClusterOf(m.Src), a.Cfg.ClusterOf(m.Dst)
+	useONet := false
+	if srcCl != dstCl {
+		switch a.Cfg.Network.Routing {
+		case config.ClusterRouting:
+			useONet = true
+		case config.DistanceRouting:
+			useONet = a.Cfg.Distance(m.Src, m.Dst) >= a.Cfg.Network.RThres
+		case config.ENetOnlyRouting:
+			useONet = false
+		case config.AdaptiveRouting:
+			// Distance-based, but divert to the ENet when the cluster's
+			// optical transmitter is backed up (load-aware extension of
+			// Section IV-C's analysis).
+			useONet = a.Cfg.Distance(m.Src, m.Dst) >= a.Cfg.Network.RThres &&
+				a.pendingTX[srcCl] < a.Cfg.Network.AdaptiveQueueMax
+		}
+	}
+	if useONet {
+		a.sendViaHub(m)
+	} else {
+		a.enet.Send(m)
+	}
+}
+
+// sendViaHub routes m over the ENet to its cluster hub (unless the source
+// core hosts the hub) and enqueues it for optical transmission.
+func (a *Atac) sendViaHub(m *Message) {
+	cl := a.Cfg.ClusterOf(m.Src)
+	a.pendingTX[cl]++
+	hubCore := a.Cfg.HubCore(cl)
+	if m.Src == hubCore {
+		a.K.Schedule(1, func() { a.hubs[cl].enqueueTX(m) })
+		return
+	}
+	wrap := &Message{Src: m.Src, Dst: hubCore, Bits: m.Bits, Payload: m, viaHub: true, Inject: m.Inject}
+	a.enet.Send(wrap)
+}
+
+// enetDeliver handles ENet ejections: hub-bound wrappers enter the hub TX
+// queue; everything else is a final core delivery.
+func (a *Atac) enetDeliver(dst int, m *Message) {
+	if m.viaHub {
+		orig := m.Payload.(*Message)
+		a.hubs[a.Cfg.ClusterOf(dst)].enqueueTX(orig)
+		return
+	}
+	a.deliverCore(dst, m)
+}
+
+func (a *Atac) deliverCore(dst int, m *Message) {
+	// Restore per-pair FIFO order under adaptive routing.
+	if a.pairWant != nil && m.pairSeq != 0 {
+		k := pairKey{m.Src, m.Dst}
+		want := a.pairWant[k] + 1
+		if m.pairSeq != want {
+			held := a.pairHeld[k]
+			if held == nil {
+				held = make(map[uint64]*Message)
+				a.pairHeld[k] = held
+			}
+			held[m.pairSeq] = m
+			return
+		}
+		a.pairWant[k] = want
+		a.deliverNow(dst, m)
+		// Drain any consecutively held successors.
+		for {
+			held := a.pairHeld[k]
+			next, ok := held[a.pairWant[k]+1]
+			if !ok {
+				return
+			}
+			delete(held, a.pairWant[k]+1)
+			a.pairWant[k]++
+			a.deliverNow(dst, next)
+		}
+	}
+	a.deliverNow(dst, m)
+}
+
+type pairKey struct{ src, dst int }
+
+func (a *Atac) deliverNow(dst int, m *Message) {
+	a.stats.Delivered++
+	if m.IsBroadcast() {
+		a.stats.BroadcastRecv++
+	} else {
+		a.stats.UnicastRecv++
+	}
+	a.stats.RecordLatency(a.K.Now() - m.Inject)
+	a.stats.RecordClassLatency(m.Class, a.K.Now()-m.Inject)
+	if a.deliver != nil {
+		a.deliver(dst, m)
+	}
+}
+
+// hub is one cluster's ONet endpoint: a serializing optical transmitter
+// (the cluster's dedicated SWMR channel) plus the receive-network servers
+// distributing arrivals to the cluster's cores.
+type hub struct {
+	a       *Atac
+	cluster int
+
+	txq    []*Message
+	txBusy bool
+
+	// rxFree[i] is the time receive network i is next available.
+	rxFree []sim.Time
+	// rxLastDone enforces in-order delivery completion across the
+	// parallel receive networks: the coherence protocol's sequence-number
+	// scheme assumes broadcasts and unicasts each stay FIFO among
+	// themselves (Section IV-C1), so two receive networks must not
+	// reorder messages arriving at the same cluster.
+	rxLastDone sim.Time
+
+	// Adaptive SWMR bookkeeping (Table V).
+	busyCycles   uint64
+	uniSinceLast uint64
+}
+
+func (h *hub) enqueueTX(m *Message) {
+	n := FlitsFor(m.Bits, h.a.Cfg.Network.FlitBits)
+	h.a.stats.HubFlits += uint64(n)
+	h.txq = append(h.txq, m)
+	if !h.txBusy {
+		h.startTX()
+	}
+}
+
+// startTX transmits the head of the queue: a select-link notification,
+// then the data flits on the hub's wavelength set. The laser runs only for
+// the duration of the transfer (power gating; the Cons flavor's always-on
+// laser is an energy-model concern, not a timing one).
+func (h *hub) startTX() {
+	m := h.txq[0]
+	h.txq = h.txq[1:]
+	h.txBusy = true
+	cfg := h.a.Cfg
+	n := FlitsFor(m.Bits, cfg.Network.FlitBits)
+	lag := cfg.Network.SelectDataLag
+	oDelay := cfg.Network.ONetLinkDelay
+
+	h.a.stats.SelectEvents++
+	busy := sim.Time(lag + n)
+	h.busyCycles += uint64(busy)
+
+	if m.Dst == BroadcastDst && cfg.Network.BcastAsUnicast {
+		// Section V-D ablation: no native broadcast support on the
+		// SWMR link. The broadcast is serialized as one unicast-mode
+		// transmission per hub, each with its own select notification;
+		// receiving hubs still fan the copy out to their whole cluster.
+		hubs := len(h.a.hubs)
+		h.a.stats.SelectEvents += uint64(hubs - 1)
+		h.a.stats.ONetUniPkts += uint64(hubs)
+		h.a.stats.ONetUniFlits += uint64(hubs * n)
+		h.a.stats.LaserUniCycles += uint64(hubs * n)
+		h.uniSinceLast = 0
+		per := sim.Time(lag + n)
+		busy = per * sim.Time(hubs)
+		h.busyCycles += uint64(busy) - uint64(per) // startTX added one slot
+		for i, rx := range h.a.hubs {
+			arrive := sim.Time(i)*per + sim.Time(lag+1+oDelay)
+			if rx == h {
+				arrive = sim.Time(i)*per + sim.Time(lag+1)
+			}
+			rx.scheduleRX(h.a.K.Now()+arrive, m, n)
+		}
+	} else if m.Dst == BroadcastDst {
+		h.a.stats.ONetBcastPkts++
+		h.a.stats.ONetBcastFlits += uint64(n)
+		h.a.stats.LaserBcastCycles += uint64(n)
+		h.uniSinceLast = 0
+		// Every other hub receives via the ONet loop; the sending
+		// hub forwards directly onto its own receive network.
+		for _, rx := range h.a.hubs {
+			arrive := sim.Time(lag + 1 + oDelay)
+			if rx == h {
+				arrive = sim.Time(lag + 1)
+			}
+			rx.scheduleRX(h.a.K.Now()+arrive, m, n)
+		}
+	} else {
+		h.a.stats.ONetUniPkts++
+		h.a.stats.ONetUniFlits += uint64(n)
+		h.a.stats.LaserUniCycles += uint64(n)
+		h.uniSinceLast++
+		rx := h.a.hubs[cfg.ClusterOf(m.Dst)]
+		rx.scheduleRX(h.a.K.Now()+sim.Time(lag+1+oDelay), m, n)
+	}
+
+	h.a.K.Schedule(busy, func() {
+		h.a.pendingTX[h.cluster]--
+		h.txBusy = false
+		if len(h.txq) > 0 {
+			h.startTX()
+		}
+	})
+}
+
+// scheduleRX books the message onto this cluster's earliest-free receive
+// network once its head flit arrives at 'arrive'.
+func (h *hub) scheduleRX(arrive sim.Time, m *Message, n int) {
+	h.a.outstanding++
+	h.a.K.At(arrive, func() {
+		h.a.outstanding--
+		h.receive(m, n)
+	})
+}
+
+// receive distributes an optical arrival over the receive network.
+func (h *hub) receive(m *Message, n int) {
+	cfg := h.a.Cfg
+	h.a.stats.HubFlits += uint64(n)
+
+	// Pick the earliest-free receive network (FIFO service).
+	best := 0
+	for i, f := range h.rxFree {
+		if f < h.rxFree[best] {
+			best = i
+		}
+	}
+	start := h.rxFree[best]
+	if now := h.a.K.Now(); start < now {
+		start = now
+	}
+	h.rxFree[best] = start + sim.Time(n)
+	done := start + sim.Time(n) + sim.Time(cfg.Network.LinkDelay)
+	if done < h.rxLastDone {
+		done = h.rxLastDone
+	}
+	h.rxLastDone = done
+
+	bcast := m.Dst == BroadcastDst
+	if cfg.Network.ReceiveNet == config.BNet {
+		// The fan-out tree always drives every core.
+		h.a.stats.BNetFlits += uint64(n)
+	} else if bcast {
+		h.a.stats.StarBcastFlits += uint64(n)
+	} else {
+		h.a.stats.StarUniFlits += uint64(n)
+	}
+
+	h.a.outstanding++
+	h.a.K.At(done, func() {
+		h.a.outstanding--
+		if bcast {
+			base := h.clusterBaseCores()
+			for _, c := range base {
+				h.a.deliverCore(c, m)
+			}
+		} else {
+			h.a.deliverCore(m.Dst, m)
+		}
+	})
+}
+
+// clusterBaseCores lists the core IDs in this hub's cluster.
+func (h *hub) clusterBaseCores() []int {
+	cfg := h.a.Cfg
+	dim := cfg.MeshDim()
+	cw := dim / cfg.ClusterDim
+	cx, cy := h.cluster%cw, h.cluster/cw
+	cores := make([]int, 0, cfg.ClusterCores())
+	for y := 0; y < cfg.ClusterDim; y++ {
+		for x := 0; x < cfg.ClusterDim; x++ {
+			cores = append(cores, (cy*cfg.ClusterDim+y)*dim+cx*cfg.ClusterDim+x)
+		}
+	}
+	return cores
+}
+
+// LinkUtilization returns the fraction of cycles the average hub's
+// adaptive SWMR link spent transmitting (Table V), over runtime cycles.
+func (a *Atac) LinkUtilization(runtime sim.Time) float64 {
+	if runtime == 0 || len(a.hubs) == 0 {
+		return 0
+	}
+	var busy uint64
+	for _, h := range a.hubs {
+		busy += h.busyCycles
+	}
+	return float64(busy) / (float64(runtime) * float64(len(a.hubs)))
+}
+
+// UnicastsPerBroadcast returns the average number of unicast packets sent
+// on the ONet between successive broadcasts (Table V).
+func (a *Atac) UnicastsPerBroadcast() float64 {
+	s := a.Stats()
+	if s.ONetBcastPkts == 0 {
+		return float64(s.ONetUniPkts)
+	}
+	return float64(s.ONetUniPkts) / float64(s.ONetBcastPkts)
+}

@@ -1,0 +1,352 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// atacFixture builds a 64-core (8x8, 16 clusters of 2x2) ATAC+ fabric.
+func atacFixture(t *testing.T, mut func(*config.Config)) (*sim.Kernel, *Atac, *collector) {
+	t.Helper()
+	cfg := config.Small()
+	if mut != nil {
+		mut(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var k sim.Kernel
+	a := NewAtac(&k, &cfg)
+	c := newCollector(a)
+	return &k, a, c
+}
+
+func TestAtacIntraClusterUnicast(t *testing.T) {
+	k, a, c := atacFixture(t, nil)
+	// Cores 0 and 1 are both in cluster 0 (2x2 at origin).
+	a.Send(&Message{Src: 0, Dst: 1, Bits: 64})
+	k.RunAll()
+	if len(c.got[1]) != 1 {
+		t.Fatalf("got %d deliveries", len(c.got[1]))
+	}
+	st := a.Stats()
+	if st.ONetUniPkts != 0 {
+		t.Error("intra-cluster unicast must not use the ONet")
+	}
+	if st.MeshLinkFlits == 0 {
+		t.Error("intra-cluster unicast must use the ENet")
+	}
+	if !a.Drained() {
+		t.Error("not drained")
+	}
+}
+
+func TestAtacLongDistanceUnicastUsesONet(t *testing.T) {
+	k, a, c := atacFixture(t, nil)
+	// Core 0 (0,0) to core 63 (7,7): distance 14 >= RThres 4.
+	a.Send(&Message{Src: 0, Dst: 63, Bits: 64})
+	k.RunAll()
+	if len(c.got[63]) != 1 {
+		t.Fatalf("got %d deliveries", len(c.got[63]))
+	}
+	st := a.Stats()
+	if st.ONetUniPkts != 1 {
+		t.Errorf("ONetUniPkts = %d, want 1", st.ONetUniPkts)
+	}
+	if st.SelectEvents != 1 {
+		t.Errorf("SelectEvents = %d, want 1", st.SelectEvents)
+	}
+	if st.StarUniFlits == 0 {
+		t.Error("StarNet must carry the delivery")
+	}
+}
+
+func TestAtacShortDistanceUnicastUsesENet(t *testing.T) {
+	k, a, c := atacFixture(t, nil)
+	// Core 0 (0,0) to core 2 (2,0): different clusters, distance 2 < 4.
+	a.Send(&Message{Src: 0, Dst: 2, Bits: 64})
+	k.RunAll()
+	if len(c.got[2]) != 1 {
+		t.Fatalf("got %d deliveries", len(c.got[2]))
+	}
+	if st := a.Stats(); st.ONetUniPkts != 0 {
+		t.Error("short unicast must stay on the ENet under distance routing")
+	}
+}
+
+func TestAtacClusterRoutingForcesONet(t *testing.T) {
+	k, a, c := atacFixture(t, func(c *config.Config) {
+		c.Network.Routing = config.ClusterRouting
+	})
+	a.Send(&Message{Src: 0, Dst: 2, Bits: 64}) // 2 hops, different cluster
+	k.RunAll()
+	if len(c.got[2]) != 1 {
+		t.Fatal("not delivered")
+	}
+	if st := a.Stats(); st.ONetUniPkts != 1 {
+		t.Error("cluster routing must use the ONet for inter-cluster unicasts")
+	}
+}
+
+func TestAtacENetOnlyRouting(t *testing.T) {
+	k, a, c := atacFixture(t, func(c *config.Config) {
+		c.Network.Routing = config.ENetOnlyRouting
+	})
+	a.Send(&Message{Src: 0, Dst: 63, Bits: 64})
+	k.RunAll()
+	if len(c.got[63]) != 1 {
+		t.Fatal("not delivered")
+	}
+	if st := a.Stats(); st.ONetUniPkts != 0 {
+		t.Error("Distance-All must never use the ONet for unicasts")
+	}
+}
+
+func TestAtacBroadcast(t *testing.T) {
+	k, a, c := atacFixture(t, nil)
+	a.Send(&Message{Src: 5, Dst: BroadcastDst, Bits: 104})
+	k.RunAll()
+	for d := 0; d < 64; d++ {
+		if len(c.got[d]) != 1 {
+			t.Fatalf("core %d got %d copies", d, len(c.got[d]))
+		}
+	}
+	st := a.Stats()
+	if st.ONetBcastPkts != 1 {
+		t.Errorf("ONetBcastPkts = %d, want 1", st.ONetBcastPkts)
+	}
+	// All 16 clusters distribute: broadcast StarNet flits on each.
+	if st.StarBcastFlits != 16*2 { // 2 flits x 16 clusters
+		t.Errorf("StarBcastFlits = %d, want 32", st.StarBcastFlits)
+	}
+	if !a.Drained() {
+		t.Error("not drained")
+	}
+}
+
+func TestAtacBroadcastLatencyFlat(t *testing.T) {
+	// The ONet's key property: a broadcast reaches all clusters at
+	// near-uniform latency, far faster than mesh-serialized delivery.
+	k, a, _ := atacFixture(t, nil)
+	a.Send(&Message{Src: 0, Dst: BroadcastDst, Bits: 104})
+	k.RunAll()
+	st := a.Stats()
+	if st.LatencyMax > 40 {
+		t.Errorf("ONet broadcast max latency %d, want < 40", st.LatencyMax)
+	}
+}
+
+func TestAtacBNetMode(t *testing.T) {
+	k, a, c := atacFixture(t, func(c *config.Config) {
+		*c = c.WithNetwork(config.ATAC) // BNet + cluster routing
+	})
+	a.Send(&Message{Src: 0, Dst: 63, Bits: 64})
+	k.RunAll()
+	if len(c.got[63]) != 1 {
+		t.Fatal("not delivered")
+	}
+	st := a.Stats()
+	if st.BNetFlits == 0 {
+		t.Error("BNet must carry hub-to-core traffic in ATAC mode")
+	}
+	if st.StarUniFlits != 0 || st.StarBcastFlits != 0 {
+		t.Error("StarNet counters must stay zero in BNet mode")
+	}
+}
+
+func TestAtacSelfSend(t *testing.T) {
+	k, a, c := atacFixture(t, nil)
+	a.Send(&Message{Src: 9, Dst: 9, Bits: 64})
+	k.RunAll()
+	if len(c.got[9]) != 1 {
+		t.Fatal("self-send lost")
+	}
+}
+
+func TestAtacHubCoreSend(t *testing.T) {
+	// A long unicast whose source hosts the hub skips the ENet leg.
+	k, a, c := atacFixture(t, nil)
+	cfg := a.Cfg
+	hc := cfg.HubCore(0)
+	a.Send(&Message{Src: hc, Dst: 63, Bits: 64})
+	k.RunAll()
+	if len(c.got[63]) != 1 {
+		t.Fatal("not delivered")
+	}
+	if st := a.Stats(); st.ONetUniPkts != 1 {
+		t.Error("hub-core send must use the ONet")
+	}
+}
+
+func TestAtacConservationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	k, a, _ := atacFixture(t, nil)
+	sentUni, sentB := 0, 0
+	for i := 0; i < 1500; i++ {
+		at := sim.Time(rng.Intn(5000))
+		src := rng.Intn(64)
+		dst := rng.Intn(64)
+		bits := 104
+		if rng.Intn(3) == 0 {
+			bits = 600
+		}
+		if rng.Intn(60) == 0 {
+			dst = BroadcastDst
+			sentB++
+		} else {
+			sentUni++
+		}
+		k.At(at, func() { a.Send(&Message{Src: src, Dst: dst, Bits: bits}) })
+	}
+	k.RunAll()
+	st := a.Stats()
+	want := uint64(sentUni) + uint64(sentB)*64
+	if st.Delivered != want {
+		t.Fatalf("Delivered = %d, want %d (uni %d, bcast %d)", st.Delivered, want, sentUni, sentB)
+	}
+	if !a.Drained() {
+		t.Error("fabric not drained")
+	}
+}
+
+func TestAtacDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, float64) {
+		rng := rand.New(rand.NewSource(5))
+		k, a, _ := atacFixture(t, nil)
+		for i := 0; i < 800; i++ {
+			at := sim.Time(rng.Intn(2000))
+			src, dst := rng.Intn(64), rng.Intn(64)
+			if rng.Intn(40) == 0 {
+				dst = BroadcastDst
+			}
+			k.At(at, func() { a.Send(&Message{Src: src, Dst: dst, Bits: 104}) })
+		}
+		k.RunAll()
+		st := a.Stats()
+		return st.MeshLinkFlits, st.ONetUniFlits, st.AvgLatency()
+	}
+	a1, b1, c1 := run()
+	a2, b2, c2 := run()
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Fatalf("nondeterministic: (%d,%d,%v) vs (%d,%d,%v)", a1, b1, c1, a2, b2, c2)
+	}
+}
+
+func TestAtacTableVCounters(t *testing.T) {
+	k, a, _ := atacFixture(t, nil)
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(sim.Time(i*50), func() { a.Send(&Message{Src: 0, Dst: 63, Bits: 64}) })
+	}
+	k.At(600, func() { a.Send(&Message{Src: 0, Dst: BroadcastDst, Bits: 104}) })
+	k.RunAll()
+	if got := a.UnicastsPerBroadcast(); got != 10 {
+		t.Errorf("UnicastsPerBroadcast = %v, want 10", got)
+	}
+	u := a.LinkUtilization(k.Now())
+	if u <= 0 || u >= 1 {
+		t.Errorf("LinkUtilization = %v, want in (0,1)", u)
+	}
+}
+
+func TestAtacONetZeroLoadLatencyBeatsENet(t *testing.T) {
+	// The ONet's low zero-load latency across the chip is the reason
+	// Cluster routing wins at low loads (Fig 3 discussion).
+	k, a, _ := atacFixture(t, func(c *config.Config) {
+		c.Network.Routing = config.ClusterRouting
+	})
+	a.Send(&Message{Src: 0, Dst: 63, Bits: 64})
+	k.RunAll()
+	onetLat := a.Stats().AvgLatency()
+
+	k2, a2, _ := atacFixture(t, func(c *config.Config) {
+		c.Network.Routing = config.ENetOnlyRouting
+	})
+	a2.Send(&Message{Src: 0, Dst: 63, Bits: 64})
+	k2.RunAll()
+	enetLat := a2.Stats().AvgLatency()
+
+	if onetLat >= enetLat {
+		t.Errorf("corner-to-corner: ONet %v cycles >= ENet %v cycles", onetLat, enetLat)
+	}
+}
+
+func TestAtacBcastAsUnicastAblation(t *testing.T) {
+	// Section V-D: without native broadcast support, a broadcast is
+	// serialized into one unicast-mode transmission per hub.
+	k, a, c := atacFixture(t, func(c *config.Config) { c.Network.BcastAsUnicast = true })
+	a.Send(&Message{Src: 5, Dst: BroadcastDst, Bits: 104})
+	k.RunAll()
+	for d := 0; d < 64; d++ {
+		if len(c.got[d]) != 1 {
+			t.Fatalf("core %d got %d copies", d, len(c.got[d]))
+		}
+	}
+	st := a.Stats()
+	if st.ONetBcastPkts != 0 {
+		t.Error("no native broadcast packets expected")
+	}
+	if st.ONetUniPkts != 16 { // one per hub on the Small config
+		t.Errorf("ONetUniPkts = %d, want 16", st.ONetUniPkts)
+	}
+	if !a.Drained() {
+		t.Error("not drained")
+	}
+}
+
+func TestAtacBcastAsUnicastSlower(t *testing.T) {
+	run := func(ablate bool) uint64 {
+		k, a, _ := atacFixture(t, func(c *config.Config) { c.Network.BcastAsUnicast = ablate })
+		a.Send(&Message{Src: 5, Dst: BroadcastDst, Bits: 104})
+		k.RunAll()
+		return a.Stats().LatencyMax
+	}
+	native, serialized := run(false), run(true)
+	if serialized <= native {
+		t.Errorf("serialized broadcast max latency %d not above native %d", serialized, native)
+	}
+}
+
+func TestAdaptiveRoutingDivertsUnderLoad(t *testing.T) {
+	// Adaptive routing behaves like distance routing until the hub
+	// transmit queue backs up, then falls back to the ENet.
+	k, a, _ := atacFixture(t, func(c *config.Config) {
+		c.Network.Routing = config.AdaptiveRouting
+		c.Network.AdaptiveQueueMax = 2
+	})
+	cluster0 := []int{0, 1, 8, 9}
+	// Flood cluster 0's hub with long messages in one cycle: the first
+	// few ride the ONet; once the queue exceeds the threshold the rest
+	// divert to the ENet.
+	for i := 0; i < 20; i++ {
+		src := cluster0[i%4]
+		k.At(0, func() { a.Send(&Message{Src: src, Dst: 63, Bits: 616}) })
+	}
+	k.RunAll()
+	st := a.Stats()
+	if st.ONetUniPkts == 0 {
+		t.Fatal("adaptive routing never used the ONet")
+	}
+	if st.ONetUniPkts == 20 {
+		t.Fatal("adaptive routing never diverted to the ENet under load")
+	}
+	if st.Delivered != 20 {
+		t.Fatalf("delivered %d of 20", st.Delivered)
+	}
+}
+
+func TestAdaptiveRoutingIdleMatchesDistance(t *testing.T) {
+	// At zero load the adaptive policy must make the same choice as
+	// distance routing: long unicasts ride the ONet.
+	k, a, _ := atacFixture(t, func(c *config.Config) {
+		c.Network.Routing = config.AdaptiveRouting
+	})
+	a.Send(&Message{Src: 0, Dst: 63, Bits: 64})
+	k.RunAll()
+	if st := a.Stats(); st.ONetUniPkts != 1 {
+		t.Errorf("idle adaptive routing: ONetUniPkts = %d, want 1", st.ONetUniPkts)
+	}
+}

@@ -1,0 +1,68 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// Micro-benchmarks of the network fabrics: flit throughput of the wormhole
+// mesh and the composed ATAC fabric under uniform load. These track the
+// simulator's own performance (host events/second), not modelled metrics.
+
+func benchMesh(b *testing.B, multicast bool) {
+	rng := rand.New(rand.NewSource(1))
+	var k sim.Kernel
+	m := NewMesh(&k, 16, 64, 4, 1, 1, multicast)
+	m.SetDeliver(func(int, *Message) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := rng.Intn(256), rng.Intn(256)
+		m.Send(&Message{Src: src, Dst: dst, Bits: 104})
+		if i%64 == 63 {
+			k.Run(k.Now() + 32)
+		}
+	}
+	k.RunAll()
+	b.ReportMetric(float64(m.Stats().MeshLinkFlits)/float64(b.N), "flit-hops/msg")
+}
+
+func BenchmarkMeshUnicastThroughput(b *testing.B) { benchMesh(b, false) }
+
+func BenchmarkMeshMulticastFabric(b *testing.B) { benchMesh(b, true) }
+
+func BenchmarkMeshBroadcast(b *testing.B) {
+	var k sim.Kernel
+	m := NewMesh(&k, 16, 64, 4, 1, 1, true)
+	m.SetDeliver(func(int, *Message) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(&Message{Src: i % 256, Dst: BroadcastDst, Bits: 104})
+		k.RunAll()
+	}
+}
+
+func BenchmarkAtacUniformTraffic(b *testing.B) {
+	cfg := config.Small()
+	rng := rand.New(rand.NewSource(2))
+	var k sim.Kernel
+	a := NewAtac(&k, &cfg)
+	a.SetDeliver(func(int, *Message) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := rng.Intn(64), rng.Intn(64)
+		if i%200 == 0 {
+			dst = BroadcastDst
+		}
+		a.Send(&Message{Src: src, Dst: dst, Bits: 104})
+		if i%64 == 63 {
+			k.Run(k.Now() + 32)
+		}
+	}
+	k.RunAll()
+}

@@ -1,0 +1,425 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Port indices. Inputs 0-3 receive from the neighbour in that direction;
+// input 4 is the local injection queue. Outputs 0-3 drive the link toward
+// that neighbour; output 4 is the ejection port.
+const (
+	portN = iota
+	portS
+	portE
+	portW
+	portLocal
+	numPorts
+)
+
+func opposite(p int) int {
+	switch p {
+	case portN:
+		return portS
+	case portS:
+		return portN
+	case portE:
+		return portW
+	case portW:
+		return portE
+	}
+	return p
+}
+
+// Multicast worm phases for the EMesh-BCast XY replication tree: a
+// broadcast spawns row worms east/west from the source; every router a row
+// worm visits spawns column worms north/south, so each core is delivered
+// exactly once.
+type mcPhase uint8
+
+const (
+	phaseNone mcPhase = iota
+	phaseRowE
+	phaseRowW
+	phaseColN
+	phaseColS
+)
+
+type flit struct {
+	msg   *Message
+	worm  uint64 // unique per worm; wormhole locks are per-worm, not per-message
+	phase mcPhase
+	idx   int // flit index within the worm
+	n     int // total flits in the worm
+}
+
+func (f flit) head() bool { return f.idx == 0 }
+func (f flit) tail() bool { return f.idx == f.n-1 }
+
+// Mesh is a dim x dim wormhole-routed electrical mesh with XY dimension-
+// order routing, credit flow control and a single virtual channel. With
+// Multicast enabled it is the EMesh-BCast network; without, broadcasts are
+// serialized into unicasts at the source (EMesh-Pure).
+type Mesh struct {
+	K           *sim.Kernel
+	Dim         int
+	FlitBits    int
+	BufFlits    int
+	RouterDelay int
+	LinkDelay   int
+	Multicast   bool
+	// Transport marks this mesh as an internal leg of a composed fabric
+	// (the ATAC ENet): message-level statistics (send counts, latency,
+	// injection) are left to the owner; only flit-level transport
+	// counters are maintained here.
+	Transport bool
+
+	routers []*router
+	deliver DeliverFunc
+	stats   Stats
+	wormSeq uint64
+}
+
+// NewMesh builds the mesh. It panics on a non-positive geometry: meshes
+// are constructed from validated configs.
+func NewMesh(k *sim.Kernel, dim, flitBits, bufFlits, routerDelay, linkDelay int, multicast bool) *Mesh {
+	if dim <= 0 || flitBits <= 0 || bufFlits <= 0 || routerDelay <= 0 || linkDelay <= 0 {
+		panic(fmt.Sprintf("noc: bad mesh geometry dim=%d flit=%d buf=%d", dim, flitBits, bufFlits))
+	}
+	m := &Mesh{
+		K: k, Dim: dim, FlitBits: flitBits, BufFlits: bufFlits,
+		RouterDelay: routerDelay, LinkDelay: linkDelay, Multicast: multicast,
+	}
+	m.routers = make([]*router, dim*dim)
+	for i := range m.routers {
+		r := &router{m: m, id: i, x: i % dim, y: i / dim}
+		r.tickFn = r.tick
+		for o := 0; o < 4; o++ {
+			r.outCredit[o] = bufFlits
+		}
+		m.routers[i] = r
+	}
+	return m
+}
+
+// SetDeliver installs the ejection callback.
+func (m *Mesh) SetDeliver(fn DeliverFunc) { m.deliver = fn }
+
+// Stats returns the live counters.
+func (m *Mesh) Stats() *Stats { return &m.stats }
+
+// Send implements Network.
+func (m *Mesh) Send(msg *Message) {
+	if !m.Transport {
+		msg.Inject = m.K.Now()
+	}
+	n := FlitsFor(msg.Bits, m.FlitBits)
+	if msg.Dst == BroadcastDst {
+		if !m.Transport {
+			m.stats.BroadcastSent++
+			m.stats.InjectedFlits += uint64(n)
+		}
+		src := m.routers[msg.Src]
+		// Local copy to the source core.
+		m.K.Schedule(1, func() { m.eject(msg.Src, msg) })
+		if m.Multicast {
+			src.spawnRowAndCols(msg, n)
+		} else {
+			// EMesh-Pure: one serialized unicast per other core. Each
+			// clone shares the payload but carries a concrete
+			// destination so XY routing works; origBcast keeps the
+			// receiver-side traffic-mix statistics honest.
+			for d := 0; d < m.Dim*m.Dim; d++ {
+				if d != msg.Src {
+					c := *msg
+					c.Dst = d
+					c.origBcast = true
+					src.enqueue(portLocal, m.newWorm(&c, phaseNone, n))
+				}
+			}
+		}
+		return
+	}
+	if !m.Transport {
+		m.stats.UnicastSent++
+		m.stats.InjectedFlits += uint64(n)
+	}
+	if msg.Dst == msg.Src {
+		m.K.Schedule(1, func() { m.eject(msg.Dst, msg) })
+		return
+	}
+	m.routers[msg.Src].enqueue(portLocal, m.newWorm(msg, phaseNone, n))
+}
+
+// RouterFlits returns the per-router forwarded-flit counts (row-major),
+// the spatial traffic distribution used for congestion heatmaps.
+func (m *Mesh) RouterFlits() []uint64 {
+	out := make([]uint64, len(m.routers))
+	for i, r := range m.routers {
+		out[i] = r.fwdFlits
+	}
+	return out
+}
+
+// Drained reports whether no flits remain anywhere in the mesh (test hook).
+func (m *Mesh) Drained() bool {
+	for _, r := range m.routers {
+		for p := 0; p < numPorts; p++ {
+			if len(r.in[p]) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// newWorm allocates the flits of one worm.
+func (m *Mesh) newWorm(msg *Message, ph mcPhase, n int) []flit {
+	m.wormSeq++
+	w := make([]flit, n)
+	for i := range w {
+		w[i] = flit{msg: msg, worm: m.wormSeq, phase: ph, idx: i, n: n}
+	}
+	return w
+}
+
+func (m *Mesh) eject(dst int, msg *Message) {
+	if !m.Transport {
+		m.stats.Delivered++
+		if msg.Dst == BroadcastDst || msg.origBcast {
+			m.stats.BroadcastRecv++
+		} else {
+			m.stats.UnicastRecv++
+		}
+		m.stats.RecordLatency(m.K.Now() - msg.Inject)
+		m.stats.RecordClassLatency(msg.Class, m.K.Now()-msg.Inject)
+	}
+	if m.deliver != nil {
+		m.deliver(dst, msg)
+	}
+}
+
+// router is one mesh node. All state is touched only from kernel events.
+type router struct {
+	m      *Mesh
+	id     int
+	x, y   int
+	tickFn func()
+
+	in        [numPorts][]flit
+	fwdFlits  uint64 // flits this router moved (heatmap observability)
+	outCredit [4]int
+	outLock   [numPorts]uint64 // worm holding each output; 0 = free
+	lockedIn  [numPorts]int    // input the locked worm streams from
+	rr        [numPorts]int    // round-robin arbitration pointer
+	scheduled bool
+}
+
+func (r *router) neighbor(dir int) *router {
+	switch dir {
+	case portN:
+		if r.y == 0 {
+			return nil
+		}
+		return r.m.routers[r.id-r.m.Dim]
+	case portS:
+		if r.y == r.m.Dim-1 {
+			return nil
+		}
+		return r.m.routers[r.id+r.m.Dim]
+	case portE:
+		if r.x == r.m.Dim-1 {
+			return nil
+		}
+		return r.m.routers[r.id+1]
+	case portW:
+		if r.x == 0 {
+			return nil
+		}
+		return r.m.routers[r.id-1]
+	}
+	return nil
+}
+
+// spawnRowAndCols seeds the multicast tree at the source router.
+func (r *router) spawnRowAndCols(msg *Message, n int) {
+	if r.x < r.m.Dim-1 {
+		r.enqueue(portLocal, r.m.newWorm(msg, phaseRowE, n))
+	}
+	if r.x > 0 {
+		r.enqueue(portLocal, r.m.newWorm(msg, phaseRowW, n))
+	}
+	r.spawnCols(msg, n)
+}
+
+func (r *router) spawnCols(msg *Message, n int) {
+	if r.y > 0 {
+		r.enqueue(portLocal, r.m.newWorm(msg, phaseColN, n))
+	}
+	if r.y < r.m.Dim-1 {
+		r.enqueue(portLocal, r.m.newWorm(msg, phaseColS, n))
+	}
+}
+
+func (r *router) enqueue(port int, worm []flit) {
+	r.in[port] = append(r.in[port], worm...)
+	r.wake()
+}
+
+func (r *router) receiveFlit(port int, f flit) {
+	r.in[port] = append(r.in[port], f)
+	r.wake()
+}
+
+func (r *router) addCredit(out int) {
+	r.outCredit[out]++
+	r.wake()
+}
+
+func (r *router) wake() {
+	if r.scheduled {
+		return
+	}
+	r.scheduled = true
+	r.m.K.Schedule(sim.Time(r.m.RouterDelay), r.tickFn)
+}
+
+// route returns the output port for a head flit at this router.
+func (r *router) route(f flit) int {
+	switch f.phase {
+	case phaseRowE:
+		if r.x < r.m.Dim-1 {
+			return portE
+		}
+		return portLocal
+	case phaseRowW:
+		if r.x > 0 {
+			return portW
+		}
+		return portLocal
+	case phaseColN:
+		if r.y > 0 {
+			return portN
+		}
+		return portLocal
+	case phaseColS:
+		if r.y < r.m.Dim-1 {
+			return portS
+		}
+		return portLocal
+	}
+	// XY dimension order toward msg.Dst.
+	dx, dy := f.msg.Dst%r.m.Dim, f.msg.Dst/r.m.Dim
+	switch {
+	case dx > r.x:
+		return portE
+	case dx < r.x:
+		return portW
+	case dy > r.y:
+		return portS
+	case dy < r.y:
+		return portN
+	default:
+		return portLocal
+	}
+}
+
+// tick advances the router by one cycle: at most one flit per output port.
+func (r *router) tick() {
+	r.scheduled = false
+	for out := 0; out < numPorts; out++ {
+		var inp = -1
+		if w := r.outLock[out]; w != 0 {
+			cand := r.lockedIn[out]
+			if len(r.in[cand]) > 0 && r.in[cand][0].worm == w {
+				inp = cand
+			}
+		} else {
+			// Round-robin over inputs with an eligible head flit.
+			for k := 0; k < numPorts; k++ {
+				p := (r.rr[out] + k) % numPorts
+				q := r.in[p]
+				if len(q) == 0 || !q[0].head() {
+					continue
+				}
+				if r.route(q[0]) == out {
+					inp = p
+					r.rr[out] = (p + 1) % numPorts
+					break
+				}
+			}
+		}
+		if inp < 0 {
+			continue
+		}
+		if out != portLocal && r.outCredit[out] <= 0 {
+			continue
+		}
+		f := r.in[inp][0]
+		r.in[inp] = r.in[inp][1:]
+		r.fwdFlits++
+		if f.head() {
+			r.outLock[out] = f.worm
+			r.lockedIn[out] = inp
+		}
+		if f.tail() {
+			r.outLock[out] = 0
+		}
+		// Return a credit upstream for the buffer slot we freed. The
+		// return is applied synchronously: the upstream router can only
+		// spend it at its next tick, a cycle later, so the credit loop
+		// latency is preserved without an event per flit.
+		if inp < portLocal {
+			if up := r.neighbor(inp); up != nil {
+				up.addCredit(opposite(inp))
+			}
+		}
+		// Multicast worms deliver a local copy and spawn column worms as
+		// their tail passes through each router they arrive at. Worms do
+		// not fire side effects at their origin router (inp == portLocal):
+		// the source's delivery and spawning happened at Send time.
+		arrived := inp != portLocal
+		if out == portLocal {
+			r.ejectFlit(f, arrived)
+		} else {
+			r.outCredit[out]--
+			r.m.stats.MeshLinkFlits++
+			r.m.stats.MeshRouterFlits++
+			nbr := r.neighbor(out)
+			inPort := opposite(out)
+			r.m.K.Schedule(sim.Time(r.m.LinkDelay), func() { nbr.receiveFlit(inPort, f) })
+			if f.tail() && f.phase != phaseNone && arrived {
+				r.mcastTailSideEffects(f)
+			}
+		}
+	}
+	for p := 0; p < numPorts; p++ {
+		if len(r.in[p]) > 0 {
+			r.wake()
+			break
+		}
+	}
+}
+
+func (r *router) ejectFlit(f flit, arrived bool) {
+	r.m.stats.MeshRouterFlits++
+	if !f.tail() {
+		return
+	}
+	if f.phase != phaseNone {
+		if arrived {
+			r.mcastTailSideEffects(f)
+		}
+		return
+	}
+	r.m.eject(r.id, f.msg)
+}
+
+func (r *router) mcastTailSideEffects(f flit) {
+	// Deliver the local copy at this router.
+	r.m.eject(r.id, f.msg)
+	if f.phase == phaseRowE || f.phase == phaseRowW {
+		r.spawnCols(f.msg, f.n)
+	}
+}

@@ -1,0 +1,279 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newTestMesh(k *sim.Kernel, dim int, multicast bool) *Mesh {
+	return NewMesh(k, dim, 64, 4, 1, 1, multicast)
+}
+
+// collector records deliveries per destination.
+type collector struct {
+	got map[int][]*Message
+}
+
+func newCollector(n Network) *collector {
+	c := &collector{got: make(map[int][]*Message)}
+	n.SetDeliver(func(dst int, m *Message) { c.got[dst] = append(c.got[dst], m) })
+	return c
+}
+
+func TestMeshUnicastDelivery(t *testing.T) {
+	var k sim.Kernel
+	m := newTestMesh(&k, 8, false)
+	c := newCollector(m)
+	msg := &Message{Src: 0, Dst: 63, Bits: 64}
+	m.Send(msg)
+	k.RunAll()
+	if len(c.got[63]) != 1 || c.got[63][0] != msg {
+		t.Fatalf("destination 63 got %v deliveries", len(c.got[63]))
+	}
+	if len(c.got) != 1 {
+		t.Fatalf("stray deliveries: %v", c.got)
+	}
+	if !m.Drained() {
+		t.Fatal("mesh not drained")
+	}
+}
+
+func TestMeshZeroLoadLatency(t *testing.T) {
+	var k sim.Kernel
+	m := newTestMesh(&k, 8, false)
+	newCollector(m)
+	m.Send(&Message{Src: 0, Dst: 63, Bits: 64})
+	k.RunAll()
+	// 14 hops at 2 cycles/hop (1 router + 1 link) plus injection and
+	// ejection stages: expect ~28-34 cycles.
+	lat := m.Stats().AvgLatency()
+	if lat < 25 || lat > 40 {
+		t.Errorf("zero-load latency %v cycles across 14 hops, want ~30", lat)
+	}
+	// A 1-hop message should be far cheaper.
+	var k2 sim.Kernel
+	m2 := newTestMesh(&k2, 8, false)
+	newCollector(m2)
+	m2.Send(&Message{Src: 0, Dst: 1, Bits: 64})
+	k2.RunAll()
+	if l := m2.Stats().AvgLatency(); l > 8 {
+		t.Errorf("1-hop latency %v, want <= 8", l)
+	}
+}
+
+func TestMeshSelfSend(t *testing.T) {
+	var k sim.Kernel
+	m := newTestMesh(&k, 4, false)
+	c := newCollector(m)
+	m.Send(&Message{Src: 5, Dst: 5, Bits: 64})
+	k.RunAll()
+	if len(c.got[5]) != 1 {
+		t.Fatalf("self-send: got %d deliveries", len(c.got[5]))
+	}
+}
+
+func TestMeshMultiFlitMessage(t *testing.T) {
+	var k sim.Kernel
+	m := newTestMesh(&k, 4, false)
+	c := newCollector(m)
+	m.Send(&Message{Src: 0, Dst: 15, Bits: 600}) // 10 flits
+	k.RunAll()
+	if len(c.got[15]) != 1 {
+		t.Fatalf("got %d deliveries", len(c.got[15]))
+	}
+	// 10 flits over 6 hops: serialization adds ~9 cycles over head latency.
+	if lat := m.Stats().AvgLatency(); lat < 18 || lat > 40 {
+		t.Errorf("10-flit latency = %v", lat)
+	}
+}
+
+func TestMeshBroadcastMulticast(t *testing.T) {
+	var k sim.Kernel
+	m := newTestMesh(&k, 8, true)
+	c := newCollector(m)
+	m.Send(&Message{Src: 27, Dst: BroadcastDst, Bits: 104})
+	k.RunAll()
+	for d := 0; d < 64; d++ {
+		if len(c.got[d]) != 1 {
+			t.Fatalf("core %d received %d copies, want exactly 1", d, len(c.got[d]))
+		}
+	}
+	if !m.Drained() {
+		t.Fatal("mesh not drained after broadcast")
+	}
+}
+
+func TestMeshBroadcastSerialized(t *testing.T) {
+	var k sim.Kernel
+	m := newTestMesh(&k, 8, false)
+	c := newCollector(m)
+	m.Send(&Message{Src: 0, Dst: BroadcastDst, Bits: 104})
+	k.RunAll()
+	for d := 0; d < 64; d++ {
+		if len(c.got[d]) != 1 {
+			t.Fatalf("core %d received %d copies", d, len(c.got[d]))
+		}
+		if !c.got[d][0].IsBroadcast() {
+			t.Fatalf("core %d clone not marked broadcast", d)
+		}
+	}
+	if got := m.Stats().BroadcastRecv; got != 64 {
+		t.Errorf("BroadcastRecv = %d, want 64", got)
+	}
+}
+
+func TestSerializedBroadcastSlowerThanMulticast(t *testing.T) {
+	// The motivation for EMesh-BCast: source serialization makes
+	// EMesh-Pure broadcasts drastically slower (Fig 4 discussion).
+	run := func(multicast bool) uint64 {
+		var k sim.Kernel
+		m := newTestMesh(&k, 8, multicast)
+		newCollector(m)
+		m.Send(&Message{Src: 0, Dst: BroadcastDst, Bits: 104})
+		k.RunAll()
+		return m.Stats().LatencyMax
+	}
+	pure, bcast := run(false), run(true)
+	if pure < 2*bcast {
+		t.Errorf("serialized broadcast max latency %d not >> multicast %d", pure, bcast)
+	}
+}
+
+func TestMeshCornerBroadcasts(t *testing.T) {
+	// Broadcast from each corner and an edge must still reach everyone.
+	for _, src := range []int{0, 7, 56, 63, 3, 24} {
+		var k sim.Kernel
+		m := newTestMesh(&k, 8, true)
+		c := newCollector(m)
+		m.Send(&Message{Src: src, Dst: BroadcastDst, Bits: 104})
+		k.RunAll()
+		for d := 0; d < 64; d++ {
+			if len(c.got[d]) != 1 {
+				t.Fatalf("src %d: core %d got %d copies", src, d, len(c.got[d]))
+			}
+		}
+	}
+}
+
+func TestMeshRandomTrafficConservation(t *testing.T) {
+	// Property: every injected message is delivered exactly once, under
+	// random concurrent load, and the mesh fully drains.
+	rng := rand.New(rand.NewSource(7))
+	var k sim.Kernel
+	m := newTestMesh(&k, 8, true)
+	newCollector(m)
+	const N = 2000
+	sent := 0
+	for i := 0; i < N; i++ {
+		at := sim.Time(rng.Intn(4000))
+		src := rng.Intn(64)
+		bits := 104
+		if rng.Intn(3) == 0 {
+			bits = 600
+		}
+		dst := rng.Intn(64)
+		if rng.Intn(50) == 0 {
+			dst = BroadcastDst
+		}
+		k.At(at, func() { m.Send(&Message{Src: src, Dst: dst, Bits: bits}) })
+		sent++
+	}
+	k.RunAll()
+	if !m.Drained() {
+		t.Fatal("mesh not drained")
+	}
+	st := m.Stats()
+	wantDeliveries := st.UnicastSent + st.BroadcastSent*64
+	if st.Delivered != wantDeliveries {
+		t.Fatalf("Delivered = %d, want %d", st.Delivered, wantDeliveries)
+	}
+	if st.UnicastSent+st.BroadcastSent != uint64(sent) {
+		t.Fatalf("sent accounting: %d + %d != %d", st.UnicastSent, st.BroadcastSent, sent)
+	}
+}
+
+func TestMeshDeterminism(t *testing.T) {
+	run := func() (uint64, float64) {
+		rng := rand.New(rand.NewSource(3))
+		var k sim.Kernel
+		m := newTestMesh(&k, 8, true)
+		newCollector(m)
+		for i := 0; i < 500; i++ {
+			at := sim.Time(rng.Intn(1000))
+			src, dst := rng.Intn(64), rng.Intn(64)
+			k.At(at, func() { m.Send(&Message{Src: src, Dst: dst, Bits: 104}) })
+		}
+		k.RunAll()
+		return m.Stats().MeshLinkFlits, m.Stats().AvgLatency()
+	}
+	f1, l1 := run()
+	f2, l2 := run()
+	if f1 != f2 || l1 != l2 {
+		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", f1, l1, f2, l2)
+	}
+}
+
+func TestMeshHotspotBackpressure(t *testing.T) {
+	// All cores hammer core 0; latency must rise well above zero-load
+	// but every message still arrives.
+	var k sim.Kernel
+	m := newTestMesh(&k, 8, false)
+	c := newCollector(m)
+	n := 0
+	for src := 1; src < 64; src++ {
+		for i := 0; i < 10; i++ {
+			src := src
+			k.At(sim.Time(i), func() { m.Send(&Message{Src: src, Dst: 0, Bits: 600}) })
+			n++
+		}
+	}
+	k.RunAll()
+	if len(c.got[0]) != n {
+		t.Fatalf("hotspot received %d of %d", len(c.got[0]), n)
+	}
+	// 630 x 10-flit messages into one ejection port: >= 6300 cycles.
+	if k.Now() < 6000 {
+		t.Errorf("hotspot drained implausibly fast: %d cycles", k.Now())
+	}
+}
+
+func TestFlitsFor(t *testing.T) {
+	cases := []struct{ bits, flit, want int }{
+		{64, 64, 1}, {65, 64, 2}, {600, 64, 10}, {104, 64, 2},
+		{0, 64, 1}, {600, 256, 3}, {600, 16, 38},
+	}
+	for _, c := range cases {
+		if got := FlitsFor(c.bits, c.flit); got != c.want {
+			t.Errorf("FlitsFor(%d,%d) = %d, want %d", c.bits, c.flit, got, c.want)
+		}
+	}
+}
+
+func TestMeshSaturation(t *testing.T) {
+	// Latency must grow monotonically (roughly) with offered load and
+	// explode near saturation — the Fig 3 mechanism.
+	latAt := func(load float64) float64 {
+		rng := rand.New(rand.NewSource(11))
+		var k sim.Kernel
+		m := newTestMesh(&k, 8, false)
+		newCollector(m)
+		horizon := 3000
+		for t := 0; t < horizon; t++ {
+			for c := 0; c < 64; c++ {
+				if rng.Float64() < load {
+					src, dst := c, rng.Intn(64)
+					k.At(sim.Time(t), func() { m.Send(&Message{Src: src, Dst: dst, Bits: 64}) })
+				}
+			}
+		}
+		k.Run(sim.Time(horizon))
+		k.RunAll()
+		return m.Stats().AvgLatency()
+	}
+	low, high := latAt(0.005), latAt(0.5)
+	if high < 2*low {
+		t.Errorf("no congestion signal: latency %v at low load vs %v at high", low, high)
+	}
+}

@@ -1,0 +1,160 @@
+// Package noc implements cycle-level models of the on-chip networks the
+// paper evaluates: a wormhole electrical 2-D mesh (EMesh-Pure), the same
+// mesh with native tree multicast (EMesh-BCast), and the composed
+// ATAC/ATAC+ fabric (ENet mesh + adaptive SWMR optical ONet + BNet/StarNet
+// cluster receive networks) with cluster- or distance-based routing.
+//
+// All networks implement the Network interface; the coherence layer and the
+// synthetic-traffic harness (Fig 3) use networks through it exclusively.
+// The models are flit-accurate: wormhole flow control with credit-based
+// back-pressure and a single virtual channel, per Table I. Endpoint
+// ejection always drains into unbounded protocol queues, which keeps the
+// fabric free of protocol-level deadlock (see DESIGN.md).
+package noc
+
+import (
+	"repro/internal/sim"
+)
+
+// BroadcastDst marks a message addressed to every core.
+const BroadcastDst = -1
+
+// Class labels a message for statistics; the energy model does not need
+// it, but traffic-mix figures (Fig 5) do.
+type Class uint8
+
+const (
+	ClassCoherence Class = iota // short protocol message (requests, acks)
+	ClassData                   // cache-line-carrying message
+)
+
+// Message is one network transaction. A broadcast (Dst == BroadcastDst) is
+// delivered once to every core, including the sender's.
+type Message struct {
+	Src, Dst int
+	Class    Class
+	Bits     int // total size incl. header; flit count derives from this
+	Payload  any
+	Inject   sim.Time // set by the network at Send time
+
+	// ViaHub is used internally by the ATAC fabric: the message is
+	// ENet-routed to the cluster hub rather than to a core.
+	viaHub bool
+	// origBcast marks per-destination clones of a serialized broadcast
+	// (EMesh-Pure) so receiver-side traffic statistics stay correct.
+	origBcast bool
+	// pairSeq is the per-(src,dst) sequence number the ATAC fabric uses
+	// to restore FIFO delivery under adaptive routing (0 = unsequenced).
+	pairSeq uint64
+}
+
+// IsBroadcast reports whether this delivery belongs to a logical broadcast,
+// including serialized per-destination clones on EMesh-Pure.
+func (m *Message) IsBroadcast() bool { return m.Dst == BroadcastDst || m.origBcast }
+
+// DeliverFunc receives a message at core dst. For broadcasts it is invoked
+// once per core.
+type DeliverFunc func(dst int, m *Message)
+
+// Network is the interface all fabrics implement.
+type Network interface {
+	// Send injects m at m.Src. The network takes ownership of m.
+	Send(m *Message)
+	// SetDeliver installs the ejection callback. Must be called before
+	// the first Send.
+	SetDeliver(fn DeliverFunc)
+	// Stats returns the live counter block.
+	Stats() *Stats
+}
+
+// FlitsFor returns the number of flits needed for bits at the given flit
+// width (minimum 1).
+func FlitsFor(bits, flitBits int) int {
+	if bits <= 0 {
+		return 1
+	}
+	n := (bits + flitBits - 1) / flitBits
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Stats aggregates every countable network event needed by the performance
+// figures and the energy model. All counts are events, not rates.
+type Stats struct {
+	// Message-level counts.
+	UnicastSent   uint64
+	BroadcastSent uint64
+	Delivered     uint64 // per-receiver deliveries
+	UnicastRecv   uint64 // unicast deliveries (Fig 5 is receiver-measured)
+	BroadcastRecv uint64 // broadcast deliveries (one per receiver)
+	InjectedFlits uint64 // flits entering any injection queue (Fig 6)
+	LatencySum    uint64 // cycles, inject -> delivery (per delivery)
+	LatencyCount  uint64
+	LatencyMax    uint64
+	// Per-class delivery latency (coherence control vs data-carrying).
+	CtrlLatencySum, CtrlLatencyCount uint64
+	DataLatencySum, DataLatencyCount uint64
+
+	// Electrical mesh events (ENet or EMesh).
+	MeshLinkFlits   uint64 // flit-link traversals
+	MeshRouterFlits uint64 // flit-router traversals (buffer wr+rd+xbar)
+
+	// ATAC hub / optical events.
+	HubFlits         uint64 // flits buffered through a hub (either direction)
+	ONetUniFlits     uint64 // data-link flits sent in unicast mode
+	ONetBcastFlits   uint64 // data-link flits sent in broadcast mode
+	ONetUniPkts      uint64
+	ONetBcastPkts    uint64
+	SelectEvents     uint64 // select-link notifications
+	LaserUniCycles   uint64 // cycles any data laser spent in unicast mode
+	LaserBcastCycles uint64 // cycles any data laser spent in broadcast mode
+
+	// Receive-network events.
+	BNetFlits      uint64 // flits broadcast over a BNet tree
+	StarUniFlits   uint64 // flits over a single StarNet link
+	StarBcastFlits uint64 // flits over all StarNet links of a cluster
+}
+
+// RecordLatency adds one delivery latency observation.
+func (s *Stats) RecordLatency(d sim.Time) {
+	s.LatencySum += uint64(d)
+	s.LatencyCount++
+	if uint64(d) > s.LatencyMax {
+		s.LatencyMax = uint64(d)
+	}
+}
+
+// RecordClassLatency adds a per-class latency observation.
+func (s *Stats) RecordClassLatency(c Class, d sim.Time) {
+	if c == ClassData {
+		s.DataLatencySum += uint64(d)
+		s.DataLatencyCount++
+	} else {
+		s.CtrlLatencySum += uint64(d)
+		s.CtrlLatencyCount++
+	}
+}
+
+// AvgClassLatency returns the mean latency for a message class.
+func (s *Stats) AvgClassLatency(c Class) float64 {
+	if c == ClassData {
+		if s.DataLatencyCount == 0 {
+			return 0
+		}
+		return float64(s.DataLatencySum) / float64(s.DataLatencyCount)
+	}
+	if s.CtrlLatencyCount == 0 {
+		return 0
+	}
+	return float64(s.CtrlLatencySum) / float64(s.CtrlLatencyCount)
+}
+
+// AvgLatency returns the mean delivery latency in cycles.
+func (s *Stats) AvgLatency() float64 {
+	if s.LatencyCount == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.LatencyCount)
+}

@@ -1,0 +1,225 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func defaultGeom() Geometry { return NewGeometry(64, 64) }
+
+func TestGeometryRingCounts(t *testing.T) {
+	g := defaultGeom()
+	if g.SelectBits != 6 {
+		t.Errorf("SelectBits = %d, want 6", g.SelectBits)
+	}
+	// The paper reports ~260K rings for the 64-hub, 64-bit ONet.
+	if got := g.DataRings(); got != 64*64*64 {
+		t.Errorf("DataRings = %d, want %d", got, 64*64*64)
+	}
+	if g.TotalRings() < 260000 || g.TotalRings() > 300000 {
+		t.Errorf("TotalRings = %d, want ~260K-300K (paper: ~260K)", g.TotalRings())
+	}
+	if got := g.Waveguides(); got != 70 {
+		t.Errorf("Waveguides = %d, want 70", got)
+	}
+}
+
+func TestGeometrySmallHubCount(t *testing.T) {
+	g := NewGeometry(2, 16)
+	if g.SelectBits != 1 {
+		t.Errorf("SelectBits for 2 hubs = %d, want 1", g.SelectBits)
+	}
+	if g.DataRings() != 2*(16+16) {
+		t.Errorf("DataRings = %d", g.DataRings())
+	}
+}
+
+func TestSolveBudget(t *testing.T) {
+	l, err := Solve(DefaultParams(), defaultGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.WorstCaseLossDB <= 0 {
+		t.Fatal("loss must be positive")
+	}
+	// Broadcast needs exactly H-1 times unicast optical power.
+	if got := l.LaserOpticalBroadcastW / l.LaserOpticalUnicastW; math.Abs(got-63) > 1e-9 {
+		t.Errorf("broadcast/unicast optical ratio = %v, want 63", got)
+	}
+	// Wall-plug power exceeds optical power by 1/efficiency.
+	if got := l.LaserWallUnicastW / l.LaserOpticalUnicastW; math.Abs(got-1/0.30) > 1e-9 {
+		t.Errorf("wall/optical = %v, want %v", got, 1/0.30)
+	}
+	// Sanity: the whole ungated ONet (64 hubs at broadcast power) should
+	// land in the watts range, not milliwatts or kilowatts.
+	total := l.DataLinkWallPowerW(true) * 64
+	if total < 1 || total > 200 {
+		t.Errorf("ungated all-hub broadcast laser power = %v W, want O(10 W)", total)
+	}
+}
+
+func TestIdealParams(t *testing.T) {
+	ideal := DefaultParams().Ideal()
+	l, err := Solve(ideal, defaultGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero loss: wall-plug unicast power equals bare receiver sensitivity.
+	want := ideal.ReceiverSensUW * 1e-6
+	if math.Abs(l.LaserWallUnicastW-want) > 1e-12 {
+		t.Errorf("ideal unicast wall power = %v, want %v", l.LaserWallUnicastW, want)
+	}
+	if l.TuningPowerW(false) != 0 {
+		t.Errorf("ideal tuning power = %v, want 0", l.TuningPowerW(false))
+	}
+	// Ideal must be strictly cheaper than practical.
+	prac, err := Solve(DefaultParams(), defaultGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.LaserWallBroadcastW >= prac.LaserWallBroadcastW {
+		t.Error("ideal laser not cheaper than practical")
+	}
+}
+
+func TestWaveguideLossMonotonicity(t *testing.T) {
+	// Fig 9 sweeps the total waveguide loss over the loop from 0.2 dB to
+	// 4 dB; higher loss must monotonically raise laser power.
+	prev := -1.0
+	for _, loss := range []float64{0.2, 0.5, 1, 2, 3, 4} {
+		p := DefaultParams()
+		p.WaveguideLossDBCM = loss / p.WaveguideLoopCM
+		l, err := Solve(p, defaultGeom())
+		if err != nil {
+			t.Fatalf("loss %v: %v", loss, err)
+		}
+		if l.LaserWallBroadcastW <= prev {
+			t.Fatalf("laser power not increasing at loss %v dB/cm", loss)
+		}
+		prev = l.LaserWallBroadcastW
+	}
+}
+
+func TestNonlinearityLimit(t *testing.T) {
+	p := DefaultParams()
+	p.WaveguideLossDBCM = 25 // absurd loss forces infeasible budget
+	if _, err := Solve(p, defaultGeom()); err == nil {
+		t.Fatal("expected nonlinearity violation, got nil error")
+	}
+}
+
+func TestSolveRejectsDegenerate(t *testing.T) {
+	if _, err := Solve(DefaultParams(), NewGeometry(1, 64)); err == nil {
+		t.Error("1 hub accepted")
+	}
+	p := DefaultParams()
+	p.LaserEfficiency = 0
+	if _, err := Solve(p, defaultGeom()); err == nil {
+		t.Error("zero efficiency accepted")
+	}
+}
+
+func TestTuningPower(t *testing.T) {
+	l, err := Solve(DefaultParams(), defaultGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.TuningPowerW(true); got != 0 {
+		t.Errorf("athermal tuning = %v, want 0", got)
+	}
+	got := l.TuningPowerW(false)
+	want := 20e-6 * float64(defaultGeom().TotalRings())
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("tuning power = %v, want %v", got, want)
+	}
+	// With ~287K rings at 20 µW the heaters should burn watts — the
+	// Fig 7 "ring tuning dominates" regime.
+	if got < 1 {
+		t.Errorf("tuning power %v W implausibly low for ~287K rings", got)
+	}
+}
+
+func TestEnergyAccessors(t *testing.T) {
+	l, err := Solve(DefaultParams(), defaultGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ModulatorEnergyJPerFlit(); math.Abs(got-40e-15*64) > 1e-20 {
+		t.Errorf("modulator energy = %v", got)
+	}
+	if l.ReceiverEnergyJPerFlit(63) != 63*l.ReceiverEnergyJPerFlit(1) {
+		t.Error("receiver energy not linear in receiver count")
+	}
+	if l.SelectEventEnergyJ(1e-9) <= 0 {
+		t.Error("select event energy must be positive")
+	}
+	if l.DataLinkWallPowerW(true) <= l.DataLinkWallPowerW(false) {
+		t.Error("broadcast link power must exceed unicast")
+	}
+}
+
+func TestAreaScalesWithFlitWidth(t *testing.T) {
+	// Fig 11 discussion: 64-bit ONet ≈ 40 mm²; 256-bit ≈ 160 mm².
+	l64, err := Solve(DefaultParams(), NewGeometry(64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l256, err := Solve(DefaultParams(), NewGeometry(64, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a64, a256 := l64.AreaMM2(), l256.AreaMM2()
+	if a64 < 25 || a64 > 60 {
+		t.Errorf("64-bit ONet area = %.1f mm², want ~40 mm²", a64)
+	}
+	if a256 < 110 || a256 > 230 {
+		t.Errorf("256-bit ONet area = %.1f mm², want ~160 mm²", a256)
+	}
+	if r := a256 / a64; r < 3.5 || r > 4.5 {
+		t.Errorf("area ratio 256/64 = %.2f, want ~4", r)
+	}
+}
+
+// Property: laser broadcast power scales linearly with the number of
+// receivers (paper: "laser power provisioned for broadcasts is
+// approximately a linear function of the number of receivers").
+func TestBroadcastPowerLinearInReceivers(t *testing.T) {
+	f := func(hubsRaw uint8) bool {
+		hubs := int(hubsRaw)%62 + 2 // 2..63
+		l, err := Solve(DefaultParams(), NewGeometry(hubs, 64))
+		if err != nil {
+			return false
+		}
+		ratio := l.LaserOpticalBroadcastW / l.LaserOpticalUnicastW
+		return math.Abs(ratio-float64(hubs-1)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: solved budgets are monotone in every loss knob.
+func TestLossKnobMonotonicity(t *testing.T) {
+	base, err := Solve(DefaultParams(), defaultGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	knobs := []func(*Params){
+		func(p *Params) { p.RingDropDB += 1 },
+		func(p *Params) { p.ModulatorInsDB += 1 },
+		func(p *Params) { p.PhotodetectorDB += 1 },
+		func(p *Params) { p.RingThroughDB += 0.01 },
+	}
+	for i, k := range knobs {
+		p := DefaultParams()
+		k(&p)
+		l, err := Solve(p, defaultGeom())
+		if err != nil {
+			t.Fatalf("knob %d: %v", i, err)
+		}
+		if l.LaserWallUnicastW <= base.LaserWallUnicastW {
+			t.Errorf("knob %d did not increase laser power", i)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All architectural components in this repository (cores, caches, network
+// routers, optical links, memory controllers) are driven by a single Kernel.
+// Events for the same cycle run in scheduling order (FIFO), which makes
+// every simulation fully deterministic for a given configuration and seed.
+//
+// The kernel is a hierarchical timing wheel: events within the wheel
+// horizon (4096 cycles — covering every latency in the modelled system)
+// go to O(1) per-cycle buckets; rarer far-future events go to a small
+// binary heap and are folded into their bucket when their cycle begins.
+// Same-cycle ordering is FIFO within each class, with far-scheduled events
+// first when their cycle's bucket was still empty on arrival.
+package sim
+
+import "container/heap"
+
+// Time is simulated time measured in clock cycles. All components in this
+// repository share a single 1 GHz clock domain (Table I of the paper), so a
+// cycle is also a nanosecond.
+type Time uint64
+
+// Forever is a sentinel time far beyond any realistic simulation horizon.
+const Forever = Time(1) << 62
+
+const (
+	wheelBits = 12
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+type farEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type farHeap []farEvent
+
+func (h farHeap) Len() int { return len(h) }
+func (h farHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h farHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *farHeap) Push(x any)   { *h = append(*h, x.(farEvent)) }
+func (h *farHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = farEvent{}
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator. The zero value is ready to use.
+type Kernel struct {
+	now Time
+
+	wheel      [wheelSize][]func()
+	wheelCount int // unprocessed events currently in the wheel
+	idx        int // next unprocessed index in the current cycle's bucket
+
+	far    farHeap
+	farSeq uint64
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule runs fn after delay cycles (delay 0 means later this cycle,
+// after all currently pending work for this cycle).
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	k.At(k.now+delay, fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past panics: it is
+// always a component bug.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic("sim: scheduling event in the past")
+	}
+	if t-k.now < wheelSize {
+		k.wheel[t&wheelMask] = append(k.wheel[t&wheelMask], fn)
+		k.wheelCount++
+		return
+	}
+	k.farSeq++
+	heap.Push(&k.far, farEvent{at: t, seq: k.farSeq, fn: fn})
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return k.wheelCount + len(k.far) }
+
+// advance outcomes.
+const (
+	advNone   = iota // no events left
+	advFound         //  positioned at a cycle with an unprocessed event
+	advBeyond        // next event lies beyond the limit; clock stopped at limit
+)
+
+// advance positions the kernel at the next cycle holding an unprocessed
+// event whose time does not exceed limit.
+func (k *Kernel) advance(limit Time) int {
+	for {
+		b := k.wheel[k.now&wheelMask]
+		if k.idx < len(b) {
+			return advFound
+		}
+		// The current cycle is exhausted: recycle its bucket.
+		if k.idx > 0 {
+			k.wheel[k.now&wheelMask] = b[:0]
+			k.idx = 0
+		}
+		if k.wheelCount == 0 {
+			if len(k.far) == 0 {
+				return advNone
+			}
+			if k.far[0].at > limit {
+				// Safe to jump: the wheel is empty, so no aliasing.
+				k.now = limit
+				return advBeyond
+			}
+			k.now = k.far[0].at
+		} else {
+			if k.now == limit {
+				return advBeyond
+			}
+			k.now++
+		}
+		// Fold far events whose cycle has arrived into the bucket.
+		for len(k.far) > 0 && k.far[0].at == k.now {
+			e := heap.Pop(&k.far).(farEvent)
+			k.wheel[k.now&wheelMask] = append(k.wheel[k.now&wheelMask], e.fn)
+			k.wheelCount++
+		}
+	}
+}
+
+// Step executes the single earliest event, advancing time to it.
+// It returns false when no events remain.
+func (k *Kernel) Step() bool {
+	if k.advance(^Time(0)) != advFound {
+		return false
+	}
+	fn := k.wheel[k.now&wheelMask][k.idx]
+	k.wheel[k.now&wheelMask][k.idx] = nil
+	k.idx++
+	k.wheelCount--
+	fn()
+	return true
+}
+
+// Run executes events until the queue is empty or simulated time would
+// exceed until, and returns the number of events executed. On return the
+// clock stands at until unless later events remain within the wheel
+// horizon of the last executed cycle.
+func (k *Kernel) Run(until Time) int {
+	n := 0
+	for {
+		switch k.advance(until) {
+		case advNone:
+			if k.now < until {
+				k.now = until
+			}
+			return n
+		case advBeyond:
+			return n
+		}
+		bucket := &k.wheel[k.now&wheelMask]
+		for k.idx < len(*bucket) {
+			fn := (*bucket)[k.idx]
+			(*bucket)[k.idx] = nil
+			k.idx++
+			k.wheelCount--
+			fn()
+			n++
+		}
+	}
+}
+
+// RunAll executes events until none remain and returns the count executed.
+// A simulation that generates events forever will not return; callers that
+// cannot prove termination should use Run with a horizon.
+func (k *Kernel) RunAll() int {
+	n := 0
+	for k.Step() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroKernel(t *testing.T) {
+	var k Kernel
+	if k.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", k.Now())
+	}
+	if k.Step() {
+		t.Fatal("Step on empty kernel returned true")
+	}
+	if n := k.RunAll(); n != 0 {
+		t.Fatalf("RunAll on empty kernel executed %d events", n)
+	}
+}
+
+func TestScheduleOrder(t *testing.T) {
+	var k Kernel
+	var got []int
+	k.Schedule(10, func() { got = append(got, 2) })
+	k.Schedule(5, func() { got = append(got, 1) })
+	k.Schedule(20, func() { got = append(got, 3) })
+	k.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order = %v, want [1 2 3]", got)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("Now() = %d, want 20", k.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	var k Kernel
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.Schedule(7, func() { got = append(got, i) })
+	}
+	k.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events reordered: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var k Kernel
+	var times []Time
+	k.Schedule(1, func() {
+		times = append(times, k.Now())
+		k.Schedule(4, func() {
+			times = append(times, k.Now())
+			k.Schedule(0, func() { times = append(times, k.Now()) })
+		})
+	})
+	k.RunAll()
+	want := []Time{1, 5, 5}
+	if len(times) != len(want) {
+		t.Fatalf("got %d events, want %d", len(times), len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	var k Kernel
+	ran := 0
+	k.Schedule(10, func() { ran++ })
+	k.Schedule(30, func() { ran++ })
+	n := k.Run(20)
+	if n != 1 || ran != 1 {
+		t.Fatalf("Run(20) executed %d events (ran=%d), want 1", n, ran)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("Now() = %d, want 20 (the horizon)", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1 (event at 30 retained)", k.Pending())
+	}
+	n = k.Run(100)
+	if n != 1 || ran != 2 {
+		t.Fatalf("second Run executed %d events, want 1", n)
+	}
+	// Queue empty: Run should advance the clock to the horizon.
+	k.Run(200)
+	if k.Now() != 200 {
+		t.Fatalf("Now() = %d, want 200", k.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var k Kernel
+	k.Schedule(10, func() {})
+	k.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past did not panic")
+		}
+	}()
+	k.At(5, func() {})
+}
+
+// Property: for any set of delays, events execute in nondecreasing time
+// order and the kernel visits exactly the multiset of scheduled times.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var k Kernel
+		var visited []Time
+		for _, d := range delays {
+			k.Schedule(Time(d), func() { visited = append(visited, k.Now()) })
+		}
+		k.RunAll()
+		if len(visited) != len(delays) {
+			return false
+		}
+		want := make([]Time, len(delays))
+		for i, d := range delays {
+			want[i] = Time(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if visited[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving nested scheduling with random delays never
+// executes an event before the time it was scheduled for.
+func TestCausalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var k Kernel
+	bad := false
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if depth == 0 {
+			return
+		}
+		at := k.Now()
+		d := Time(rng.Intn(50))
+		k.Schedule(d, func() {
+			if k.Now() < at+d {
+				bad = true
+			}
+			spawn(depth - 1)
+		})
+	}
+	for i := 0; i < 50; i++ {
+		spawn(5)
+	}
+	k.RunAll()
+	if bad {
+		t.Fatal("event executed before its scheduled time")
+	}
+}
+
+func BenchmarkKernelScheduleRun(b *testing.B) {
+	var k Kernel
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(Time(i%64), func() {})
+		if k.Pending() > 1024 {
+			k.Run(k.Now() + 16)
+		}
+	}
+	k.RunAll()
+}
+
+func TestFarEventsBeyondWheel(t *testing.T) {
+	// Events beyond the 4096-cycle wheel horizon go to the far heap and
+	// must still run in order, interleaved with near events.
+	var k Kernel
+	var got []Time
+	rec := func() { got = append(got, k.Now()) }
+	k.Schedule(10, rec)
+	k.Schedule(5000, rec)  // far
+	k.Schedule(4096, rec)  // exactly at the horizon: far
+	k.Schedule(4095, rec)  // last wheel slot
+	k.Schedule(20000, rec) // far
+	k.RunAll()
+	want := []Time{10, 4095, 4096, 5000, 20000}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFarEventFIFOAtSameCycle(t *testing.T) {
+	// Two far events for the same cycle keep scheduling order.
+	var k Kernel
+	var got []int
+	k.Schedule(9000, func() { got = append(got, 1) })
+	k.Schedule(9000, func() { got = append(got, 2) })
+	k.RunAll()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("far same-cycle order: %v", got)
+	}
+	if k.Now() != 9000 {
+		t.Fatalf("Now = %d", k.Now())
+	}
+}
+
+func TestFarJumpSkipsIdleGap(t *testing.T) {
+	// With an empty wheel, the kernel jumps directly to the far event
+	// rather than walking cycles (completes instantly even for huge gaps).
+	var k Kernel
+	ran := false
+	k.Schedule(1, func() {
+		k.Schedule(50_000_000, func() { ran = true })
+	})
+	k.RunAll()
+	if !ran || k.Now() != 50_000_001 {
+		t.Fatalf("far jump failed: ran=%v now=%d", ran, k.Now())
+	}
+}
+
+func TestRunHorizonWithFarPending(t *testing.T) {
+	// Run(until) with only a far event beyond the horizon must stop the
+	// clock at the horizon and keep the event queued.
+	var k Kernel
+	ran := false
+	k.Schedule(100000, func() { ran = true })
+	k.Run(500)
+	if ran || k.Now() != 500 || k.Pending() != 1 {
+		t.Fatalf("ran=%v now=%d pending=%d", ran, k.Now(), k.Pending())
+	}
+	k.RunAll()
+	if !ran {
+		t.Fatal("far event lost")
+	}
+}
+
+func TestEventDuringCurrentCycle(t *testing.T) {
+	// Schedule(0) from inside an event runs later the same cycle, before
+	// any later-cycle event.
+	var k Kernel
+	var got []string
+	k.Schedule(5, func() {
+		k.Schedule(0, func() { got = append(got, "same-cycle") })
+	})
+	k.Schedule(6, func() { got = append(got, "next-cycle") })
+	k.RunAll()
+	if len(got) != 2 || got[0] != "same-cycle" {
+		t.Fatalf("order %v", got)
+	}
+}
+
+func TestWheelReuseAcrossManyCycles(t *testing.T) {
+	// Hammer the wheel well past several wraparounds.
+	var k Kernel
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 20000 {
+			k.Schedule(1, tick)
+		}
+	}
+	k.Schedule(1, tick)
+	k.RunAll()
+	if count != 20000 || k.Now() != 20000 {
+		t.Fatalf("count=%d now=%d", count, k.Now())
+	}
+}

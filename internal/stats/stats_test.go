@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	for i := uint64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Errorf("Mean = %v, want 50.5", got)
+	}
+	if got := h.Percentile(50); got != 50 {
+		t.Errorf("p50 = %d, want 50", got)
+	}
+	if got := h.Percentile(100); got != 100 {
+		t.Errorf("p100 = %d, want 100", got)
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %d", h.Max())
+	}
+}
+
+func TestHistExactInLinearRegion(t *testing.T) {
+	// Percentiles in the linear region must match a sorted reference.
+	rng := rand.New(rand.NewSource(1))
+	var h Hist
+	var ref []uint64
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(250))
+		h.Add(v)
+		ref = append(ref, v)
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	for _, p := range []float64{10, 25, 50, 75, 90, 99} {
+		want := ref[int(p/100*float64(len(ref)))-0]
+		// Allow the ceil-index convention one position of slack.
+		got := h.Percentile(p)
+		lo := ref[max(0, int(p/100*float64(len(ref)))-2)]
+		if got < lo || got > want+1 {
+			t.Errorf("p%v = %d, reference %d", p, got, want)
+		}
+	}
+}
+
+func TestHistOctaveBuckets(t *testing.T) {
+	var h Hist
+	h.Add(10000) // far above the linear region
+	h.Add(1)
+	if h.Max() != 10000 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	// p100 must not exceed the true max.
+	if got := h.Percentile(100); got > 10000 {
+		t.Errorf("p100 = %d exceeds max", got)
+	}
+	if h.Percentile(10) != 1 {
+		t.Errorf("p10 = %d, want 1", h.Percentile(10))
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for i := uint64(0); i < 50; i++ {
+		a.Add(i)
+		b.Add(i + 50)
+	}
+	a.Merge(&b)
+	if a.Count() != 100 {
+		t.Errorf("merged count %d", a.Count())
+	}
+	if got := a.Percentile(50); got < 48 || got > 51 {
+		t.Errorf("merged p50 = %d", got)
+	}
+	var empty Hist
+	a.Merge(&empty) // no-op
+	if a.Count() != 100 {
+		t.Error("merging empty changed count")
+	}
+}
+
+func TestHistMergeMismatchPanics(t *testing.T) {
+	a := &Hist{LinearMax: 16}
+	b := &Hist{LinearMax: 32}
+	a.Add(1)
+	b.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched linear regions")
+		}
+	}()
+	a.Merge(b)
+}
+
+// Property: percentiles are monotone in p and bounded by max.
+func TestHistPercentileMonotone(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Hist
+		for _, v := range vals {
+			h.Add(uint64(v))
+		}
+		prev := uint64(0)
+		for p := 0.0; p <= 100; p += 5 {
+			v := h.Percentile(p)
+			if v < prev || v > h.Max() && h.Count() > 0 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Error("empty mean not 0")
+	}
+	m.Add(2)
+	m.Add(4)
+	if m.Value() != 3 || m.N() != 2 {
+		t.Errorf("mean %v n %d", m.Value(), m.N())
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	h := NewHeatmap(4)
+	h.Add(1, 2, 5)
+	h.Add(1, 2, 3)
+	h.Add(3, 3, 1)
+	if h.At(1, 2) != 8 {
+		t.Errorf("At(1,2) = %d", h.At(1, 2))
+	}
+	if h.Total() != 9 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	x, y, v := h.Hottest()
+	if x != 1 || y != 2 || v != 8 {
+		t.Errorf("Hottest = (%d,%d,%d)", x, y, v)
+	}
+	r := h.Render()
+	if len(r) != 4*5 { // 4 rows of 4 chars + newline
+		t.Errorf("render size %d", len(r))
+	}
+}
+
+func TestSummary(t *testing.T) {
+	mean, median, lo, hi := Summary([]float64{3, 1, 2})
+	if mean != 2 || median != 2 || lo != 1 || hi != 3 {
+		t.Errorf("summary %v %v %v %v", mean, median, lo, hi)
+	}
+	mean, median, lo, hi = Summary([]float64{1, 2, 3, 4})
+	if median != 2.5 {
+		t.Errorf("even median %v", median)
+	}
+	if mean != 2.5 || lo != 1 || hi != 4 {
+		t.Errorf("even summary %v %v %v", mean, lo, hi)
+	}
+	if m, md, l, h := Summary(nil); m != 0 || md != 0 || l != 0 || h != 0 {
+		t.Error("empty summary not zero")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,19 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func BenchmarkProfileEMeshPureRadix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := config.Default().WithNetwork(config.EMeshPure)
+		cfg.Cores = 256
+		cfg.Caches.DirSlices = 16
+		cfg.Memory.Controllers = 16
+		if _, err := RunBenchmark(cfg, "radix", 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

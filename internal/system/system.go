@@ -1,0 +1,168 @@
+// Package system assembles the full simulated machine — cores, cache
+// hierarchy, coherence directory, memory controllers and the selected
+// on-chip network — and runs workload programs on it, producing the
+// performance counters the energy model and the evaluation figures
+// consume.
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// System is one fully wired machine instance. Build one per run.
+type System struct {
+	K    *sim.Kernel
+	Cfg  config.Config
+	Net  noc.Network
+	Atac *noc.Atac // non-nil when the network is ATAC/ATAC+
+	Coh  *coherence.System
+	Core []*cpu.Core
+}
+
+// New builds a machine for the configuration.
+func New(cfg config.Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{Cfg: cfg, K: &sim.Kernel{}}
+	n := &s.Cfg.Network
+	switch n.Kind {
+	case config.EMeshPure:
+		s.Net = noc.NewMesh(s.K, cfg.MeshDim(), n.FlitBits, n.BufFlits, n.RouterDelay, n.LinkDelay, false)
+	case config.EMeshBCast:
+		s.Net = noc.NewMesh(s.K, cfg.MeshDim(), n.FlitBits, n.BufFlits, n.RouterDelay, n.LinkDelay, true)
+	case config.ATAC, config.ATACPlus:
+		a := noc.NewAtac(s.K, &s.Cfg)
+		s.Atac = a
+		s.Net = a
+	default:
+		return nil, fmt.Errorf("system: unknown network kind %v", n.Kind)
+	}
+	s.Coh = coherence.NewSystem(s.K, &s.Cfg, s.Net)
+	s.Core = make([]*cpu.Core, cfg.Cores)
+	for i := range s.Core {
+		s.Core[i] = cpu.NewCore(i, s.K, s.Coh)
+	}
+	return s, nil
+}
+
+// Result captures one benchmark run.
+type Result struct {
+	Benchmark string
+	Cfg       config.Config
+
+	Cycles       sim.Time // completion time (last core's finish)
+	Instructions uint64   // total retired instructions (= L1-I accesses)
+	Finished     bool     // all cores completed before the horizon
+
+	Coh coherence.Stats
+	Net noc.Stats
+
+	// ATAC-only link statistics (Table V).
+	LinkUtilization  float64
+	UnicastsPerBcast float64
+}
+
+// IPC returns average retired instructions per core-cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / (float64(r.Cycles) * float64(r.Cfg.Cores))
+}
+
+// OfferedLoad returns injected flits per cycle per core (Fig 6).
+func (r *Result) OfferedLoad() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Net.InjectedFlits) / (float64(r.Cycles) * float64(r.Cfg.Cores))
+}
+
+// BroadcastRecvFraction returns the receiver-measured broadcast share of
+// delivered traffic (Fig 5).
+func (r *Result) BroadcastRecvFraction() float64 {
+	tot := r.Net.BroadcastRecv + r.Net.UnicastRecv
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.Net.BroadcastRecv) / float64(tot)
+}
+
+// Run executes the benchmark to completion (or the horizon, whichever is
+// first) and returns the measured counters. The spec's Init pre-loads the
+// value store; Validate, if non-nil, is checked and its failure returned
+// as an error.
+func (s *System) Run(spec workload.Spec, horizon sim.Time) (Result, error) {
+	if spec.Init != nil {
+		spec.Init(s.Coh.Vals)
+	}
+	remaining := len(s.Core)
+	var last sim.Time
+	for _, c := range s.Core {
+		c.Start(spec.Program, func(c *cpu.Core) {
+			remaining--
+			if c.FinishTime > last {
+				last = c.FinishTime
+			}
+		})
+	}
+	if horizon == 0 {
+		horizon = sim.Forever
+	}
+	s.K.Run(horizon)
+
+	res := Result{
+		Benchmark: spec.Name,
+		Cfg:       s.Cfg,
+		Cycles:    last,
+		Finished:  remaining == 0,
+		Coh:       *s.Coh.Stats(),
+		Net:       *s.Net.Stats(),
+	}
+	for _, c := range s.Core {
+		res.Instructions += c.Instructions
+	}
+	if !res.Finished {
+		for _, c := range s.Core {
+			c.Kill()
+		}
+		return res, fmt.Errorf("system: %s: %d cores unfinished at horizon %d", spec.Name, remaining, horizon)
+	}
+	if s.Atac != nil {
+		res.LinkUtilization = s.Atac.LinkUtilization(res.Cycles)
+		res.UnicastsPerBcast = s.Atac.UnicastsPerBroadcast()
+	}
+	if spec.Validate != nil {
+		if err := spec.Validate(s.Coh.Vals); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// WorkloadFor resolves the named benchmark for a configuration.
+func WorkloadFor(cfg config.Config, name string, scale int) (workload.Spec, error) {
+	return workload.ByName(name, cfg.Cores, cfg.Seed, scale)
+}
+
+// RunBenchmark is the one-call convenience: build a machine for cfg and
+// run the named workload at the given scale.
+func RunBenchmark(cfg config.Config, name string, scale int, horizon sim.Time) (Result, error) {
+	spec, err := workload.ByName(name, cfg.Cores, cfg.Seed, scale)
+	if err != nil {
+		return Result{}, err
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(spec, horizon)
+}

@@ -1,0 +1,83 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := config.Tiny()
+	cfg.Cores = 15 // not a perfect square
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestNewBuildsAllNetworkKinds(t *testing.T) {
+	for _, k := range []config.NetworkKind{config.EMeshPure, config.EMeshBCast, config.ATAC, config.ATACPlus} {
+		cfg := config.Tiny().WithNetwork(k)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if (s.Atac != nil) != k.IsOptical() {
+			t.Errorf("%v: Atac presence mismatch", k)
+		}
+		if len(s.Core) != cfg.Cores {
+			t.Errorf("%v: %d cores", k, len(s.Core))
+		}
+	}
+}
+
+func TestRunHorizonAbort(t *testing.T) {
+	cfg := config.Tiny()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workload.ByName("radix", cfg.Cores, cfg.Seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(spec, 100) // far too short
+	if err == nil {
+		t.Fatal("horizon abort did not error")
+	}
+	if res.Finished {
+		t.Fatal("result claims finished")
+	}
+}
+
+func TestResultDerivedMetrics(t *testing.T) {
+	res, err := RunBenchmark(config.Tiny(), "fmm", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc := res.IPC(); ipc <= 0 || ipc > 1 {
+		t.Errorf("IPC = %v, want in (0,1] for an in-order single-issue core", ipc)
+	}
+	if res.OfferedLoad() <= 0 {
+		t.Error("offered load must be positive")
+	}
+	if f := res.BroadcastRecvFraction(); f < 0 || f > 1 {
+		t.Errorf("broadcast fraction %v", f)
+	}
+	if res.LinkUtilization <= 0 || res.LinkUtilization > 1 {
+		t.Errorf("link utilization %v", res.LinkUtilization)
+	}
+}
+
+func TestRunBenchmarkUnknownName(t *testing.T) {
+	if _, err := RunBenchmark(config.Tiny(), "nope", 1, 0); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestZeroMetricsOnEmptyResult(t *testing.T) {
+	var r Result
+	if r.IPC() != 0 || r.OfferedLoad() != 0 || r.BroadcastRecvFraction() != 0 {
+		t.Error("zero result must produce zero metrics")
+	}
+}

@@ -1,0 +1,102 @@
+// Package tech models the projected 11 nm tri-gate electrical technology
+// node used by the paper (Table III), in the spirit of the virtual-source
+// transport model of Khakifirooz et al. and the parasitic capacitance model
+// of Wei et al. It exposes the small set of derived quantities the rest of
+// the power models need: switching energy per unit capacitance, wire
+// capacitance per mm, SRAM cell geometry, and leakage densities.
+//
+// Absolute accuracy at an unbuilt node is impossible; the goal is a
+// self-consistent parameter set matching the paper's published numbers so
+// that relative comparisons between architectures are meaningful.
+package tech
+
+// Params describes an electrical technology node.
+type Params struct {
+	Name string
+
+	VDD          float64 // supply voltage, V
+	GateLengthNM float64 // physical gate length, nm
+	GatePitchNM  float64 // contacted gate pitch, nm
+
+	GateCapFFPerUM  float64 // gate capacitance per transistor width, fF/µm
+	DrainCapFFPerUM float64 // drain (parasitic) capacitance per width, fF/µm
+	IOnNUAPerUM     float64 // NFET effective on current per width, µA/µm
+	IOnPUAPerUM     float64 // PFET effective on current per width, µA/µm
+	IOffNAPerUM     float64 // off (leakage) current per width, nA/µm
+
+	// Wire parameters for intermediate-level interconnect.
+	WireCapFFPerMM  float64 // wire capacitance per length, fF/mm
+	WireResOhmPerMM float64 // wire resistance per length, Ω/mm
+
+	// SRAM parameters (HVT 6T cell).
+	SRAMCellUM2      float64 // 6T cell area, µm²
+	SRAMAreaOverhead float64 // array overhead factor (decoders, sense amps)
+
+	// ClockCapFFPerGate approximates the clock-network load attributed
+	// to each clocked gate (latch/flop input plus local tree share).
+	ClockCapFFPerGate float64
+}
+
+// Default11nm returns the paper's projected 11 nm tri-gate parameters
+// (Table III) plus the derived wire and SRAM constants used by the DSENT-
+// and McPAT-style models.
+func Default11nm() Params {
+	return Params{
+		Name:            "11nm-trigate-HVT",
+		VDD:             0.6,
+		GateLengthNM:    14,
+		GatePitchNM:     44,
+		GateCapFFPerUM:  2.420,
+		DrainCapFFPerUM: 1.150,
+		IOnNUAPerUM:     739,
+		IOnPUAPerUM:     668,
+		IOffNAPerUM:     1,
+		// Projected intermediate-layer wire: ~190 fF/mm total
+		// (ground + coupling) at tight pitch.
+		WireCapFFPerMM:  190,
+		WireResOhmPerMM: 2800,
+		// ~0.06 µm² HVT 6T cell projected for 11 nm; arrays pay ~2x
+		// for decode/sense/redundancy/ECC (McPAT-style overheads).
+		SRAMCellUM2:       0.06,
+		SRAMAreaOverhead:  2.0,
+		ClockCapFFPerGate: 0.08,
+	}
+}
+
+// SwitchEnergyJ returns the CV² dynamic energy of charging capacitance
+// capFF (in fF) through a full voltage swing, in joules. The conventional
+// 1/2·C·V² per transition is doubled to a full charge/discharge cycle and
+// halved again by an average activity convention, so E = C·V²/2 per event
+// is used throughout; callers count events, not transitions.
+func (p Params) SwitchEnergyJ(capFF float64) float64 {
+	return 0.5 * capFF * 1e-15 * p.VDD * p.VDD
+}
+
+// WireEnergyJPerBitMM returns the dynamic energy to toggle one bit over
+// one millimetre of repeated wire, including repeater gate/drain load
+// (~30% on top of the bare wire capacitance).
+func (p Params) WireEnergyJPerBitMM() float64 {
+	const repeaterOverhead = 1.30
+	return p.SwitchEnergyJ(p.WireCapFFPerMM * repeaterOverhead)
+}
+
+// LeakagePowerWPerUM returns static leakage power per µm of transistor
+// width, in watts: IOff · VDD.
+func (p Params) LeakagePowerWPerUM() float64 {
+	return p.IOffNAPerUM * 1e-9 * p.VDD
+}
+
+// SRAMBitAreaUM2 returns array area per bit including overhead, µm².
+func (p Params) SRAMBitAreaUM2() float64 {
+	return p.SRAMCellUM2 * p.SRAMAreaOverhead
+}
+
+// FO4DelayPS estimates the fanout-of-4 inverter delay in picoseconds,
+// a sanity metric: C·V/I for a gate driving four copies of itself.
+func (p Params) FO4DelayPS() float64 {
+	// Per µm of width: load = 4 gate caps + self drain cap.
+	loadFF := 4*p.GateCapFFPerUM + p.DrainCapFFPerUM
+	ion := (p.IOnNUAPerUM + p.IOnPUAPerUM) / 2 // µA/µm
+	// t = C·V/I ; fF·V/µA = ns·1e-3 => ps.
+	return loadFF * p.VDD / ion * 1000
+}

@@ -1,0 +1,72 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultMatchesTableIII(t *testing.T) {
+	p := Default11nm()
+	if p.VDD != 0.6 {
+		t.Errorf("VDD = %v, want 0.6", p.VDD)
+	}
+	if p.GateLengthNM != 14 || p.GatePitchNM != 44 {
+		t.Errorf("geometry %v/%v, want 14/44", p.GateLengthNM, p.GatePitchNM)
+	}
+	if p.GateCapFFPerUM != 2.420 || p.DrainCapFFPerUM != 1.150 {
+		t.Errorf("caps %v/%v", p.GateCapFFPerUM, p.DrainCapFFPerUM)
+	}
+	if p.IOnNUAPerUM != 739 || p.IOnPUAPerUM != 668 || p.IOffNAPerUM != 1 {
+		t.Errorf("currents %v/%v/%v", p.IOnNUAPerUM, p.IOnPUAPerUM, p.IOffNAPerUM)
+	}
+}
+
+func TestSwitchEnergy(t *testing.T) {
+	p := Default11nm()
+	// 1 fF at 0.6 V: E = 0.5·1e-15·0.36 = 1.8e-16 J.
+	if got := p.SwitchEnergyJ(1); math.Abs(got-1.8e-16) > 1e-20 {
+		t.Errorf("SwitchEnergyJ(1) = %v, want 1.8e-16", got)
+	}
+	if p.SwitchEnergyJ(2) != 2*p.SwitchEnergyJ(1) {
+		t.Error("switch energy not linear in capacitance")
+	}
+}
+
+func TestWireEnergyPlausible(t *testing.T) {
+	p := Default11nm()
+	e := p.WireEnergyJPerBitMM()
+	// Tens of fJ per bit·mm at a 0.6 V low-power node.
+	if e < 1e-14 || e > 1e-13 {
+		t.Errorf("wire energy %v J/bit/mm out of plausible range", e)
+	}
+}
+
+func TestLeakage(t *testing.T) {
+	p := Default11nm()
+	// 1 nA/µm at 0.6 V -> 0.6 nW/µm.
+	if got := p.LeakagePowerWPerUM(); math.Abs(got-0.6e-9) > 1e-15 {
+		t.Errorf("leakage = %v, want 0.6e-9", got)
+	}
+}
+
+func TestFO4Sane(t *testing.T) {
+	p := Default11nm()
+	d := p.FO4DelayPS()
+	// HVT 11 nm FO4 should be single-digit picoseconds: far below the
+	// 1 ns cycle (Table I says clocks are "relatively slow").
+	if d <= 0 || d > 50 {
+		t.Errorf("FO4 = %v ps, implausible", d)
+	}
+}
+
+func TestSRAMBitArea(t *testing.T) {
+	p := Default11nm()
+	if got := p.SRAMBitAreaUM2(); got <= p.SRAMCellUM2 {
+		t.Errorf("bit area %v must exceed raw cell %v", got, p.SRAMCellUM2)
+	}
+	// 32 KB of SRAM should be well under 0.1 mm².
+	bits := 32.0 * 1024 * 8
+	if area := bits * p.SRAMBitAreaUM2() * 1e-6; area > 0.1 {
+		t.Errorf("32KB SRAM area %v mm² too large", area)
+	}
+}

@@ -1,0 +1,95 @@
+// Package trace provides a lightweight ring-buffer event tracer for
+// debugging protocol and network behaviour: components record one-line
+// events with their simulated timestamp; the ring keeps the most recent N
+// and can be dumped on demand (atacsim -trace) or when a test fails.
+// Recording through a nil *Ring is a no-op, so tracing costs nothing when
+// disabled.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Entry is one recorded event.
+type Entry struct {
+	At   sim.Time
+	Kind string // short category, e.g. "dir", "net", "cache"
+	Text string
+}
+
+// Ring is a fixed-capacity event recorder. The zero value is unusable;
+// create with New. A nil ring ignores all records.
+type Ring struct {
+	entries []Entry
+	next    int
+	total   uint64
+	filter  func(kind string) bool
+}
+
+// New creates a ring holding the most recent n events.
+func New(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{entries: make([]Entry, 0, n)}
+}
+
+// SetFilter restricts recording to kinds the predicate accepts.
+func (r *Ring) SetFilter(f func(kind string) bool) {
+	if r != nil {
+		r.filter = f
+	}
+}
+
+// Record adds an event. Arguments are formatted eagerly only when the
+// ring is non-nil and the kind passes the filter.
+func (r *Ring) Record(at sim.Time, kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	if r.filter != nil && !r.filter(kind) {
+		return
+	}
+	e := Entry{At: at, Kind: kind, Text: fmt.Sprintf(format, args...)}
+	if len(r.entries) < cap(r.entries) {
+		r.entries = append(r.entries, e)
+	} else {
+		r.entries[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.entries)
+	r.total++
+}
+
+// Total returns how many events were recorded (including overwritten ones).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Entries returns the retained events in chronological order.
+func (r *Ring) Entries() []Entry {
+	if r == nil || len(r.entries) == 0 {
+		return nil
+	}
+	if len(r.entries) < cap(r.entries) {
+		return append([]Entry(nil), r.entries...)
+	}
+	out := make([]Entry, 0, len(r.entries))
+	out = append(out, r.entries[r.next:]...)
+	out = append(out, r.entries[:r.next]...)
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (r *Ring) Dump() string {
+	var sb strings.Builder
+	for _, e := range r.Entries() {
+		fmt.Fprintf(&sb, "%10d [%s] %s\n", e.At, e.Kind, e.Text)
+	}
+	return sb.String()
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+)
+
+// Goldilocks prime: NTT-friendly (2^32 | p-1), products fit 128-bit
+// intermediate arithmetic.
+const nttP = 0xFFFFFFFF00000001
+
+// mulMod computes a*b mod nttP via 128-bit multiply-and-divide. The hi
+// word of the product is always below the modulus (a, b < p), so the
+// division never traps.
+func mulMod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, nttP)
+	return rem
+}
+
+func addMod(a, b uint64) uint64 {
+	s, carry := bits.Add64(a, b, 0)
+	if carry == 1 || s >= nttP {
+		s -= nttP
+	}
+	return s
+}
+
+func subMod(a, b uint64) uint64 {
+	d, borrow := bits.Sub64(a, b, 0)
+	if borrow == 1 {
+		d += nttP
+	}
+	return d
+}
+
+func powMod(a, e uint64) uint64 {
+	r := uint64(1)
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulMod(r, a)
+		}
+		a = mulMod(a, a)
+		e >>= 1
+	}
+	return r
+}
+
+// FFT is the extended-suite FFT kernel (not in the paper's eight): a
+// distributed iterative NTT over the Goldilocks field. Early butterfly
+// stages are core-local; later stages pair elements owned by increasingly
+// distant cores — the distance-doubling communication pattern classic FFT
+// implementations exhibit, an ideal probe of the distance-based routing
+// policy. Validation is exact against a sequential NTT.
+func FFT(cores int, seed int64, scale int) Spec {
+	perCore := 4 * scale
+	// Round the size to a power of two.
+	n := 1
+	for n < perCore*cores {
+		n <<= 1
+	}
+	perCore = n / cores
+
+	m := NewMem(64)
+	a := m.AllocWords(n) // bit-reversed input, in-place butterflies
+	bar := NewBarrier(m, cores)
+
+	r := rng(seed, 6)
+	input := make([]uint64, n)
+	for i := range input {
+		input[i] = uint64(r.Int63())
+	}
+
+	// Root of unity of order n: 7 generates the 2^32 subgroup structure.
+	omega := powMod(7, (nttP-1)/uint64(n))
+
+	bitrev := func(i, logN int) int {
+		return int(bits.Reverse64(uint64(i)) >> (64 - logN))
+	}
+	logN := bits.TrailingZeros(uint(n))
+
+	prog := func(p *cpu.Proc) {
+		me := p.ID()
+		st := bar.State()
+		lo := me * perCore
+
+		// Butterfly stages: at stage s, partner indices differ in bit s.
+		for s := 0; s < logN; s++ {
+			half := 1 << s
+			wStride := powMod(omega, uint64(n>>(s+1)))
+			// Each core processes the butterflies whose lower element
+			// lives in its block.
+			w := uint64(1)
+			_ = w
+			for i := lo; i < lo+perCore; i++ {
+				if i&half != 0 {
+					continue // the upper element; handled by its pair
+				}
+				j := i | half
+				// Twiddle index: low s bits of the butterfly group.
+				tw := powMod(wStride, uint64(i&(half-1)))
+				x := p.Load(a + uint64(i)*8)
+				y := p.Load(a + uint64(j)*8) // remote once half >= perCore
+				ty := mulMod(y, tw)
+				p.Store(a+uint64(i)*8, addMod(x, ty))
+				p.Store(a+uint64(j)*8, subMod(x, ty))
+				p.Compute(12)
+			}
+			st.Wait(p)
+		}
+	}
+
+	reference := func() []uint64 {
+		// Sequential iterative NTT over the bit-reversed input.
+		ref := make([]uint64, n)
+		for i := range ref {
+			ref[i] = input[bitrev(i, logN)] % nttP
+		}
+		for s := 0; s < logN; s++ {
+			half := 1 << s
+			wStride := powMod(omega, uint64(n>>(s+1)))
+			for i := 0; i < n; i++ {
+				if i&half != 0 {
+					continue
+				}
+				j := i | half
+				tw := powMod(wStride, uint64(i&(half-1)))
+				x, y := ref[i], mulMod(ref[j], tw)
+				ref[i], ref[j] = addMod(x, y), subMod(x, y)
+			}
+		}
+		return ref
+	}
+
+	return Spec{
+		Name: "fft",
+		Init: func(vs *coherence.ValueStore) {
+			for i := 0; i < n; i++ {
+				vs.Write(a+uint64(i)*8, input[bitrev(i, logN)]%nttP)
+			}
+		},
+		Program: prog,
+		Validate: func(vs *coherence.ValueStore) error {
+			want := reference()
+			for i := 0; i < n; i++ {
+				if got := vs.Read(a + uint64(i)*8); got != want[i] {
+					return fmt.Errorf("fft: X[%d] = %d, want %d", i, got, want[i])
+				}
+			}
+			return nil
+		},
+	}
+}

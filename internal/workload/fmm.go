@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+)
+
+// FMM is the fast-multipole kernel on a uniform cell grid: each core owns
+// one cell, computes its multipole, and evaluates far-field interactions
+// from neighbour multipoles plus a global root multipole that core 0
+// refreshes every step. The root line is read-shared by every core and
+// rewritten each step — an ACKwise invalidation broadcast per step — which
+// is why fmm shows a high broadcast fraction (Fig 5) at a low overall
+// network load (Fig 6).
+func FMM(cores int, seed int64, scale int) Spec {
+	const (
+		prime = 1000033
+		steps = 3
+	)
+	perCell := 4 * scale
+	cells := cores
+	side := isqrt(cells)
+	n := perCell * cells
+
+	m := NewMem(64)
+	pos := m.AllocWords(n)               // body "charge/position" word
+	pot := m.AllocWords(n)               // computed potential per body
+	multipole := m.AllocWords(cells * 8) // one line-padded row per cell
+	rootMP := m.Alloc(8)
+	bar := NewBarrier(m, cores)
+
+	mpAddr := func(cell int) uint64 { return multipole + uint64(cell*8)*8 }
+
+	r := rng(seed, 4)
+	init := make([]uint64, n)
+	for i := range init {
+		init[i] = uint64(r.Intn(prime))
+	}
+
+	prog := func(p *cpu.Proc) {
+		me := p.ID()
+		st := bar.State()
+		cx, cy := me%side, me/side
+		lo := me * perCell
+
+		for s := 0; s < steps; s++ {
+			// P1: own-cell multipole.
+			sum := uint64(0)
+			for i := 0; i < perCell; i++ {
+				sum += p.Load(pos + uint64(lo+i)*8)
+				p.Compute(2)
+			}
+			p.Store(mpAddr(me), sum%prime)
+			st.Wait(p)
+
+			// Root multipole by core 0 (reads every cell's multipole,
+			// then rewrites the globally shared root line).
+			if me == 0 {
+				tot := uint64(0)
+				for c := 0; c < cells; c++ {
+					tot += p.Load(mpAddr(c))
+					p.Compute(1)
+				}
+				p.Store(rootMP, tot%prime)
+			}
+			st.Wait(p)
+
+			// P2+P3: far field from the 5x5 neighbourhood multipoles
+			// plus the root; near field from adjacent cells' bodies.
+			far := p.Load(rootMP)
+			for dy := -2; dy <= 2; dy++ {
+				for dx := -2; dx <= 2; dx++ {
+					nx, ny := cx+dx, cy+dy
+					if nx < 0 || ny < 0 || nx >= side || ny >= side || (dx == 0 && dy == 0) {
+						continue
+					}
+					far += p.Load(mpAddr(ny*side + nx))
+					p.Compute(2)
+				}
+			}
+			for i := 0; i < perCell; i++ {
+				b := lo + i
+				near := uint64(0)
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						nx, ny := cx+dx, cy+dy
+						if nx < 0 || ny < 0 || nx >= side || ny >= side {
+							continue
+						}
+						nc := ny*side + nx
+						for j := 0; j < perCell; j++ {
+							ob := nc*perCell + j
+							if ob == b {
+								continue
+							}
+							near += p.Load(pos + uint64(ob)*8)
+							p.Compute(2)
+						}
+					}
+				}
+				p.Store(pot+uint64(b)*8, (far*7+near)%prime)
+				p.Compute(3)
+			}
+			st.Wait(p)
+
+			// Update own bodies from their potential.
+			for i := 0; i < perCell; i++ {
+				b := lo + i
+				v := p.Load(pos + uint64(b)*8)
+				q := p.Load(pot + uint64(b)*8)
+				p.Store(pos+uint64(b)*8, (v+q*11+1)%prime)
+				p.Compute(3)
+			}
+			st.Wait(p)
+		}
+	}
+
+	reference := func() []uint64 {
+		posR := append([]uint64(nil), init...)
+		potR := make([]uint64, n)
+		for s := 0; s < steps; s++ {
+			mp := make([]uint64, cells)
+			for c := 0; c < cells; c++ {
+				sum := uint64(0)
+				for i := 0; i < perCell; i++ {
+					sum += posR[c*perCell+i]
+				}
+				mp[c] = sum % prime
+			}
+			root := uint64(0)
+			for c := 0; c < cells; c++ {
+				root += mp[c]
+			}
+			root %= prime
+			for c := 0; c < cells; c++ {
+				cx, cy := c%side, c/side
+				far := root
+				for dy := -2; dy <= 2; dy++ {
+					for dx := -2; dx <= 2; dx++ {
+						nx, ny := cx+dx, cy+dy
+						if nx < 0 || ny < 0 || nx >= side || ny >= side || (dx == 0 && dy == 0) {
+							continue
+						}
+						far += mp[ny*side+nx]
+					}
+				}
+				for i := 0; i < perCell; i++ {
+					b := c*perCell + i
+					near := uint64(0)
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							nx, ny := cx+dx, cy+dy
+							if nx < 0 || ny < 0 || nx >= side || ny >= side {
+								continue
+							}
+							nc := ny*side + nx
+							for j := 0; j < perCell; j++ {
+								ob := nc*perCell + j
+								if ob != b {
+									near += posR[ob]
+								}
+							}
+						}
+					}
+					potR[b] = (far*7 + near) % prime
+				}
+			}
+			for b := 0; b < n; b++ {
+				posR[b] = (posR[b] + potR[b]*11 + 1) % prime
+			}
+		}
+		return posR
+	}
+
+	return Spec{
+		Name: "fmm",
+		Init: func(vs *coherence.ValueStore) {
+			for i, v := range init {
+				vs.Write(pos+uint64(i)*8, v)
+			}
+		},
+		Program: prog,
+		Validate: func(vs *coherence.ValueStore) error {
+			want := reference()
+			for i := 0; i < n; i++ {
+				if got := vs.Read(pos + uint64(i)*8); got != want[i] {
+					return fmt.Errorf("fmm: body %d = %d, want %d", i, got, want[i])
+				}
+			}
+			return nil
+		},
+	}
+}

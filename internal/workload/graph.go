@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+)
+
+// DynamicGraph is the UHPC dynamic graph benchmark (connected-component
+// exploration): a level-synchronous parallel BFS with shared frontier
+// queues, atomic vertex claiming, and dynamic work distribution through a
+// shared work counter. Its shared round-control words are read by every
+// core and rewritten every round — the highest broadcast-to-unicast ratio
+// of the suite (Fig 5), matching the paper's dynamic_graph profile.
+func DynamicGraph(cores int, seed int64, scale int) Spec {
+	perCore := 8 * scale
+	v := perCore * cores // vertices
+	e := 4 * v           // directed edges
+
+	// Deterministic random graph, CSR form.
+	r := rng(seed, 5)
+	adj := make([][]int32, v)
+	for i := 0; i < e; i++ {
+		a, b := r.Intn(v), r.Intn(v)
+		adj[a] = append(adj[a], int32(b))
+	}
+	// Ensure vertex 0 reaches a substantial component: chain every k-th
+	// vertex so BFS has multiple levels.
+	for i := 0; i+7 < v; i += 7 {
+		adj[i] = append(adj[i], int32(i+7))
+	}
+	rowPtr := make([]uint64, v+1)
+	var colIdx []uint64
+	for i, ns := range adj {
+		rowPtr[i] = uint64(len(colIdx))
+		for _, b := range ns {
+			colIdx = append(colIdx, uint64(b))
+		}
+		_ = i
+	}
+	rowPtr[v] = uint64(len(colIdx))
+
+	m := NewMem(64)
+	rowA := m.AllocWords(v + 1)
+	colA := m.AllocWords(len(colIdx))
+	visited := m.AllocWords(v)
+	level := m.AllocWords(v) // BFS level + 1; 0 = unreached
+	curF := m.AllocWords(v)
+	nextF := m.AllocWords(v)
+	curSize := m.Alloc(8)
+	nextSize := m.Alloc(8)
+	workIdx := m.Alloc(8)
+	round := m.Alloc(8)
+	bar := NewBarrier(m, cores)
+
+	prog := func(p *cpu.Proc) {
+		me := p.ID()
+		st := bar.State()
+		if me == 0 {
+			// Seed the search with vertex 0.
+			p.Store(visited, 1)
+			p.Store(level, 1)
+			p.Store(curF, 0)
+			p.Store(curSize, 1)
+			p.Store(round, 1)
+		}
+		st.Wait(p)
+		cur, next := curF, nextF
+		for {
+			size := p.Load(curSize)
+			if size == 0 {
+				break
+			}
+			rd := p.Load(round)
+			// Dynamic work distribution: grab frontier slots.
+			for {
+				i := p.FetchAdd(workIdx, 1)
+				if i >= size {
+					break
+				}
+				u := p.Load(cur + i*8)
+				lo := p.Load(rowA + u*8)
+				hi := p.Load(rowA + (u+1)*8)
+				for ei := lo; ei < hi; ei++ {
+					w := p.Load(colA + ei*8)
+					old := p.RMW(visited+w*8, func(x uint64) uint64 { return 1 })
+					if old == 0 {
+						p.Store(level+w*8, rd+1)
+						slot := p.FetchAdd(nextSize, 1)
+						p.Store(next+slot*8, w)
+					}
+					p.Compute(3)
+				}
+				p.Compute(2)
+			}
+			st.Wait(p)
+			if me == 0 {
+				n := p.Load(nextSize)
+				p.Store(curSize, n)
+				p.Store(nextSize, 0)
+				p.Store(workIdx, 0)
+				p.Store(round, rd+1)
+			}
+			st.Wait(p)
+			cur, next = next, cur
+		}
+	}
+
+	// Sequential BFS reference.
+	reference := func() []uint64 {
+		dist := make([]uint64, v)
+		dist[0] = 1
+		queue := []int{0}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[u] {
+				if dist[w] == 0 {
+					dist[w] = dist[u] + 1
+					queue = append(queue, int(w))
+				}
+			}
+		}
+		return dist
+	}
+
+	return Spec{
+		Name: "dynamic_graph",
+		Init: func(vs *coherence.ValueStore) {
+			for i, rp := range rowPtr {
+				vs.Write(rowA+uint64(i)*8, rp)
+			}
+			for i, ci := range colIdx {
+				vs.Write(colA+uint64(i)*8, ci)
+			}
+		},
+		Program: prog,
+		Validate: func(vs *coherence.ValueStore) error {
+			want := reference()
+			for i := 0; i < v; i++ {
+				if got := vs.Read(level + uint64(i)*8); got != want[i] {
+					return fmt.Errorf("dynamic_graph: level[%d] = %d, want %d", i, got, want[i])
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+)
+
+// lu builds the blocked LU-style factorization kernel. The arithmetic is
+// integer (mod a prime) but the block dependence structure — diagonal
+// factor, perimeter update, interior update, all barrier-separated — is
+// the SPLASH-2 LU schedule, and the two layouts reproduce the contiguous
+// ("blocks allocated contiguously") and non-contiguous (global row-major)
+// variants: the non-contiguous layout touches one cache line per element
+// on column walks, inflating traffic exactly as in the paper's Figs 4-6.
+func lu(name string, cores int, seed int64, scale int, contig bool) Spec {
+	const (
+		bSide = 4       // block side
+		prime = 1000003 // value field
+	)
+	nb := isqrt(cores) // blocks per matrix side
+	if nb < 4 {
+		nb = 4
+	}
+	nb *= scale
+	n := nb * bSide
+
+	m := NewMem(64)
+	mat := m.AllocWords(n * n)
+	bar := NewBarrier(m, cores)
+
+	// addr maps (block row, block col, i-in-block, j-in-block).
+	addr := func(bi, bj, ii, jj int) uint64 {
+		if contig {
+			return mat + uint64((bi*nb+bj)*bSide*bSide+ii*bSide+jj)*8
+		}
+		return mat + uint64((bi*bSide+ii)*n+(bj*bSide+jj))*8
+	}
+	owner := func(bi, bj int) int { return (bi*nb + bj) % cores }
+
+	// Deterministic input matrix.
+	init := make([]uint64, n*n)
+	r := rng(seed, 1)
+	for i := range init {
+		init[i] = uint64(r.Intn(prime))
+	}
+	initAt := func(bi, bj, ii, jj int) uint64 {
+		return init[(bi*bSide+ii)*n+(bj*bSide+jj)]
+	}
+
+	prog := func(p *cpu.Proc) {
+		me := p.ID()
+		bs := bar.State()
+		for k := 0; k < nb; k++ {
+			// Diagonal block "factorization" by its owner.
+			if owner(k, k) == me {
+				for ii := 0; ii < bSide; ii++ {
+					for jj := 0; jj < bSide; jj++ {
+						a := addr(k, k, ii, jj)
+						v := p.Load(a)
+						p.Store(a, (v*17+uint64(ii*bSide+jj)+1)%prime)
+						p.Compute(4)
+					}
+				}
+			}
+			bs.Wait(p)
+			// Perimeter: column blocks (bi,k) and row blocks (k,bj)
+			// read the (remote) diagonal block.
+			for bi := k + 1; bi < nb; bi++ {
+				if owner(bi, k) == me {
+					for ii := 0; ii < bSide; ii++ {
+						for jj := 0; jj < bSide; jj++ {
+							d := p.Load(addr(k, k, jj, jj))
+							a := addr(bi, k, ii, jj)
+							v := p.Load(a)
+							p.Store(a, (v+d*3)%prime)
+							p.Compute(4)
+						}
+					}
+				}
+				if owner(k, bi) == me {
+					for ii := 0; ii < bSide; ii++ {
+						for jj := 0; jj < bSide; jj++ {
+							d := p.Load(addr(k, k, ii, ii))
+							a := addr(k, bi, ii, jj)
+							v := p.Load(a)
+							p.Store(a, (v+d*5)%prime)
+							p.Compute(4)
+						}
+					}
+				}
+			}
+			bs.Wait(p)
+			// Interior: (bi,bj) reads its column block (bi,k) and row
+			// block (k,bj), both usually remote.
+			for bi := k + 1; bi < nb; bi++ {
+				for bj := k + 1; bj < nb; bj++ {
+					if owner(bi, bj) != me {
+						continue
+					}
+					for ii := 0; ii < bSide; ii++ {
+						for jj := 0; jj < bSide; jj++ {
+							l := p.Load(addr(bi, k, ii, jj))
+							u := p.Load(addr(k, bj, ii, jj))
+							a := addr(bi, bj, ii, jj)
+							v := p.Load(a)
+							p.Store(a, (v+l*u)%prime)
+							p.Compute(6)
+						}
+					}
+				}
+			}
+			bs.Wait(p)
+		}
+	}
+
+	// Sequential reference computing the same recurrence.
+	reference := func() []uint64 {
+		ref := make([][]uint64, n)
+		for i := range ref {
+			ref[i] = make([]uint64, n)
+			for j := range ref[i] {
+				ref[i][j] = init[i*n+j]
+			}
+		}
+		at := func(bi, bj, ii, jj int) *uint64 { return &ref[bi*bSide+ii][bj*bSide+jj] }
+		for k := 0; k < nb; k++ {
+			for ii := 0; ii < bSide; ii++ {
+				for jj := 0; jj < bSide; jj++ {
+					v := at(k, k, ii, jj)
+					*v = (*v*17 + uint64(ii*bSide+jj) + 1) % prime
+				}
+			}
+			for bi := k + 1; bi < nb; bi++ {
+				for ii := 0; ii < bSide; ii++ {
+					for jj := 0; jj < bSide; jj++ {
+						v := at(bi, k, ii, jj)
+						*v = (*v + *at(k, k, jj, jj)*3) % prime
+						w := at(k, bi, ii, jj)
+						*w = (*w + *at(k, k, ii, ii)*5) % prime
+					}
+				}
+			}
+			for bi := k + 1; bi < nb; bi++ {
+				for bj := k + 1; bj < nb; bj++ {
+					for ii := 0; ii < bSide; ii++ {
+						for jj := 0; jj < bSide; jj++ {
+							v := at(bi, bj, ii, jj)
+							*v = (*v + *at(bi, k, ii, jj)**at(k, bj, ii, jj)) % prime
+						}
+					}
+				}
+			}
+		}
+		out := make([]uint64, n*n)
+		for i := range ref {
+			copy(out[i*n:], ref[i])
+		}
+		return out
+	}
+
+	return Spec{
+		Name: name,
+		Init: func(vs *coherence.ValueStore) {
+			for bi := 0; bi < nb; bi++ {
+				for bj := 0; bj < nb; bj++ {
+					for ii := 0; ii < bSide; ii++ {
+						for jj := 0; jj < bSide; jj++ {
+							vs.Write(addr(bi, bj, ii, jj), initAt(bi, bj, ii, jj))
+						}
+					}
+				}
+			}
+		},
+		Program: prog,
+		Validate: func(vs *coherence.ValueStore) error {
+			want := reference()
+			for bi := 0; bi < nb; bi++ {
+				for bj := 0; bj < nb; bj++ {
+					for ii := 0; ii < bSide; ii++ {
+						for jj := 0; jj < bSide; jj++ {
+							i, j := bi*bSide+ii, bj*bSide+jj
+							if got := vs.Read(addr(bi, bj, ii, jj)); got != want[i*n+j] {
+								return fmt.Errorf("%s: a[%d][%d] = %d, want %d", name, i, j, got, want[i*n+j])
+							}
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// LUContig is the blocked LU kernel with contiguous block allocation.
+func LUContig(cores int, seed int64, scale int) Spec {
+	return lu("lu_contig", cores, seed, scale, true)
+}
+
+// LUNonContig is the blocked LU kernel over a global row-major array.
+func LUNonContig(cores int, seed int64, scale int) Spec {
+	return lu("lu_non_contig", cores, seed, scale, false)
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+)
+
+// ocean builds the grid relaxation kernel: Jacobi sweeps of a 5-point
+// stencil over a 2-D grid block-partitioned among cores, with a barrier
+// per sweep. The contiguous variant stores each core's subgrid
+// contiguously (SPLASH's 4-D arrays); the non-contiguous variant uses a
+// global row-major array, so east/west halo columns touch one line per
+// element — the extra remote traffic behind ocean's high network load in
+// Figs 4-6.
+func ocean(name string, cores int, seed int64, scale int, contig bool) Spec {
+	const (
+		prime = 999983
+		iters = 4
+	)
+	px := isqrt(cores) // cores per grid side
+	bs := 4 * scale    // block side per core
+	g := px * bs       // grid side
+
+	m := NewMem(64)
+	gridA := m.AllocWords(g * g)
+	gridB := m.AllocWords(g * g)
+	bar := NewBarrier(m, cores)
+
+	// addr maps global coordinates under the chosen layout.
+	addr := func(base uint64, i, j int) uint64 {
+		if contig {
+			ci, cj := i/bs, j/bs
+			core := ci*px + cj
+			return base + uint64(core*bs*bs+(i%bs)*bs+(j%bs))*8
+		}
+		return base + uint64(i*g+j)*8
+	}
+
+	init := make([]uint64, g*g)
+	r := rng(seed, 2)
+	for i := range init {
+		init[i] = uint64(r.Intn(prime))
+	}
+
+	prog := func(p *cpu.Proc) {
+		me := p.ID()
+		st := bar.State()
+		ci, cj := me/px, me%px
+		i0, j0 := ci*bs, cj*bs
+		src, dst := gridA, gridB
+		for it := 0; it < iters; it++ {
+			for i := i0; i < i0+bs; i++ {
+				for j := j0; j < j0+bs; j++ {
+					sum := p.Load(addr(src, i, j))
+					if i > 0 {
+						sum += p.Load(addr(src, i-1, j))
+					}
+					if i < g-1 {
+						sum += p.Load(addr(src, i+1, j))
+					}
+					if j > 0 {
+						sum += p.Load(addr(src, i, j-1))
+					}
+					if j < g-1 {
+						sum += p.Load(addr(src, i, j+1))
+					}
+					p.Store(addr(dst, i, j), sum%prime)
+					p.Compute(6)
+				}
+			}
+			st.Wait(p)
+			src, dst = dst, src
+		}
+	}
+
+	reference := func() []uint64 {
+		a := append([]uint64(nil), init...)
+		b := make([]uint64, g*g)
+		for it := 0; it < iters; it++ {
+			for i := 0; i < g; i++ {
+				for j := 0; j < g; j++ {
+					sum := a[i*g+j]
+					if i > 0 {
+						sum += a[(i-1)*g+j]
+					}
+					if i < g-1 {
+						sum += a[(i+1)*g+j]
+					}
+					if j > 0 {
+						sum += a[i*g+j-1]
+					}
+					if j < g-1 {
+						sum += a[i*g+j+1]
+					}
+					b[i*g+j] = sum % prime
+				}
+			}
+			a, b = b, a
+		}
+		return a
+	}
+
+	final := gridA
+	if iters%2 == 1 {
+		final = gridB
+	}
+
+	return Spec{
+		Name: name,
+		Init: func(vs *coherence.ValueStore) {
+			for i := 0; i < g; i++ {
+				for j := 0; j < g; j++ {
+					vs.Write(addr(gridA, i, j), init[i*g+j])
+				}
+			}
+		},
+		Program: prog,
+		Validate: func(vs *coherence.ValueStore) error {
+			want := reference()
+			for i := 0; i < g; i++ {
+				for j := 0; j < g; j++ {
+					if got := vs.Read(addr(final, i, j)); got != want[i*g+j] {
+						return fmt.Errorf("%s: grid[%d][%d] = %d, want %d", name, i, j, got, want[i*g+j])
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// OceanContig is the stencil kernel with per-core contiguous subgrids.
+func OceanContig(cores int, seed int64, scale int) Spec {
+	return ocean("ocean_contig", cores, seed, scale, true)
+}
+
+// OceanNonContig is the stencil kernel over a global row-major grid.
+func OceanNonContig(cores int, seed int64, scale int) Spec {
+	return ocean("ocean_non_contig", cores, seed, scale, false)
+}

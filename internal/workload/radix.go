@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+)
+
+// Radix is the SPLASH-2 radix sort: per-core histograms, a parallel
+// bucket-prefix phase, and an all-to-all permutation — the permutation's
+// scattered remote writes make radix the most network-hungry benchmark
+// (Fig 6), and the shared bucket structures give it moderate broadcast
+// traffic (Fig 5).
+func Radix(cores int, seed int64, scale int) Spec {
+	const (
+		rBuckets = 16 // 4-bit digit
+		passes   = 3  // keys are 12-bit
+	)
+	perCore := 16 * scale
+	n := perCore * cores
+
+	m := NewMem(64)
+	keys := m.AllocWords(n)
+	out := m.AllocWords(n)
+	// Per-core histogram and offset rows, one row per core (line-padded:
+	// 16 words = 2 lines per row).
+	hist := m.AllocWords(cores * rBuckets)
+	offs := m.AllocWords(cores * rBuckets)
+	totals := m.AllocWords(rBuckets)
+	base := m.AllocWords(rBuckets)
+	bar := NewBarrier(m, cores)
+
+	input := make([]uint64, n)
+	r := rng(seed, 0)
+	for i := range input {
+		input[i] = uint64(r.Intn(1 << (4 * passes)))
+	}
+
+	histAddr := func(c, b int) uint64 { return hist + uint64(c*rBuckets+b)*8 }
+	offAddr := func(c, b int) uint64 { return offs + uint64(c*rBuckets+b)*8 }
+
+	prog := func(p *cpu.Proc) {
+		me := p.ID()
+		bs := bar.State()
+		src, dst := keys, out
+		lo, hi := me*perCore, (me+1)*perCore
+		for pass := 0; pass < passes; pass++ {
+			shift := uint(4 * pass)
+			// Local histogram over our key segment.
+			var local [rBuckets]uint64
+			for i := lo; i < hi; i++ {
+				k := p.Load(src + uint64(i)*8)
+				local[(k>>shift)&(rBuckets-1)]++
+				p.Compute(2)
+			}
+			for b := 0; b < rBuckets; b++ {
+				p.Store(histAddr(me, b), local[b])
+			}
+			bs.Wait(p)
+			// Bucket-parallel prefix: core b accumulates bucket b
+			// across all cores' histograms.
+			if me < rBuckets {
+				sum := uint64(0)
+				for c := 0; c < cores; c++ {
+					h := p.Load(histAddr(c, me))
+					p.Store(offAddr(c, me), sum)
+					sum += h
+					p.Compute(1)
+				}
+				p.Store(totals+uint64(me)*8, sum)
+			}
+			bs.Wait(p)
+			// Core 0 computes bucket bases (short serial section).
+			if me == 0 {
+				acc := uint64(0)
+				for b := 0; b < rBuckets; b++ {
+					p.Store(base+uint64(b)*8, acc)
+					acc += p.Load(totals + uint64(b)*8)
+					p.Compute(1)
+				}
+			}
+			bs.Wait(p)
+			// Permute: scatter our keys to their destinations.
+			var myBase, myOff [rBuckets]uint64
+			for b := 0; b < rBuckets; b++ {
+				myBase[b] = p.Load(base + uint64(b)*8)
+				myOff[b] = p.Load(offAddr(me, b))
+			}
+			var seen [rBuckets]uint64
+			for i := lo; i < hi; i++ {
+				k := p.Load(src + uint64(i)*8)
+				b := (k >> shift) & (rBuckets - 1)
+				pos := myBase[b] + myOff[b] + seen[b]
+				seen[b]++
+				p.Store(dst+pos*8, k)
+				p.Compute(3)
+			}
+			bs.Wait(p)
+			src, dst = dst, src
+		}
+	}
+
+	result := keys
+	if passes%2 == 1 {
+		result = out
+	}
+
+	return Spec{
+		Name: "radix",
+		Init: func(vs *coherence.ValueStore) {
+			for i, k := range input {
+				vs.Write(keys+uint64(i)*8, k)
+			}
+		},
+		Program: prog,
+		Validate: func(vs *coherence.ValueStore) error {
+			got := make([]uint64, n)
+			for i := range got {
+				got[i] = vs.Read(result + uint64(i)*8)
+			}
+			want := append([]uint64(nil), input...)
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			for i := range got {
+				if got[i] != want[i] {
+					return fmt.Errorf("radix: position %d = %d, want %d", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+	}
+}

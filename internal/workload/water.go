@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+)
+
+// Water is the extended-suite molecular-dynamics kernel (not in the
+// paper's eight), in the style of SPLASH-2 water-nsquared: every core
+// reads the positions of all molecules each step (an all-to-all
+// read-sharing pattern), computes pairwise interactions for its own
+// molecules, and updates them behind a barrier. The widely read-shared
+// position arrays are invalidated en masse on every update phase — the
+// broadcast-friendly sharing the ONet is built for.
+func Water(cores int, seed int64, scale int) Spec {
+	const (
+		prime  = 1000003
+		steps  = 2
+		cutoff = 1 << 18 // interaction range in the wrapped 2^20 space
+	)
+	perCore := 2 * scale
+	n := perCore * cores
+
+	m := NewMem(64)
+	px := m.AllocWords(n)
+	py := m.AllocWords(n)
+	force := m.AllocWords(n)
+	bar := NewBarrier(m, cores)
+
+	r := rng(seed, 7)
+	initX := make([]uint64, n)
+	initY := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		initX[i] = uint64(r.Intn(1 << 20))
+		initY[i] = uint64(r.Intn(1 << 20))
+	}
+
+	// pairTerm is the deterministic integer "interaction" (order
+	// independent: summed with wrapping addition).
+	pairTerm := func(xi, yi, xj, yj uint64) uint64 {
+		d := cheby(xi, yi, xj, yj)
+		if d > cutoff {
+			return 0
+		}
+		return (d*31 + 7) % prime
+	}
+
+	prog := func(p *cpu.Proc) {
+		me := p.ID()
+		st := bar.State()
+		lo := me * perCore
+
+		for s := 0; s < steps; s++ {
+			// Force phase: our molecules against everyone (reads the
+			// whole position array: maximal read sharing).
+			for i := lo; i < lo+perCore; i++ {
+				xi := p.Load(px + uint64(i)*8)
+				yi := p.Load(py + uint64(i)*8)
+				var acc uint64
+				for j := 0; j < n; j++ {
+					if j == i {
+						continue
+					}
+					xj := p.Load(px + uint64(j)*8)
+					yj := p.Load(py + uint64(j)*8)
+					acc += pairTerm(xi, yi, xj, yj)
+					p.Compute(6)
+				}
+				p.Store(force+uint64(i)*8, acc)
+			}
+			st.Wait(p)
+			// Update phase: move our molecules (invalidates every
+			// sharer of our position lines).
+			for i := lo; i < lo+perCore; i++ {
+				xi := p.Load(px + uint64(i)*8)
+				yi := p.Load(py + uint64(i)*8)
+				f := p.Load(force + uint64(i)*8)
+				p.Store(px+uint64(i)*8, (xi+f)&(1<<20-1))
+				p.Store(py+uint64(i)*8, (yi+f*3)&(1<<20-1))
+				p.Compute(5)
+			}
+			st.Wait(p)
+		}
+	}
+
+	reference := func() ([]uint64, []uint64) {
+		x := append([]uint64(nil), initX...)
+		y := append([]uint64(nil), initY...)
+		f := make([]uint64, n)
+		for s := 0; s < steps; s++ {
+			for i := 0; i < n; i++ {
+				var acc uint64
+				for j := 0; j < n; j++ {
+					if j != i {
+						acc += pairTerm(x[i], y[i], x[j], y[j])
+					}
+				}
+				f[i] = acc
+			}
+			for i := 0; i < n; i++ {
+				x[i] = (x[i] + f[i]) & (1<<20 - 1)
+				y[i] = (y[i] + f[i]*3) & (1<<20 - 1)
+			}
+		}
+		return x, y
+	}
+
+	return Spec{
+		Name: "water",
+		Init: func(vs *coherence.ValueStore) {
+			for i := 0; i < n; i++ {
+				vs.Write(px+uint64(i)*8, initX[i])
+				vs.Write(py+uint64(i)*8, initY[i])
+			}
+		},
+		Program: prog,
+		Validate: func(vs *coherence.ValueStore) error {
+			wx, wy := reference()
+			for i := 0; i < n; i++ {
+				gx := vs.Read(px + uint64(i)*8)
+				gy := vs.Read(py + uint64(i)*8)
+				if gx != wx[i] || gy != wy[i] {
+					return fmt.Errorf("water: molecule %d at (%d,%d), want (%d,%d)", i, gx, gy, wx[i], wy[i])
+				}
+			}
+			return nil
+		},
+	}
+}
