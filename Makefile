@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check figures bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the full pre-merge gate: compile, vet, and the test suite under
+# the race detector (the cpu package drives program goroutines through a
+# kernel handshake — races there would silently break determinism).
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+figures:
+	$(GO) run ./cmd/figures -cores 64
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -39,6 +39,18 @@ func main() {
 		traceN  = flag.Int("trace", 0, "dump the last N protocol events after the run")
 		cfgPath = flag.String("config", "", "load the system configuration from this JSON file (overrides the geometry flags)")
 		dumpCfg = flag.String("dumpconfig", "", "write the effective configuration as JSON to this file and exit")
+
+		// Fault injection and simulation health (internal/fault).
+		oBER      = flag.Float64("ber", 0, "optical per-bit error rate on the ONet (0 = perfect)")
+		mBER      = flag.Float64("meshber", 0, "per-bit error rate on electrical mesh links (0 = perfect)")
+		driftP    = flag.Int("drift-period", 0, "thermal ring-drift episode period in cycles (0 = no drift)")
+		driftD    = flag.Int("drift-duty", 0, "cycles of each drift period spent drifted")
+		driftM    = flag.Float64("drift-mult", 0, "BER multiplier while a drift episode is active")
+		droop     = flag.Float64("droop", 0, "laser droop: fractional optical BER growth per Mcycle")
+		retries   = flag.Int("retries", 0, "max retransmissions per flit/packet (0 = default)")
+		degrade   = flag.Float64("degrade", 0, "observed error rate above which an optical channel degrades to the ENet (0 = never)")
+		faultSeed = flag.Int64("faultseed", 0, "fault stream seed (0 = derive from -seed)")
+		watchdog  = flag.Int("watchdog", 0, "progress watchdog sampling interval in cycles (0 = off)")
 	)
 	flag.Parse()
 
@@ -57,6 +69,27 @@ func main() {
 		cfg, err = buildConfig(*net, *cores, *sharers, *proto, *flit, *rthres, *seed)
 	}
 	if err != nil {
+		log.Fatal(err)
+	}
+	if *oBER > 0 || *mBER > 0 {
+		cfg.Fault.Enabled = true
+		cfg.Fault.OpticalBER = *oBER
+		cfg.Fault.MeshBER = *mBER
+		cfg.Fault.DriftPeriod = *driftP
+		cfg.Fault.DriftDuty = *driftD
+		cfg.Fault.DriftBERMult = *driftM
+		cfg.Fault.LaserDroopPerMCycle = *droop
+		cfg.Fault.MaxRetries = *retries
+		cfg.Fault.DegradeThreshold = *degrade
+		cfg.Fault.Seed = *faultSeed
+	}
+	if *watchdog > 0 {
+		cfg.Fault.WatchdogInterval = *watchdog
+		if cfg.Fault.WatchdogStalls == 0 {
+			cfg.Fault.WatchdogStalls = 3
+		}
+	}
+	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
 	if *dumpCfg != "" {
@@ -105,6 +138,21 @@ func main() {
 	}
 	fmt.Printf("energy           %v\n", bd)
 	fmt.Printf("E-D product      %.6g J·s\n", energy.EDP(m, res))
+	if res.Net.FaultEvents() {
+		n := res.Net
+		fmt.Printf("faults           mesh: %d errors, %d retx flits, %d forced through\n",
+			n.MeshFlitErrors, n.MeshRetxFlits, n.MeshRetriesExhausted)
+		fmt.Printf("                 optical: %d errors, %d retx pkts (%d flits), %d forced through\n",
+			n.OpticalFlitErrors, n.OpticalRetxPkts, n.OpticalRetxFlits, n.OpticalRetriesExhausted)
+		fmt.Printf("                 degraded channels %d; rerouted %d msgs (%d flits)\n",
+			n.DegradedChannels, n.ReroutedMsgs, n.ReroutedFlits)
+		if sys.Atac != nil {
+			if cl := sys.Atac.DegradedClusters(); len(cl) > 0 {
+				fmt.Printf("                 degraded clusters %v\n", cl)
+			}
+		}
+		fmt.Printf("                 resilience overhead %.3g J\n", energy.ResilienceOverheadJ(m, res))
+	}
 
 	if *heat {
 		var mesh interface{ RouterFlits() []uint64 }

@@ -91,6 +91,7 @@ func main() {
 		{"17", r.Fig17},
 		{"tablev", r.TableV},
 		{"ablations", r.Ablations},
+		{"faults", func() (*experiments.Table, error) { return r.FaultSweep("radix") }},
 	}
 	for _, j := range jobs {
 		if !sel(j.id) {

@@ -2,6 +2,8 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/mem"
@@ -128,6 +130,43 @@ func (s *System) Access(core int, op AccessOp, addr uint64, storeVal uint64, f f
 // line, done fires immediately — the value may already have changed.
 func (s *System) WaitChange(core int, addr uint64, done func()) {
 	s.ctrls[core].waitChange(addr, done)
+}
+
+// CoreState summarizes a core controller's blocked state for diagnostics
+// (the watchdog's stall dump): the pending access, spin-wait registrations,
+// and any reorder/eviction bookkeeping that could be holding progress.
+// Returns "idle" when nothing is outstanding.
+func (s *System) CoreState(core int) string {
+	c := s.ctrls[core]
+	var parts []string
+	if p := c.pend; p != nil {
+		parts = append(parts, fmt.Sprintf("pending %v @%#x", p.op, p.addr))
+	}
+	if n := len(c.waiters); n > 0 {
+		lines := make([]uint64, 0, n)
+		for ln := range c.waiters {
+			lines = append(lines, ln)
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		parts = append(parts, fmt.Sprintf("waiting on %d line(s) %#x", n, lines[0]))
+	}
+	if n := len(c.evicting); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d eviction(s) in flight", n))
+	}
+	held := 0
+	for _, q := range c.uniBuf {
+		held += len(q)
+	}
+	if held > 0 {
+		parts = append(parts, fmt.Sprintf("%d reordered unicast(s) held", held))
+	}
+	if n := len(c.bcastBuf); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d line(s) with buffered broadcasts", n))
+	}
+	if len(parts) == 0 {
+		return "idle"
+	}
+	return strings.Join(parts, ", ")
 }
 
 // Quiesced reports whether no coherence transaction is in flight anywhere

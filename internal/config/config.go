@@ -198,6 +198,88 @@ type Network struct {
 	BcastAsUnicast bool
 }
 
+// Fault configures the fault-injection and resilience layer
+// (internal/fault) plus the simulation health watchdog. The zero value
+// disables everything: a run with a zero Fault section is bit-identical to
+// one on a build without the fault layer.
+//
+// Error processes are expressed as per-bit error rates (BER); the injector
+// converts them to per-flit error probabilities at the configured flit
+// width. All randomness is drawn from one deterministic stream seeded by
+// Seed (or the top-level Config.Seed when Seed is 0), so a (Config, Seed)
+// pair fully determines every injected fault.
+type Fault struct {
+	// Enabled turns fault injection on. The watchdog fields below are
+	// independent of it: a perfect interconnect can still be watched.
+	Enabled bool
+
+	// MeshBER is the per-bit transient error rate on electrical mesh
+	// links (ENet and EMesh). Errors are detected per flit at the
+	// downstream router and handled by link-level NACK/retransmission.
+	MeshBER float64
+	// OpticalBER is the baseline per-bit error rate on the ONet SWMR
+	// data links, before thermal drift and laser droop are applied.
+	OpticalBER float64
+
+	// DriftPeriod/DriftDuty describe thermal ring-drift episodes: during
+	// the first DriftDuty cycles of every DriftPeriod-cycle window the
+	// effective optical BER is multiplied by DriftBERMult. DriftPeriod 0
+	// disables drift.
+	DriftPeriod int
+	DriftDuty   int
+	DriftBERMult float64
+
+	// LaserDroopPerMCycle models laser power droop shrinking the SWMR
+	// link budget: the effective optical BER grows by this fraction per
+	// million simulated cycles (linear first-order margin-to-BER map).
+	LaserDroopPerMCycle float64
+
+	// MaxRetries bounds link-level (mesh) and channel-level (optical)
+	// retransmission attempts per flit/packet. After the budget is spent
+	// the transfer is forced through and counted as RetriesExhausted
+	// (modelling end-to-end FEC recovering the residual errors, so the
+	// protocol layer always makes progress). 0 means the default (4).
+	MaxRetries int
+	// BackoffBase is the first retransmission delay in cycles; each
+	// further attempt doubles it up to BackoffCap. Zeros mean defaults
+	// (8 and 1024 cycles).
+	BackoffBase int
+	BackoffCap  int
+
+	// DegradeThreshold is the observed per-flit error rate over a
+	// DegradeWindow-flit window above which a cluster's optical channel
+	// is declared degraded: its unicasts are rerouted over the
+	// electrical mesh fallback from then on (broadcasts stay optical,
+	// protected by retransmission, because diverting them would break
+	// the per-slice broadcast FIFO the coherence protocol requires).
+	// Threshold 0 disables degradation. DegradeWindow 0 means the
+	// default (2048 flits).
+	DegradeThreshold float64
+	DegradeWindow    int
+
+	// Seed is the fault-stream seed; 0 derives it from Config.Seed.
+	Seed int64
+
+	// WatchdogInterval enables the simulation progress watchdog: every
+	// WatchdogInterval cycles the system checks that instructions
+	// retired or network messages were delivered; after WatchdogStalls
+	// consecutive silent checks the run is aborted with a per-core
+	// blocked-state dump. 0 disables the watchdog.
+	WatchdogInterval int
+	// WatchdogStalls is the number of consecutive no-progress checks
+	// that trips the watchdog. 0 means the default (3).
+	WatchdogStalls int
+
+	// EventBudget, when nonzero, caps the number of kernel events one
+	// run may execute — a livelock backstop beneath the watchdog.
+	EventBudget uint64
+}
+
+// Active reports whether any fault process can actually fire.
+func (f *Fault) Active() bool {
+	return f.Enabled && (f.MeshBER > 0 || f.OpticalBER > 0)
+}
+
 // Memory holds the external memory parameters (Table I).
 type Memory struct {
 	Controllers   int     // on-chip memory controllers
@@ -227,6 +309,7 @@ type Config struct {
 	Memory     Memory
 	Coherence  Coherence
 	Core       Core
+	Fault      Fault // fault injection + watchdog; zero value = disabled
 	Seed       int64 // base seed for all per-core PRNGs
 }
 
@@ -317,6 +400,34 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("config: %v routing needs RThres >= 1, got %d", c.Network.Routing, c.Network.RThres)
 		}
 	}
+	return c.Fault.validate()
+}
+
+// validate checks the fault section. All checks apply even when disabled,
+// so a config file with a typo fails loudly rather than silently doing
+// nothing once Enabled is flipped.
+func (f *Fault) validate() error {
+	if f.MeshBER < 0 || f.MeshBER >= 1 {
+		return fmt.Errorf("config: Fault.MeshBER %g out of range [0,1)", f.MeshBER)
+	}
+	if f.OpticalBER < 0 || f.OpticalBER >= 1 {
+		return fmt.Errorf("config: Fault.OpticalBER %g out of range [0,1)", f.OpticalBER)
+	}
+	if f.DriftPeriod < 0 || f.DriftDuty < 0 || f.DriftDuty > f.DriftPeriod {
+		return fmt.Errorf("config: Fault drift window %d/%d invalid (need 0 <= duty <= period)", f.DriftDuty, f.DriftPeriod)
+	}
+	if f.DriftBERMult < 0 || f.LaserDroopPerMCycle < 0 {
+		return fmt.Errorf("config: Fault drift/droop multipliers must be non-negative")
+	}
+	if f.MaxRetries < 0 || f.BackoffBase < 0 || f.BackoffCap < 0 {
+		return fmt.Errorf("config: Fault retry parameters must be non-negative")
+	}
+	if f.DegradeThreshold < 0 || f.DegradeThreshold > 1 {
+		return fmt.Errorf("config: Fault.DegradeThreshold %g out of range [0,1]", f.DegradeThreshold)
+	}
+	if f.DegradeWindow < 0 || f.WatchdogInterval < 0 || f.WatchdogStalls < 0 {
+		return fmt.Errorf("config: Fault window/watchdog parameters must be non-negative")
+	}
 	return nil
 }
 
@@ -390,6 +501,28 @@ func Tiny() Config {
 	c.Memory.Controllers = 4
 	c.Network.RThres = 2
 	return c
+}
+
+// DefaultFault returns a representative enabled fault profile: modest
+// optical BER with drift episodes and degradation armed, the retry policy
+// at its defaults, and the watchdog on. Used by the CLI's -ber flag and
+// the BER-sweep experiment as the base scenario.
+func DefaultFault() Fault {
+	return Fault{
+		Enabled:          true,
+		OpticalBER:       1e-6,
+		MeshBER:          1e-8,
+		DriftPeriod:      0,
+		DriftDuty:        0,
+		DriftBERMult:     1,
+		MaxRetries:       4,
+		BackoffBase:      8,
+		BackoffCap:       1024,
+		DegradeThreshold: 0.05,
+		DegradeWindow:    2048,
+		WatchdogInterval: 200000,
+		WatchdogStalls:   3,
+	}
 }
 
 // WithNetwork returns a copy of c configured for the given network kind,

@@ -125,3 +125,61 @@ func TestJSONRoundTripProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultJSONRoundTrip(t *testing.T) {
+	orig := Small()
+	orig.Fault = DefaultFault()
+	orig.Fault.DriftPeriod = 100000
+	orig.Fault.DriftDuty = 10000
+	orig.Fault.DriftBERMult = 100
+	orig.Fault.LaserDroopPerMCycle = 0.05
+	orig.Fault.EventBudget = 1 << 30
+
+	data, err := orig.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Fatalf("fault round trip mismatch:\n%+v\n%+v", back.Fault, orig.Fault)
+	}
+}
+
+func TestFaultValidate(t *testing.T) {
+	bad := []func(*Fault){
+		func(f *Fault) { f.MeshBER = -1 },
+		func(f *Fault) { f.OpticalBER = 1.5 },
+		func(f *Fault) { f.DriftPeriod = 10; f.DriftDuty = 20 },
+		func(f *Fault) { f.DriftBERMult = -2 },
+		func(f *Fault) { f.MaxRetries = -1 },
+		func(f *Fault) { f.DegradeThreshold = 2 },
+		func(f *Fault) { f.WatchdogInterval = -5 },
+	}
+	for i, mut := range bad {
+		c := Tiny()
+		mut(&c.Fault)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid fault config accepted", i)
+		}
+	}
+	// A disabled section with legal fields (and the enabled default)
+	// must both validate.
+	c := Tiny()
+	if err := c.Validate(); err != nil {
+		t.Errorf("zero fault section rejected: %v", err)
+	}
+	c.Fault = DefaultFault()
+	if err := c.Validate(); err != nil {
+		t.Errorf("default fault profile rejected: %v", err)
+	}
+	if !c.Fault.Active() {
+		t.Error("DefaultFault must be active")
+	}
+	var z Fault
+	if z.Active() {
+		t.Error("zero Fault must be inactive")
+	}
+}

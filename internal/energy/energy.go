@@ -173,9 +173,12 @@ func Combine(m Models, r system.Result) Breakdown {
 	b.DirDyn = float64(r.Coh.DirAccesses) * m.Dir.ReadEnergyJ
 	b.DirStatic = float64(cfg.Caches.DirSlices) * (m.Dir.LeakageW + m.Dir.ClockW) * T
 
-	// Electrical network dynamic.
+	// Electrical network dynamic. Retransmitted flits already appear in
+	// the mesh flit counters (each retry is a real crossing); the NACK
+	// wire events they provoke are charged here at link cost.
 	b.NetElecDyn = float64(r.Net.MeshRouterFlits)*m.Router.PerFlitJ() +
 		float64(r.Net.MeshLinkFlits)*m.Link.PerFlitJ +
+		float64(r.Net.MeshNacks)*m.Link.PerFlitJ +
 		float64(r.Net.HubFlits)*m.Cluster.HubFlitJ +
 		float64(r.Net.BNetFlits)*m.Cluster.BNetFlitJ +
 		float64(r.Net.StarUniFlits)*m.Cluster.StarUnicastFlitJ +
@@ -198,7 +201,12 @@ func Combine(m Models, r system.Result) Breakdown {
 		b.ONetOther = (uniF+bcF)*m.Opt.ModulatorEnergyJPerFlit() +
 			uniF*m.Opt.ReceiverEnergyJPerFlit(1) +
 			bcF*m.Opt.ReceiverEnergyJPerFlit(cfg.Clusters()-1) +
-			float64(r.Net.SelectEvents)*m.Opt.SelectEventEnergyJ(1e-9)
+			float64(r.Net.SelectEvents)*m.Opt.SelectEventEnergyJ(1e-9) +
+			// An optical NACK rides the select network back to the
+			// sending hub (one select-class event per corrupted
+			// reception); retransmitted data flits are already in the
+			// ONet flit counters above.
+			float64(r.Net.OpticalNacks)*m.Opt.SelectEventEnergyJ(1e-9)
 		if cfg.Network.Flavor.LaserGated() {
 			b.Laser = float64(r.Net.LaserUniCycles)*m.Opt.DataLinkWallPowerW(false)*1e-9 +
 				float64(r.Net.LaserBcastCycles)*m.Opt.DataLinkWallPowerW(true)*1e-9
@@ -210,6 +218,26 @@ func Combine(m Models, r system.Result) Breakdown {
 		b.RingTuning = m.Opt.TuningPowerW(cfg.Network.Flavor.Athermal()) * T
 	}
 	return b
+}
+
+// ResilienceOverheadJ estimates the dynamic energy the run spent on fault
+// handling rather than useful transport: NACK signalling, retransmitted
+// flit crossings, and unicasts diverted from a degraded optical channel
+// onto the electrical mesh (charged at the mesh's mean-distance per-flit
+// cost, since the clean-path counters cannot be separated per message
+// after the fact). Zero for a fault-free run.
+func ResilienceOverheadJ(m Models, r system.Result) float64 {
+	v := float64(r.Net.MeshNacks)*m.Link.PerFlitJ +
+		float64(r.Net.MeshRetxFlits)*(m.Link.PerFlitJ+m.Router.PerFlitJ())
+	if m.Cfg.Network.Kind.IsOptical() {
+		v += float64(r.Net.OpticalNacks) * m.Opt.SelectEventEnergyJ(1e-9)
+		v += float64(r.Net.OpticalRetxFlits) * (m.Opt.ModulatorEnergyJPerFlit() +
+			m.Opt.ReceiverEnergyJPerFlit(1) + m.Opt.DataLinkWallPowerW(false)*1e-9)
+		// Mean Manhattan distance on a dim x dim mesh is ~2/3 dim per axis.
+		meanHops := 2.0 * 2.0 / 3.0 * float64(m.Cfg.MeshDim())
+		v += float64(r.Net.ReroutedFlits) * meanHops * (m.Link.PerFlitJ + m.Router.PerFlitJ())
+	}
+	return v
 }
 
 // EDP returns the energy-delay product (J·s) for a run under its models.

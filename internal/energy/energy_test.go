@@ -246,3 +246,56 @@ func TestAveragePower(t *testing.T) {
 		t.Error("zero-cycle power not 0")
 	}
 }
+
+func TestResilienceEnergyCharged(t *testing.T) {
+	// Fault counters must raise the energy bill: NACK signalling is
+	// charged on top of the (already retx-inflated) flit counters.
+	cfg := config.Tiny().WithNetwork(config.ATACPlus)
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := run(t, cfg, "radix")
+	faulty := clean
+	faulty.Net.MeshNacks = 500
+	faulty.Net.OpticalNacks = 200
+	cb, fb := Combine(m, clean), Combine(m, faulty)
+	if fb.NetElecDyn <= cb.NetElecDyn {
+		t.Errorf("mesh NACKs not charged: %v <= %v", fb.NetElecDyn, cb.NetElecDyn)
+	}
+	if fb.ONetOther <= cb.ONetOther {
+		t.Errorf("optical NACKs not charged: %v <= %v", fb.ONetOther, cb.ONetOther)
+	}
+	if ResilienceOverheadJ(m, clean) != 0 {
+		t.Errorf("clean run has nonzero resilience overhead")
+	}
+	faulty.Net.MeshRetxFlits = 300
+	faulty.Net.OpticalRetxFlits = 100
+	faulty.Net.ReroutedFlits = 50
+	if ov := ResilienceOverheadJ(m, faulty); ov <= 0 {
+		t.Errorf("ResilienceOverheadJ = %v, want > 0", ov)
+	}
+}
+
+func TestFaultRunEnergyExceedsClean(t *testing.T) {
+	// End to end: the same benchmark under an aggressive BER must burn
+	// more network energy than the perfect fabric (retransmissions and
+	// NACKs are real events, not free).
+	cfg := config.Tiny().WithNetwork(config.ATACPlus)
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := run(t, cfg, "radix")
+	fcfg := cfg
+	fcfg.Fault = config.Fault{Enabled: true, OpticalBER: 1e-3, MeshBER: 1e-5}
+	faulty := run(t, fcfg, "radix")
+	if !faulty.Net.FaultEvents() {
+		t.Fatal("no fault events recorded")
+	}
+	cn, fn := Combine(m, clean), Combine(m, faulty)
+	if fn.ONetOther+fn.NetElecDyn <= cn.ONetOther+cn.NetElecDyn {
+		t.Errorf("faulty network dynamic energy %v <= clean %v",
+			fn.ONetOther+fn.NetElecDyn, cn.ONetOther+cn.NetElecDyn)
+	}
+}

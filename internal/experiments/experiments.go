@@ -100,11 +100,17 @@ func (r *Runner) apps() []string {
 
 // key uniquely identifies a (config, benchmark) run.
 func key(cfg config.Config, bench string) string {
-	return fmt.Sprintf("%s|%v|%v|%v|rt%d|fl%d|k%d|%v|c%d|s%d|sn%d|lag%d|bau%v",
+	k := fmt.Sprintf("%s|%v|%v|%v|rt%d|fl%d|k%d|%v|c%d|s%d|sn%d|lag%d|bau%v",
 		bench, cfg.Network.Kind, cfg.Network.ReceiveNet, cfg.Network.Routing,
 		cfg.Network.RThres, cfg.Network.FlitBits, cfg.Coherence.Sharers,
 		cfg.Coherence.Kind, cfg.Cores, cfg.Seed,
 		cfg.Network.StarNetsPerCl, cfg.Network.SelectDataLag, cfg.Network.BcastAsUnicast)
+	if f := cfg.Fault; f.Enabled {
+		k += fmt.Sprintf("|F:m%g:o%g:dp%d:dd%d:dm%g:lr%g:thr%g:fs%d",
+			f.MeshBER, f.OpticalBER, f.DriftPeriod, f.DriftDuty, f.DriftBERMult,
+			f.LaserDroopPerMCycle, f.DegradeThreshold, f.Seed)
+	}
+	return k
 }
 
 // Run executes (or recalls) one benchmark on one configuration.

@@ -1,0 +1,166 @@
+// Package fault implements the deterministic fault-injection subsystem:
+// transient bit errors on electrical mesh links, thermal ring-drift
+// episodes and laser power droop on the optical SWMR channels, and the
+// shared retry/backoff and degradation policies the network layers consult
+// when handling the injected faults.
+//
+// All randomness comes from a single splitmix64 stream seeded by the
+// configuration, and the stream is only ever consulted from kernel events,
+// so a (Config, seed) pair fully determines every injected fault and every
+// run is exactly reproducible. A nil *Injector is the disabled state: the
+// network layers guard every consultation with a nil check, which keeps
+// fault-free runs bit-identical to a build without this package.
+package fault
+
+import (
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// Policy defaults applied when the corresponding config field is zero.
+const (
+	DefaultMaxRetries    = 4
+	DefaultBackoffBase   = 8
+	DefaultBackoffCap    = 1024
+	DefaultDegradeWindow = 2048
+)
+
+// Injector is the per-run fault source. It is not safe for concurrent use;
+// like every other component it must only be touched from kernel events.
+type Injector struct {
+	cfg config.Fault
+	k   *sim.Kernel // time base for drift and droop
+
+	rng uint64 // splitmix64 state
+
+	meshPerFlit float64 // per-flit error probability on electrical links
+	optPerFlit  float64 // baseline per-flit error probability on the ONet
+}
+
+// NewInjector builds the injector for a validated config, or returns nil
+// when fault injection is disabled (the zero Fault section). flitBits is
+// the network flit width; baseSeed is Config.Seed, used when the fault
+// section does not carry its own seed.
+func NewInjector(fc config.Fault, flitBits int, baseSeed int64, k *sim.Kernel) *Injector {
+	if !fc.Enabled {
+		return nil
+	}
+	seed := fc.Seed
+	if seed == 0 {
+		seed = baseSeed ^ 0x5fa17 // decorrelate from the workload PRNGs
+	}
+	return &Injector{
+		cfg:         fc,
+		k:           k,
+		rng:         uint64(seed),
+		meshPerFlit: perFlitProb(fc.MeshBER, flitBits),
+		optPerFlit:  perFlitProb(fc.OpticalBER, flitBits),
+	}
+}
+
+// perFlitProb converts a per-bit error rate into the probability that a
+// flit of the given width takes at least one error.
+func perFlitProb(ber float64, bits int) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-ber, float64(bits))
+}
+
+// next returns a uniform float64 in [0,1) from the splitmix64 stream.
+func (in *Injector) next() float64 {
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// MeshFlitError reports whether one electrical link crossing corrupts the
+// flit. One stream draw per call.
+func (in *Injector) MeshFlitError() bool {
+	if in.meshPerFlit == 0 {
+		return false
+	}
+	return in.next() < in.meshPerFlit
+}
+
+// OpticalFlitError reports whether one ONet data-link flit is corrupted at
+// a receiving hub, at the effective (drift- and droop-adjusted) error
+// rate. One stream draw per call.
+func (in *Injector) OpticalFlitError() bool {
+	p := in.OpticalPerFlitRate()
+	if p == 0 {
+		return false
+	}
+	return in.next() < p
+}
+
+// OpticalPerFlitRate returns the current effective per-flit error
+// probability of an optical data link: the baseline rate scaled by the
+// thermal drift episode (if one is active) and the accumulated laser
+// droop, clamped to 1.
+func (in *Injector) OpticalPerFlitRate() float64 {
+	p := in.optPerFlit
+	if p == 0 {
+		return 0
+	}
+	now := in.k.Now()
+	if in.cfg.DriftPeriod > 0 && in.cfg.DriftBERMult > 1 {
+		if uint64(now)%uint64(in.cfg.DriftPeriod) < uint64(in.cfg.DriftDuty) {
+			p *= in.cfg.DriftBERMult
+		}
+	}
+	if in.cfg.LaserDroopPerMCycle > 0 {
+		p *= 1 + in.cfg.LaserDroopPerMCycle*float64(now)/1e6
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// MaxRetries returns the bounded retry budget per flit/packet.
+func (in *Injector) MaxRetries() int {
+	if in.cfg.MaxRetries > 0 {
+		return in.cfg.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+// Backoff returns the retransmission delay in cycles before the given
+// attempt (1-based): exponential from BackoffBase, capped at BackoffCap.
+func (in *Injector) Backoff(attempt int) sim.Time {
+	base := in.cfg.BackoffBase
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	cap := in.cfg.BackoffCap
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d <<= 1
+	}
+	if d > cap {
+		d = cap
+	}
+	return sim.Time(d)
+}
+
+// DegradeThreshold returns the observed per-flit error rate above which an
+// optical channel degrades (0 = degradation disabled).
+func (in *Injector) DegradeThreshold() float64 { return in.cfg.DegradeThreshold }
+
+// DegradeWindow returns the observation window in flits for the
+// degradation decision.
+func (in *Injector) DegradeWindow() int {
+	if in.cfg.DegradeWindow > 0 {
+		return in.cfg.DegradeWindow
+	}
+	return DefaultDegradeWindow
+}

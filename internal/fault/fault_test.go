@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+func enabled() config.Fault {
+	f := config.DefaultFault()
+	f.OpticalBER = 1e-4
+	f.MeshBER = 1e-4
+	return f
+}
+
+func TestDisabledIsNil(t *testing.T) {
+	var k sim.Kernel
+	if in := NewInjector(config.Fault{}, 64, 42, &k); in != nil {
+		t.Fatal("zero fault section must yield a nil injector")
+	}
+}
+
+func TestPerFlitProbability(t *testing.T) {
+	if p := perFlitProb(0, 64); p != 0 {
+		t.Errorf("zero BER gives %g", p)
+	}
+	// 1-(1-b)^n ~= n*b for small b.
+	p := perFlitProb(1e-9, 64)
+	if math.Abs(p-64e-9)/64e-9 > 1e-3 {
+		t.Errorf("per-flit prob %g, want ~%g", p, 64e-9)
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	var k1, k2 sim.Kernel
+	a := NewInjector(enabled(), 64, 7, &k1)
+	b := NewInjector(enabled(), 64, 7, &k2)
+	for i := 0; i < 10000; i++ {
+		if a.MeshFlitError() != b.MeshFlitError() || a.OpticalFlitError() != b.OpticalFlitError() {
+			t.Fatalf("streams diverge at draw %d", i)
+		}
+	}
+	// A different seed must give a different stream.
+	c := NewInjector(enabled(), 64, 8, &k1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.next() == c.next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d identical draws across seeds", same)
+	}
+}
+
+func TestErrorRateApproximatesBER(t *testing.T) {
+	fc := enabled()
+	fc.MeshBER = 1e-3 // per-flit ~6.2%
+	var k sim.Kernel
+	in := NewInjector(fc, 64, 42, &k)
+	n, errs := 200000, 0
+	for i := 0; i < n; i++ {
+		if in.MeshFlitError() {
+			errs++
+		}
+	}
+	want := perFlitProb(fc.MeshBER, 64)
+	got := float64(errs) / float64(n)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("observed rate %g, want ~%g", got, want)
+	}
+}
+
+func TestDriftWindows(t *testing.T) {
+	fc := enabled()
+	fc.DriftPeriod = 1000
+	fc.DriftDuty = 100
+	fc.DriftBERMult = 50
+	var k sim.Kernel
+	in := NewInjector(fc, 64, 42, &k)
+
+	base := in.OpticalPerFlitRate() // t=0 is inside the episode
+	k.Schedule(500, func() {})
+	k.Run(500)
+	quiet := in.OpticalPerFlitRate()
+	if base <= quiet {
+		t.Errorf("drift episode rate %g not above quiet rate %g", base, quiet)
+	}
+	if r := base / quiet; math.Abs(r-50) > 1 {
+		t.Errorf("drift multiplier %g, want ~50", r)
+	}
+}
+
+func TestLaserDroopGrowsWithTime(t *testing.T) {
+	fc := enabled()
+	fc.LaserDroopPerMCycle = 1.0 // rate doubles every 1M cycles
+	var k sim.Kernel
+	in := NewInjector(fc, 64, 42, &k)
+	r0 := in.OpticalPerFlitRate()
+	k.At(2_000_000, func() {})
+	k.Run(2_000_000)
+	r1 := in.OpticalPerFlitRate()
+	if want := 3 * r0; math.Abs(r1-want)/want > 1e-6 {
+		t.Errorf("droop rate at 2M cycles %g, want %g", r1, want)
+	}
+}
+
+func TestBackoffPolicy(t *testing.T) {
+	fc := enabled()
+	fc.BackoffBase = 8
+	fc.BackoffCap = 64
+	var k sim.Kernel
+	in := NewInjector(fc, 64, 42, &k)
+	want := []sim.Time{8, 16, 32, 64, 64, 64}
+	for i, w := range want {
+		if got := in.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	fc := config.Fault{Enabled: true, MeshBER: 1e-9}
+	var k sim.Kernel
+	in := NewInjector(fc, 64, 42, &k)
+	if in.MaxRetries() != DefaultMaxRetries {
+		t.Errorf("MaxRetries default = %d", in.MaxRetries())
+	}
+	if in.Backoff(1) != DefaultBackoffBase {
+		t.Errorf("Backoff default = %d", in.Backoff(1))
+	}
+	if in.DegradeWindow() != DefaultDegradeWindow {
+		t.Errorf("DegradeWindow default = %d", in.DegradeWindow())
+	}
+	if in.OpticalFlitError() {
+		t.Error("zero optical BER fired an optical error")
+	}
+}

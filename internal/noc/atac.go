@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -45,6 +46,8 @@ type Atac struct {
 
 	// outstanding counts in-flight optical/receive-net jobs (test hook).
 	outstanding int
+
+	inj *fault.Injector // nil = perfect interconnect
 }
 
 // NewAtac builds the fabric from a validated config with an optical
@@ -59,7 +62,12 @@ func NewAtac(k *sim.Kernel, cfg *config.Config) *Atac {
 	a.enet.Transport = true
 	a.enet.SetDeliver(a.enetDeliver)
 	a.pendingTX = make([]int, cfg.Clusters())
-	if cfg.Network.Routing == config.AdaptiveRouting {
+	// Per-pair FIFO restoration is needed whenever a pair's path can vary
+	// per message: under adaptive routing, and under fault injection,
+	// where channel degradation reroutes optical unicasts onto the ENet
+	// mid-run (optical retransmission itself is stop-and-wait and cannot
+	// reorder, but the optical->electrical switch can).
+	if cfg.Network.Routing == config.AdaptiveRouting || cfg.Fault.Enabled {
 		a.pairNext = make(map[pairKey]uint64)
 		a.pairWant = make(map[pairKey]uint64)
 		a.pairHeld = make(map[pairKey]map[uint64]*Message)
@@ -76,12 +84,37 @@ func NewAtac(k *sim.Kernel, cfg *config.Config) *Atac {
 // SetDeliver implements Network.
 func (a *Atac) SetDeliver(fn DeliverFunc) { a.deliver = fn }
 
+// SetFaults arms fault injection on the whole fabric: link-level retry on
+// the ENet, per-reception corruption with stop-and-wait retransmission on
+// the optical channels, and degradation-based rerouting. Must be set
+// before the first Send; nil leaves the fabric perfect.
+func (a *Atac) SetFaults(inj *fault.Injector) {
+	a.inj = inj
+	a.enet.SetFaults(inj)
+}
+
 // Stats implements Network; ENet flit counters are folded in on read.
 func (a *Atac) Stats() *Stats {
 	ms := a.enet.Stats()
 	a.stats.MeshLinkFlits = ms.MeshLinkFlits
 	a.stats.MeshRouterFlits = ms.MeshRouterFlits
+	a.stats.MeshFlitErrors = ms.MeshFlitErrors
+	a.stats.MeshNacks = ms.MeshNacks
+	a.stats.MeshRetxFlits = ms.MeshRetxFlits
+	a.stats.MeshRetriesExhausted = ms.MeshRetriesExhausted
 	return &a.stats
+}
+
+// DegradedClusters lists the clusters whose optical channel has been
+// declared degraded (observability hook).
+func (a *Atac) DegradedClusters() []int {
+	var out []int
+	for i, h := range a.hubs {
+		if h.degraded {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // ENet exposes the underlying electrical mesh (for area/static accounting).
@@ -137,6 +170,16 @@ func (a *Atac) Send(m *Message) {
 			useONet = a.Cfg.Distance(m.Src, m.Dst) >= a.Cfg.Network.RThres &&
 				a.pendingTX[srcCl] < a.Cfg.Network.AdaptiveQueueMax
 		}
+	}
+	// Graceful degradation: a cluster whose optical channel crossed the
+	// observed-error threshold routes its unicasts over the electrical
+	// mesh fallback. Broadcasts stay on the ONet (protected by
+	// retransmission): diverting them would break the per-slice broadcast
+	// FIFO the coherence protocol's sequence numbers assume.
+	if useONet && a.hubs[srcCl].degraded {
+		useONet = false
+		a.stats.ReroutedMsgs++
+		a.stats.ReroutedFlits += uint64(n)
 	}
 	if useONet {
 		a.sendViaHub(m)
@@ -239,6 +282,12 @@ type hub struct {
 	// Adaptive SWMR bookkeeping (Table V).
 	busyCycles   uint64
 	uniSinceLast uint64
+
+	// Optical channel health (fault injection): observed flits and
+	// errors in the current degradation window, and the sticky degraded
+	// flag that reroutes this cluster's unicasts onto the ENet.
+	winFlits, winErrs uint64
+	degraded          bool
 }
 
 func (h *hub) enqueueTX(m *Message) {
@@ -250,49 +299,93 @@ func (h *hub) enqueueTX(m *Message) {
 	}
 }
 
-// startTX transmits the head of the queue: a select-link notification,
-// then the data flits on the hub's wavelength set. The laser runs only for
-// the duration of the transfer (power gating; the Cons flavor's always-on
-// laser is an energy-model concern, not a timing one).
+// startTX dequeues the head of the queue and launches its first optical
+// transmission attempt.
 func (h *hub) startTX() {
 	m := h.txq[0]
 	h.txq = h.txq[1:]
 	h.txBusy = true
+	h.transmit(m, nil)
+}
+
+// transmit performs one optical transmission attempt of m: a select-link
+// notification, then the data flits on the hub's wavelength set. The laser
+// runs only for the duration of the transfer (power gating; the Cons
+// flavor's always-on laser is an energy-model concern, not a timing one).
+//
+// retxTo is nil for a first attempt (normal mode selection); for
+// retransmissions it lists the clusters whose previous reception was
+// corrupted, which are re-sent as serialized unicast-mode slots. The
+// channel is stop-and-wait: it stays busy — including the backoff gap —
+// until every receiver holds a clean copy or the retry budget forces the
+// residue through, so hub transmission order (and with it the per-slice
+// broadcast FIFO the coherence sequence numbers assume) survives faults.
+func (h *hub) transmit(m *Message, retxTo []int) {
 	cfg := h.a.Cfg
 	n := FlitsFor(m.Bits, cfg.Network.FlitBits)
 	lag := cfg.Network.SelectDataLag
 	oDelay := cfg.Network.ONetLinkDelay
+	// forced: the retry budget is spent, so residual errors are modelled
+	// as recovered by end-to-end FEC and every receiver is delivered.
+	forced := h.a.inj != nil && int(m.retx) >= h.a.inj.MaxRetries()
+	var failed []int
 
-	h.a.stats.SelectEvents++
-	busy := sim.Time(lag + n)
-	h.busyCycles += uint64(busy)
-
-	if m.Dst == BroadcastDst && cfg.Network.BcastAsUnicast {
+	var busy sim.Time
+	switch {
+	case retxTo != nil:
+		// Retransmission attempt: serialized unicast-mode slots to the
+		// failed receivers only, each with its own select notification.
+		per := sim.Time(lag + n)
+		busy = per * sim.Time(len(retxTo))
+		h.busyCycles += uint64(busy)
+		h.a.stats.SelectEvents += uint64(len(retxTo))
+		h.a.stats.ONetUniPkts += uint64(len(retxTo))
+		h.a.stats.ONetUniFlits += uint64(len(retxTo) * n)
+		h.a.stats.LaserUniCycles += uint64(len(retxTo) * n)
+		h.a.stats.OpticalRetxPkts += uint64(len(retxTo))
+		h.a.stats.OpticalRetxFlits += uint64(len(retxTo) * n)
+		for i, cl := range retxTo {
+			rx := h.a.hubs[cl]
+			arrive := sim.Time(i)*per + sim.Time(lag+1+oDelay)
+			if h.corrupted(rx, n, forced) {
+				failed = append(failed, cl)
+				continue
+			}
+			rx.scheduleRX(h.a.K.Now()+arrive, m, n)
+		}
+	case m.Dst == BroadcastDst && cfg.Network.BcastAsUnicast:
 		// Section V-D ablation: no native broadcast support on the
 		// SWMR link. The broadcast is serialized as one unicast-mode
 		// transmission per hub, each with its own select notification;
 		// receiving hubs still fan the copy out to their whole cluster.
 		hubs := len(h.a.hubs)
-		h.a.stats.SelectEvents += uint64(hubs - 1)
+		h.a.stats.SelectEvents += uint64(hubs)
 		h.a.stats.ONetUniPkts += uint64(hubs)
 		h.a.stats.ONetUniFlits += uint64(hubs * n)
 		h.a.stats.LaserUniCycles += uint64(hubs * n)
 		h.uniSinceLast = 0
 		per := sim.Time(lag + n)
 		busy = per * sim.Time(hubs)
-		h.busyCycles += uint64(busy) - uint64(per) // startTX added one slot
+		h.busyCycles += uint64(busy)
 		for i, rx := range h.a.hubs {
 			arrive := sim.Time(i)*per + sim.Time(lag+1+oDelay)
 			if rx == h {
 				arrive = sim.Time(i)*per + sim.Time(lag+1)
 			}
+			if h.corrupted(rx, n, forced) {
+				failed = append(failed, rx.cluster)
+				continue
+			}
 			rx.scheduleRX(h.a.K.Now()+arrive, m, n)
 		}
-	} else if m.Dst == BroadcastDst {
+	case m.Dst == BroadcastDst:
+		h.a.stats.SelectEvents++
 		h.a.stats.ONetBcastPkts++
 		h.a.stats.ONetBcastFlits += uint64(n)
 		h.a.stats.LaserBcastCycles += uint64(n)
 		h.uniSinceLast = 0
+		busy = sim.Time(lag + n)
+		h.busyCycles += uint64(busy)
 		// Every other hub receives via the ONet loop; the sending
 		// hub forwards directly onto its own receive network.
 		for _, rx := range h.a.hubs {
@@ -300,24 +393,93 @@ func (h *hub) startTX() {
 			if rx == h {
 				arrive = sim.Time(lag + 1)
 			}
+			if h.corrupted(rx, n, forced) {
+				failed = append(failed, rx.cluster)
+				continue
+			}
 			rx.scheduleRX(h.a.K.Now()+arrive, m, n)
 		}
-	} else {
+	default:
+		h.a.stats.SelectEvents++
 		h.a.stats.ONetUniPkts++
 		h.a.stats.ONetUniFlits += uint64(n)
 		h.a.stats.LaserUniCycles += uint64(n)
 		h.uniSinceLast++
+		busy = sim.Time(lag + n)
+		h.busyCycles += uint64(busy)
 		rx := h.a.hubs[cfg.ClusterOf(m.Dst)]
-		rx.scheduleRX(h.a.K.Now()+sim.Time(lag+1+oDelay), m, n)
+		if h.corrupted(rx, n, forced) {
+			failed = append(failed, rx.cluster)
+		} else {
+			rx.scheduleRX(h.a.K.Now()+sim.Time(lag+1+oDelay), m, n)
+		}
 	}
 
 	h.a.K.Schedule(busy, func() {
+		if len(failed) > 0 {
+			// NACKed receivers remain: hold the channel through the
+			// backoff and retransmit to the failed subset only.
+			m.retx++
+			h.a.K.Schedule(h.a.inj.Backoff(int(m.retx)), func() {
+				h.transmit(m, failed)
+			})
+			return
+		}
 		h.a.pendingTX[h.cluster]--
 		h.txBusy = false
 		if len(h.txq) > 0 {
 			h.startTX()
 		}
 	})
+}
+
+// corrupted draws the per-flit optical errors one receiving hub would see
+// (evaluated sender-side at transmit time, modelling the receiver's CRC
+// check and select-link NACK) and feeds the channel-health window. The
+// sending hub's own copy bypasses the optical loop and cannot be
+// corrupted; forced deliveries record errors but never fail.
+func (h *hub) corrupted(rx *hub, n int, forced bool) bool {
+	if h.a.inj == nil || rx == h {
+		return false
+	}
+	errs := 0
+	for i := 0; i < n; i++ {
+		if h.a.inj.OpticalFlitError() {
+			errs++
+		}
+	}
+	h.a.stats.OpticalFlitErrors += uint64(errs)
+	h.observe(n, errs)
+	if errs == 0 {
+		return false
+	}
+	if forced {
+		h.a.stats.OpticalRetriesExhausted++
+		return false
+	}
+	h.a.stats.OpticalNacks++
+	return true
+}
+
+// observe feeds one reception's flit/error counts into the degradation
+// window; when the window fills with an observed error rate above the
+// threshold, the channel is declared degraded (sticky) and the cluster's
+// future optical unicasts divert to the ENet.
+func (h *hub) observe(flits, errs int) {
+	inj := h.a.inj
+	if h.degraded || inj.DegradeThreshold() <= 0 {
+		return
+	}
+	h.winFlits += uint64(flits)
+	h.winErrs += uint64(errs)
+	if h.winFlits < uint64(inj.DegradeWindow()) {
+		return
+	}
+	if float64(h.winErrs)/float64(h.winFlits) > inj.DegradeThreshold() {
+		h.degraded = true
+		h.a.stats.DegradedChannels++
+	}
+	h.winFlits, h.winErrs = 0, 0
 }
 
 // scheduleRX books the message onto this cluster's earliest-free receive

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -52,6 +53,12 @@ type flit struct {
 	phase mcPhase
 	idx   int // flit index within the worm
 	n     int // total flits in the worm
+
+	// Link-level retry state (fault injection). attempts counts failed
+	// crossings of the current hop; retryAt gates the flit until its
+	// backoff expires. Both reset when the flit advances a hop.
+	attempts uint8
+	retryAt  sim.Time
 }
 
 func (f flit) head() bool { return f.idx == 0 }
@@ -79,6 +86,7 @@ type Mesh struct {
 	deliver DeliverFunc
 	stats   Stats
 	wormSeq uint64
+	inj     *fault.Injector // nil = perfect links
 }
 
 // NewMesh builds the mesh. It panics on a non-positive geometry: meshes
@@ -105,6 +113,14 @@ func NewMesh(k *sim.Kernel, dim, flitBits, bufFlits, routerDelay, linkDelay int,
 
 // SetDeliver installs the ejection callback.
 func (m *Mesh) SetDeliver(fn DeliverFunc) { m.deliver = fn }
+
+// SetFaults arms link-level fault injection: every link crossing may be
+// corrupted per the injector's mesh BER, detected at the downstream
+// router and NACKed back, and the flit retransmitted from the upstream
+// buffer after exponential backoff (hop-by-hop retry, so flit and message
+// ordering are preserved). Must be set before the first Send; a nil
+// injector leaves the mesh perfect.
+func (m *Mesh) SetFaults(inj *fault.Injector) { m.inj = inj }
 
 // Stats returns the live counters.
 func (m *Mesh) Stats() *Stats { return &m.stats }
@@ -328,11 +344,12 @@ func (r *router) route(f flit) int {
 // tick advances the router by one cycle: at most one flit per output port.
 func (r *router) tick() {
 	r.scheduled = false
+	now := r.m.K.Now()
 	for out := 0; out < numPorts; out++ {
 		var inp = -1
 		if w := r.outLock[out]; w != 0 {
 			cand := r.lockedIn[out]
-			if len(r.in[cand]) > 0 && r.in[cand][0].worm == w {
+			if len(r.in[cand]) > 0 && r.in[cand][0].worm == w && r.in[cand][0].retryAt <= now {
 				inp = cand
 			}
 		} else {
@@ -340,7 +357,7 @@ func (r *router) tick() {
 			for k := 0; k < numPorts; k++ {
 				p := (r.rr[out] + k) % numPorts
 				q := r.in[p]
-				if len(q) == 0 || !q[0].head() {
+				if len(q) == 0 || !q[0].head() || q[0].retryAt > now {
 					continue
 				}
 				if r.route(q[0]) == out {
@@ -356,8 +373,34 @@ func (r *router) tick() {
 		if out != portLocal && r.outCredit[out] <= 0 {
 			continue
 		}
+		// Link-level fault handling: the flit crosses the link, the
+		// downstream router's error detection rejects it and NACKs, and
+		// the flit retries from this buffer after exponential backoff.
+		// The corrupted crossing still burned wire and crossbar energy,
+		// so it is charged like a delivered one. Hop-by-hop retry keeps
+		// every worm, and therefore every message pair, in FIFO order —
+		// the coherence protocol's ordering assumptions are unaffected.
+		if out != portLocal && r.m.inj != nil && r.m.inj.MeshFlitError() {
+			st := &r.m.stats
+			st.MeshFlitErrors++
+			st.MeshNacks++
+			st.MeshLinkFlits++
+			st.MeshRouterFlits++
+			q := r.in[inp]
+			if int(q[0].attempts) < r.m.inj.MaxRetries() {
+				q[0].attempts++
+				q[0].retryAt = now + r.m.inj.Backoff(int(q[0].attempts))
+				st.MeshRetxFlits++
+				continue
+			}
+			// Retry budget spent: force the flit through (modelling
+			// end-to-end FEC recovering the residual error) so the
+			// protocol layer always makes progress.
+			st.MeshRetriesExhausted++
+		}
 		f := r.in[inp][0]
 		r.in[inp] = r.in[inp][1:]
+		f.attempts, f.retryAt = 0, 0 // retry state is per hop
 		r.fwdFlits++
 		if f.head() {
 			r.outLock[out] = f.worm

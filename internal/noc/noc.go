@@ -46,6 +46,9 @@ type Message struct {
 	// pairSeq is the per-(src,dst) sequence number the ATAC fabric uses
 	// to restore FIFO delivery under adaptive routing (0 = unsequenced).
 	pairSeq uint64
+	// retx counts optical retransmission attempts already spent on this
+	// message (fault injection; bounded by the injector's MaxRetries).
+	retx uint8
 }
 
 // IsBroadcast reports whether this delivery belongs to a logical broadcast,
@@ -115,6 +118,28 @@ type Stats struct {
 	BNetFlits      uint64 // flits broadcast over a BNet tree
 	StarUniFlits   uint64 // flits over a single StarNet link
 	StarBcastFlits uint64 // flits over all StarNet links of a cluster
+
+	// Fault-injection / resilience events (internal/fault). All zero
+	// when the fault layer is disabled.
+	MeshFlitErrors       uint64 // electrical link crossings NACKed by the receiver
+	MeshNacks            uint64 // link-level NACK wire traversals (== errors)
+	MeshRetxFlits        uint64 // link-level retransmission crossings
+	MeshRetriesExhausted uint64 // flits forced through after the retry budget
+	OpticalFlitErrors    uint64 // ONet data-link flits corrupted at a receiving hub
+	OpticalNacks         uint64 // corrupted optical receptions (per hub, per attempt)
+	OpticalRetxPkts      uint64 // optical retransmission attempts (channel slots)
+	OpticalRetxFlits     uint64 // flits re-sent over the ONet
+	OpticalRetriesExhausted uint64 // packets forced through after the retry budget
+	ReroutedMsgs         uint64 // unicasts diverted to the ENet by degraded channels
+	ReroutedFlits        uint64
+	DegradedChannels     uint64 // optical channels currently degraded (gauge)
+}
+
+// FaultEvents reports whether any resilience counter is nonzero (used by
+// reports to decide whether to print the resilience block).
+func (s *Stats) FaultEvents() bool {
+	return s.MeshFlitErrors != 0 || s.OpticalFlitErrors != 0 ||
+		s.ReroutedMsgs != 0 || s.DegradedChannels != 0
 }
 
 // RecordLatency adds one delivery latency observation.

@@ -13,7 +13,16 @@
 // first when their cycle's bucket was still empty on arrival.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrEventBudget is the sentinel for a run stopped by SetEventBudget:
+// callers that cap a simulation's executed events (the livelock backstop)
+// wrap this error when BudgetExhausted reports true after Run returns.
+var ErrEventBudget = errors.New("sim: event budget exhausted")
 
 // Time is simulated time measured in clock cycles. All components in this
 // repository share a single 1 GHz clock domain (Table I of the paper), so a
@@ -65,6 +74,13 @@ type Kernel struct {
 
 	far    farHeap
 	farSeq uint64
+
+	// Executed-event budget (livelock backstop). budgeted distinguishes
+	// "no budget set" from "budget of zero": the zero-value kernel runs
+	// unbounded, exactly as before the budget existed.
+	budget    uint64
+	budgeted  bool
+	exhausted bool
 }
 
 // Now returns the current simulated time.
@@ -76,11 +92,41 @@ func (k *Kernel) Schedule(delay Time, fn func()) {
 	k.At(k.now+delay, fn)
 }
 
+// SetEventBudget allows Run/Step to execute at most n further events
+// before stopping with BudgetExhausted set. A budget of zero halts the
+// kernel at the next event boundary — the watchdog uses that to abort a
+// stuck run from inside a kernel event. The budget is a backstop, not a
+// scheduler: queued events stay queued when it runs out.
+func (k *Kernel) SetEventBudget(n uint64) {
+	k.budget = n
+	k.budgeted = true
+	k.exhausted = false
+}
+
+// BudgetExhausted reports whether a Run/Step stopped because the event
+// budget ran out (rather than because the queue drained or the time limit
+// was reached).
+func (k *Kernel) BudgetExhausted() bool { return k.exhausted }
+
+// spend consumes one event from the budget; it reports false when the
+// budget is already spent, marking the kernel exhausted.
+func (k *Kernel) spend() bool {
+	if !k.budgeted {
+		return true
+	}
+	if k.budget == 0 {
+		k.exhausted = true
+		return false
+	}
+	k.budget--
+	return true
+}
+
 // At runs fn at absolute time t. Scheduling in the past panics: it is
 // always a component bug.
 func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
-		panic("sim: scheduling event in the past")
+		panic(fmt.Sprintf("sim: scheduling event in the past: t=%d < now=%d", t, k.now))
 	}
 	if t-k.now < wheelSize {
 		k.wheel[t&wheelMask] = append(k.wheel[t&wheelMask], fn)
@@ -145,6 +191,9 @@ func (k *Kernel) Step() bool {
 	if k.advance(^Time(0)) != advFound {
 		return false
 	}
+	if !k.spend() {
+		return false
+	}
 	fn := k.wheel[k.now&wheelMask][k.idx]
 	k.wheel[k.now&wheelMask][k.idx] = nil
 	k.idx++
@@ -160,6 +209,14 @@ func (k *Kernel) Step() bool {
 func (k *Kernel) Run(until Time) int {
 	n := 0
 	for {
+		// A spent budget stops the run before the clock moves again —
+		// including the idle jump to `until` when the queue is empty
+		// (a watchdog that zeroes the budget from the last queued event
+		// must halt the clock at the trip cycle, not the horizon).
+		if k.budgeted && k.budget == 0 {
+			k.exhausted = true
+			return n
+		}
 		switch k.advance(until) {
 		case advNone:
 			if k.now < until {
@@ -171,6 +228,9 @@ func (k *Kernel) Run(until Time) int {
 		}
 		bucket := &k.wheel[k.now&wheelMask]
 		for k.idx < len(*bucket) {
+			if !k.spend() {
+				return n
+			}
 			fn := (*bucket)[k.idx]
 			(*bucket)[k.idx] = nil
 			k.idx++

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -103,11 +105,76 @@ func TestSchedulePastPanics(t *testing.T) {
 	k.Schedule(10, func() {})
 	k.RunAll()
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("At in the past did not panic")
+		}
+		// The message must name both the requested time and the clock.
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "t=5") || !strings.Contains(msg, "now=10") {
+			t.Fatalf("panic message %q lacks t/now diagnostics", msg)
 		}
 	}()
 	k.At(5, func() {})
+}
+
+func TestEventBudgetStopsRun(t *testing.T) {
+	var k Kernel
+	ran := 0
+	// A self-perpetuating event chain: unbounded without a budget.
+	var tick func()
+	tick = func() { ran++; k.Schedule(1, tick) }
+	k.Schedule(0, tick)
+	k.SetEventBudget(100)
+	n := k.Run(Forever)
+	if n != 100 || ran != 100 {
+		t.Fatalf("executed %d events (callback saw %d), want 100", n, ran)
+	}
+	if !k.BudgetExhausted() {
+		t.Fatal("BudgetExhausted not reported")
+	}
+	// Topping the budget up resumes exactly where it stopped.
+	k.SetEventBudget(50)
+	if k.BudgetExhausted() {
+		t.Fatal("SetEventBudget did not clear the exhausted flag")
+	}
+	if n := k.Run(Forever); n != 50 || ran != 150 {
+		t.Fatalf("resumed run executed %d events (total %d)", n, ran)
+	}
+}
+
+func TestEventBudgetZeroHaltsImmediately(t *testing.T) {
+	var k Kernel
+	ran := 0
+	k.Schedule(0, func() { ran++ })
+	k.Schedule(5, func() { ran++ })
+	k.SetEventBudget(0)
+	if n := k.Run(Forever); n != 0 || ran != 0 {
+		t.Fatalf("zero budget executed %d events", n)
+	}
+	if !k.BudgetExhausted() {
+		t.Fatal("BudgetExhausted not reported")
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("queued events lost: Pending() = %d", k.Pending())
+	}
+	if k.Step() {
+		t.Fatal("Step executed an event with a spent budget")
+	}
+}
+
+func TestNoBudgetRunsUnbounded(t *testing.T) {
+	var k Kernel
+	ran := 0
+	for i := 0; i < 1000; i++ {
+		k.Schedule(Time(i), func() { ran++ })
+	}
+	if n := k.RunAll(); n != 1000 || ran != 1000 {
+		t.Fatalf("unbudgeted kernel executed %d events", n)
+	}
+	if k.BudgetExhausted() {
+		t.Fatal("unbudgeted kernel claims exhaustion")
+	}
 }
 
 // Property: for any set of delays, events execute in nondecreasing time

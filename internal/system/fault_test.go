@@ -1,0 +1,142 @@
+package system
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestWatchdogDetectsDeadlock runs a workload whose cores all block on an
+// address nobody ever writes. The watchdog must terminate the run long
+// before the (enormous) horizon and name the stuck cores.
+func TestWatchdogDetectsDeadlock(t *testing.T) {
+	cfg := config.Tiny()
+	cfg.Fault.WatchdogInterval = 1000
+	cfg.Fault.WatchdogStalls = 3
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.Spec{
+		Name: "always-blocks",
+		Program: func(p *cpu.Proc) {
+			// Address 0 stays zero forever: every core sleeps on it.
+			p.WaitUntil(0, func(v uint64) bool { return v != 0 })
+		},
+	}
+	res, err := s.Run(spec, sim.Forever/2)
+	if err == nil {
+		t.Fatal("deadlocked run returned no error")
+	}
+	if res.Finished {
+		t.Fatal("result claims finished")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "watchdog") || !strings.Contains(msg, "no progress") {
+		t.Fatalf("error is not a watchdog diagnosis: %v", err)
+	}
+	// Every core is stuck; the dump must name them with their wait state.
+	if !strings.Contains(msg, "core 0:") || !strings.Contains(msg, "waiting on") {
+		t.Fatalf("diagnosis lacks per-core blocked state: %v", err)
+	}
+	// The trip must be prompt: a handful of watchdog windows, not the horizon.
+	if got := s.K.Now(); got > 100*1000 {
+		t.Fatalf("watchdog let the run reach cycle %d", got)
+	}
+	// Cycles must reflect simulated time, not the zero last-finish.
+	if res.Cycles != s.K.Now() {
+		t.Fatalf("Cycles = %d, want clock %d", res.Cycles, s.K.Now())
+	}
+}
+
+// TestWatchdogQuietOnHealthyRun arms the watchdog on a normal benchmark:
+// it must never trip, and the result must match an unwatched run exactly
+// (watchdog sampling is observation-only).
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	base := config.Tiny()
+	watched := base
+	watched.Fault.WatchdogInterval = 500
+	watched.Fault.WatchdogStalls = 3
+	r1, err := RunBenchmark(base, "radix", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunBenchmark(watched, "radix", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Cfg, r2.Cfg = config.Config{}, config.Config{}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("watchdog perturbed the run:\n%+v\n%+v", r1, r2)
+	}
+}
+
+// TestEventBudgetBoundsRun caps a healthy run at a tiny event budget and
+// expects the sentinel error.
+func TestEventBudgetBoundsRun(t *testing.T) {
+	cfg := config.Tiny()
+	cfg.Fault.EventBudget = 500
+	_, err := RunBenchmark(cfg, "radix", 1, 0)
+	if !errors.Is(err, sim.ErrEventBudget) {
+		t.Fatalf("err = %v, want ErrEventBudget", err)
+	}
+}
+
+// TestFaultRunsDeterministic: same config+seed => byte-identical Result
+// across independent runs, for both an electrical and an optical fabric
+// with fault injection active.
+func TestFaultRunsDeterministic(t *testing.T) {
+	for _, kind := range []config.NetworkKind{config.EMeshPure, config.ATACPlus} {
+		cfg := config.Tiny().WithNetwork(kind)
+		cfg.Fault = config.Fault{
+			Enabled:          true,
+			MeshBER:          1e-5,
+			OpticalBER:       1e-4,
+			DriftPeriod:      5000,
+			DriftDuty:        500,
+			DriftBERMult:     10,
+			DegradeThreshold: 0.05,
+			Seed:             42,
+		}
+		r1, err := RunBenchmark(cfg, "radix", 1, 0)
+		if err != nil {
+			t.Fatalf("%v run 1: %v", kind, err)
+		}
+		r2, err := RunBenchmark(cfg, "radix", 1, 0)
+		if err != nil {
+			t.Fatalf("%v run 2: %v", kind, err)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("%v: fault runs diverged:\n%+v\n%+v", kind, r1, r2)
+		}
+	}
+}
+
+// TestFaultsPreserveCorrectness: the retry/reroute machinery must be
+// transparent to the coherence protocol — the workload's validated output
+// stays correct under aggressive fault rates on both fabric families.
+func TestFaultsPreserveCorrectness(t *testing.T) {
+	for _, kind := range []config.NetworkKind{config.EMeshPure, config.ATACPlus} {
+		cfg := config.Tiny().WithNetwork(kind)
+		cfg.Fault = config.Fault{
+			Enabled:          true,
+			MeshBER:          1e-4,
+			OpticalBER:       1e-3,
+			DegradeThreshold: 0.02,
+			DegradeWindow:    256,
+		}
+		res, err := RunBenchmark(cfg, "radix", 1, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !res.Net.FaultEvents() {
+			t.Errorf("%v: no fault events at these rates", kind)
+		}
+	}
+}

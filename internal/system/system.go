@@ -11,6 +11,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/noc"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -44,6 +45,12 @@ func New(cfg config.Config) (*System, error) {
 		s.Net = a
 	default:
 		return nil, fmt.Errorf("system: unknown network kind %v", n.Kind)
+	}
+	// Arm fault injection when configured. NewInjector returns nil for the
+	// disabled (zero) Fault section, and the networks never consult a nil
+	// injector, so fault-free runs are bit-identical to pre-fault builds.
+	if inj := fault.NewInjector(cfg.Fault, n.FlitBits, cfg.Seed, s.K); inj != nil {
+		s.Net.(interface{ SetFaults(*fault.Injector) }).SetFaults(inj)
 	}
 	s.Coh = coherence.NewSystem(s.K, &s.Cfg, s.Net)
 	s.Core = make([]*cpu.Core, cfg.Cores)
@@ -117,6 +124,17 @@ func (s *System) Run(spec workload.Spec, horizon sim.Time) (Result, error) {
 	if horizon == 0 {
 		horizon = sim.Forever
 	}
+	// Simulation health backstops: the event budget bounds total executed
+	// events (livelock guard); the watchdog detects windows without
+	// retired instructions or delivered flits (deadlock guard) and halts
+	// the run with a per-core blocked-state report.
+	if s.Cfg.Fault.EventBudget > 0 {
+		s.K.SetEventBudget(s.Cfg.Fault.EventBudget)
+	}
+	var wd *Watchdog
+	if s.Cfg.Fault.WatchdogInterval > 0 && s.Cfg.Fault.WatchdogStalls > 0 {
+		wd = startWatchdog(s, sim.Time(s.Cfg.Fault.WatchdogInterval), s.Cfg.Fault.WatchdogStalls)
+	}
 	s.K.Run(horizon)
 
 	res := Result{
@@ -131,8 +149,20 @@ func (s *System) Run(spec workload.Spec, horizon sim.Time) (Result, error) {
 		res.Instructions += c.Instructions
 	}
 	if !res.Finished {
+		// No core finished: the run's extent is the time actually
+		// simulated, not the zero value of "last finish".
+		if last == 0 {
+			res.Cycles = s.K.Now()
+		}
 		for _, c := range s.Core {
 			c.Kill()
+		}
+		if wd.Tripped() {
+			return res, fmt.Errorf("system: %s: watchdog: %s", spec.Name, wd.Report())
+		}
+		if s.K.BudgetExhausted() {
+			return res, fmt.Errorf("system: %s: %w after %d events at cycle %d",
+				spec.Name, sim.ErrEventBudget, s.Cfg.Fault.EventBudget, s.K.Now())
 		}
 		return res, fmt.Errorf("system: %s: %d cores unfinished at horizon %d", spec.Name, remaining, horizon)
 	}
