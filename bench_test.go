@@ -9,7 +9,11 @@ package repro
 // The campaign scale defaults to 64 cores so a full pass stays tractable;
 // set REPRO_FULL=1 (or REPRO_CORES=n) for the paper's 1024-core geometry.
 // All benchmarks share one memoized campaign, mirroring how the paper's
-// figures share the same underlying simulations.
+// figures share the same underlying simulations. The campaign engine's
+// environment knobs apply here too: REPRO_JOBS caps concurrent simulations
+// (each figure prefetches its run-set through the shared worker pool) and
+// REPRO_CACHE names a persistent result cache directory so repeat bench
+// runs skip simulation entirely.
 
 import (
 	"fmt"

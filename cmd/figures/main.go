@@ -28,14 +28,18 @@ func main() {
 	log.SetPrefix("figures: ")
 
 	var (
-		cores  = flag.Int("cores", 64, "total cores (paper: 1024)")
-		scale  = flag.Int("scale", 1, "workload scale factor")
-		seed   = flag.Int64("seed", 42, "simulation seed")
-		only   = flag.String("only", "", "comma-separated subset, e.g. 3,8,tablev")
-		out    = flag.String("o", "", "also write results to this file")
-		svgDir = flag.String("svg", "", "also render each figure as an SVG into this directory")
-		format = flag.String("format", "text", "output format: text, csv, json")
-		quiet  = flag.Bool("q", false, "suppress per-run progress")
+		cores    = flag.Int("cores", 64, "total cores (paper: 1024)")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		only     = flag.String("only", "", "comma-separated subset, e.g. 3,8,tablev")
+		out      = flag.String("o", "", "also write results to this file")
+		svgDir   = flag.String("svg", "", "also render each figure as an SVG into this directory")
+		format   = flag.String("format", "text", "output format: text, csv, json")
+		quiet    = flag.Bool("q", false, "suppress per-run progress")
+		jobsN    = flag.Int("jobs", 0, "max concurrent simulations (0: REPRO_JOBS env, else GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (default: REPRO_CACHE env, else the user cache dir)")
+		noCache  = flag.Bool("no-cache", false, "disable the persistent result cache")
+		clear    = flag.Bool("clear-cache", false, "invalidate the persistent result cache, then proceed")
 	)
 	flag.Parse()
 
@@ -45,6 +49,8 @@ func main() {
 	}
 	o := experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed}
 	r := experiments.NewRunner(o)
+	r.Jobs = *jobsN
+	r.Cache = openCache(*cacheDir, *noCache, *clear)
 	if !*quiet {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ...", s) }
 	}
@@ -93,6 +99,17 @@ func main() {
 		{"ablations", r.Ablations},
 		{"faults", func() (*experiments.Table, error) { return r.FaultSweep("radix") }},
 	}
+	// Declare the whole campaign's run-set up front so the worker pool is
+	// saturated from the start, instead of discovering runs one figure at
+	// a time. The serial loop below then renders from warm memo entries.
+	var selected []string
+	for _, j := range jobs {
+		if sel(j.id) {
+			selected = append(selected, j.id)
+		}
+	}
+	r.Prefetch(r.CampaignRuns(selected))
+
 	for _, j := range jobs {
 		if !sel(j.id) {
 			continue
@@ -110,6 +127,37 @@ func main() {
 			}
 		}
 	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "campaign: %d simulations run, %d recalled from cache\n",
+			r.FreshRuns(), r.CacheHits())
+	}
+}
+
+// openCache resolves the persistent result cache from the command line:
+// -no-cache disables it, -cache-dir (else REPRO_CACHE, else the user cache
+// dir) locates it, -clear-cache empties it first. Cache trouble is reported
+// and degrades to uncached operation rather than aborting the campaign.
+func openCache(dir string, disabled, clear bool) *experiments.Cache {
+	if disabled {
+		return nil
+	}
+	if dir == "" {
+		dir = experiments.DefaultCacheDir()
+	}
+	if dir == "" {
+		return nil
+	}
+	c, err := experiments.OpenCache(dir)
+	if err != nil {
+		log.Printf("warning: %v (continuing without cache)", err)
+		return nil
+	}
+	if clear {
+		if err := c.Invalidate(); err != nil {
+			log.Printf("warning: %v", err)
+		}
+	}
+	return c
 }
 
 // writeSVG renders a figure table as an SVG and writes fig<id>.svg:

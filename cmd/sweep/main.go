@@ -20,9 +20,9 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/energy"
+	"repro/internal/experiments"
 	"repro/internal/noc"
 	"repro/internal/sim"
-	"repro/internal/system"
 	"repro/internal/traffic"
 )
 
@@ -31,13 +31,16 @@ func main() {
 	log.SetPrefix("sweep: ")
 
 	var (
-		param   = flag.String("param", "flit", "swept parameter: flit, rthres, sharers, load")
-		values  = flag.String("values", "", "comma-separated integer values")
-		bench   = flag.String("bench", "radix", "benchmark (system sweeps)")
-		net     = flag.String("net", "atac+", "network: pure, bcast, atac, atac+")
-		cores   = flag.Int("cores", 64, "total cores")
-		pattern = flag.String("pattern", "uniform", "traffic pattern (load sweeps): "+strings.Join(traffic.Patterns(), ", "))
-		seed    = flag.Int64("seed", 42, "seed")
+		param    = flag.String("param", "flit", "swept parameter: flit, rthres, sharers, load")
+		values   = flag.String("values", "", "comma-separated integer values")
+		bench    = flag.String("bench", "radix", "benchmark (system sweeps)")
+		net      = flag.String("net", "atac+", "network: pure, bcast, atac, atac+")
+		cores    = flag.Int("cores", 64, "total cores")
+		pattern  = flag.String("pattern", "uniform", "traffic pattern (load sweeps): "+strings.Join(traffic.Patterns(), ", "))
+		seed     = flag.Int64("seed", 42, "seed")
+		jobsN    = flag.Int("jobs", 0, "max concurrent simulations (0: REPRO_JOBS env, else GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (default: REPRO_CACHE env, else disabled)")
+		noCache  = flag.Bool("no-cache", false, "disable the persistent result cache")
 	)
 	flag.Parse()
 
@@ -53,7 +56,7 @@ func main() {
 	case "load":
 		sweepLoad(*pattern, *cores, vals, *seed)
 	case "flit", "rthres", "sharers":
-		sweepSystem(*param, *bench, *net, *cores, vals, *seed)
+		sweepSystem(*param, *bench, *net, *cores, vals, *seed, *jobsN, *cacheDir, *noCache)
 	default:
 		log.Fatalf("unknown -param %q", *param)
 	}
@@ -106,8 +109,12 @@ func baseConfig(net string, cores int, seed int64) (config.Config, error) {
 	return cfg, cfg.Validate()
 }
 
-func sweepSystem(param, bench, net string, cores int, vals []int, seed int64) {
-	fmt.Printf("%s,cycles,instructions,energy_mJ,edp_uJs\n", param)
+func sweepSystem(param, bench, net string, cores int, vals []int, seed int64, jobs int, cacheDir string, noCache bool) {
+	// Build every swept configuration first, then hand the whole set to the
+	// campaign engine: points run concurrently (up to -jobs) and repeat
+	// invocations hit the persistent cache.
+	cfgs := make([]config.Config, 0, len(vals))
+	specs := make([]experiments.RunSpec, 0, len(vals))
 	for _, v := range vals {
 		cfg, err := baseConfig(net, cores, seed)
 		if err != nil {
@@ -125,11 +132,32 @@ func sweepSystem(param, bench, net string, cores int, vals []int, seed int64) {
 		if err := cfg.Validate(); err != nil {
 			log.Fatalf("value %d: %v", v, err)
 		}
-		res, err := system.RunBenchmark(cfg, bench, 1, 0)
+		cfgs = append(cfgs, cfg)
+		specs = append(specs, experiments.RunSpec{Cfg: cfg, Bench: bench})
+	}
+
+	r := experiments.NewRunner(experiments.Options{Cores: cores, Scale: 1, Seed: seed})
+	r.Jobs = jobs
+	if noCache {
+		r.Cache = nil
+	} else if cacheDir != "" {
+		c, err := experiments.OpenCache(cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Cache = c
+	}
+	if err := r.RunAll(specs); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s,cycles,instructions,energy_mJ,edp_uJs\n", param)
+	for i, v := range vals {
+		res, err := r.Run(cfgs[i], bench)
 		if err != nil {
 			log.Fatalf("value %d: %v", v, err)
 		}
-		m, err := energy.Build(cfg)
+		m, err := energy.Build(cfgs[i])
 		if err != nil {
 			log.Fatal(err)
 		}

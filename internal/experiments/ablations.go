@@ -7,6 +7,26 @@ import (
 	"repro/internal/energy"
 )
 
+// ablationVariant is one row of the study: a named mutation of the default
+// ATAC+ configuration. The list is shared with the campaign run-set
+// registry (FigureRuns) so prefetching covers exactly these runs.
+type ablationVariant struct {
+	name string
+	mut  func(*config.Config)
+}
+
+func ablationVariants() []ablationVariant {
+	return []ablationVariant{
+		{"ATAC+ (default)", func(*config.Config) {}},
+		{"broadcast-as-unicasts", func(c *config.Config) { c.Network.BcastAsUnicast = true }},
+		{"1 StarNet/cluster", func(c *config.Config) { c.Network.StarNetsPerCl = 1 }},
+		{"4 StarNets/cluster", func(c *config.Config) { c.Network.StarNetsPerCl = 4 }},
+		{"select lag 0", func(c *config.Config) { c.Network.SelectDataLag = 0 }},
+		{"select lag 4", func(c *config.Config) { c.Network.SelectDataLag = 4 }},
+		{"adaptive routing", func(c *config.Config) { c.Network.Routing = config.AdaptiveRouting }},
+	}
+}
+
 // Ablations evaluates the design choices DESIGN.md calls out, beyond the
 // paper's own figures:
 //
@@ -21,19 +41,8 @@ import (
 // Results are E-D products normalized to the default ATAC+ configuration,
 // averaged over the campaign's benchmark set.
 func (r *Runner) Ablations() (*Table, error) {
-	type variant struct {
-		name string
-		mut  func(*config.Config)
-	}
-	variants := []variant{
-		{"ATAC+ (default)", func(*config.Config) {}},
-		{"broadcast-as-unicasts", func(c *config.Config) { c.Network.BcastAsUnicast = true }},
-		{"1 StarNet/cluster", func(c *config.Config) { c.Network.StarNetsPerCl = 1 }},
-		{"4 StarNets/cluster", func(c *config.Config) { c.Network.StarNetsPerCl = 4 }},
-		{"select lag 0", func(c *config.Config) { c.Network.SelectDataLag = 0 }},
-		{"select lag 4", func(c *config.Config) { c.Network.SelectDataLag = 4 }},
-		{"adaptive routing", func(c *config.Config) { c.Network.Routing = config.AdaptiveRouting }},
-	}
+	r.Prefetch(r.FigureRuns("ablations"))
+	variants := ablationVariants()
 	t := &Table{
 		Title:   "Ablations: E-D product vs default ATAC+ (benchmark average)",
 		Columns: []string{"variant", "runtime", "E-D product"},

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/config"
+	"repro/internal/system"
+)
+
+// cacheSchemaVersion stamps every persisted entry. Bump it whenever the
+// simulator's observable behavior changes (timing model, coherence
+// protocol, workload generation, Result layout): a mismatched stamp makes
+// every old entry a miss, so stale results can never leak into figures.
+const cacheSchemaVersion = 1
+
+// Cache is a persistent, on-disk store of benchmark results, one JSON file
+// per run keyed by a content hash of the full run identity. It is shared
+// across processes: unlike the Runner's in-memory memo (whose key only
+// needs to separate runs within one Runner), the persistent key covers
+// everything that determines a result — the full configuration, the
+// benchmark, and the campaign's scale and horizon.
+//
+// Writes are atomic (temp file + rename), so a crashed or parallel writer
+// can never leave a torn entry; corrupt or mismatched entries read as
+// misses. Methods are safe for concurrent use.
+type Cache struct {
+	dir string
+}
+
+// OpenCache creates (if needed) and opens a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// cacheEntry is the on-disk format. Key holds the full (pre-hash) run key
+// so a hash collision — or a caller mixing cache directories — is detected
+// as a miss instead of silently returning the wrong run's result.
+type cacheEntry struct {
+	Schema int           `json:"schema"`
+	Key    string        `json:"key"`
+	Result system.Result `json:"result"`
+}
+
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get returns the cached result for key, if present and valid.
+func (c *Cache) Get(key string) (system.Result, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return system.Result{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return system.Result{}, false
+	}
+	if e.Schema != cacheSchemaVersion || e.Key != key {
+		return system.Result{}, false
+	}
+	return e.Result, true
+}
+
+// Put stores res under key. Errors are returned so callers can warn, but a
+// failed Put only costs a future re-simulation — it is never fatal.
+func (c *Cache) Put(key string, res system.Result) error {
+	data, err := json.Marshal(cacheEntry{Schema: cacheSchemaVersion, Key: key, Result: res})
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	final := c.path(key)
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// Invalidate removes every entry in the cache directory (the explicit
+// invalidation path behind the -clear-cache flag). The directory itself
+// is kept.
+func (c *Cache) Invalidate() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		if err := os.Remove(filepath.Join(c.dir, e.Name())); err != nil {
+			return fmt.Errorf("cache: %w", err)
+		}
+	}
+	return nil
+}
+
+// Len reports how many entries the cache currently holds.
+func (c *Cache) Len() int {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n
+}
+
+// DefaultCacheDir resolves the cache location when no -cache-dir flag is
+// given: the REPRO_CACHE environment variable if set, else a
+// "repro-campaign" subdirectory of the user cache directory.
+func DefaultCacheDir() string {
+	if dir := os.Getenv("REPRO_CACHE"); dir != "" {
+		return dir
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "repro-campaign")
+}
+
+// cacheKey derives the persistent cache key for a run. The in-memory memo
+// key k only distinguishes runs issued by this Runner (fixed scale,
+// horizon, and untouched config fields), so the persistent key extends it
+// with the campaign scale and horizon plus the full configuration JSON —
+// any field that could change a result changes the key.
+func (r *Runner) cacheKey(k string, cfg config.Config, bench string) string {
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		// Config is a plain value struct; marshaling cannot fail. Fall
+		// back to an uncacheable key rather than risk a collision.
+		return ""
+	}
+	return fmt.Sprintf("v%d|%s|bench=%s|scale=%d|horizon=%d|cfg=%s",
+		cacheSchemaVersion, k, bench, r.Opt.Scale, r.Opt.Horizon, blob)
+}

@@ -1,0 +1,395 @@
+// Campaign execution engine: a concurrency-safe, memoizing, deduplicating
+// scheduler for the (config, benchmark) simulation runs the figures share.
+//
+// Three layers cooperate:
+//
+//   - a singleflight memo: concurrent figures requesting the same run key
+//     share one simulation, and completed runs (including failed ones —
+//     simulations are deterministic, so an error is as cacheable as a
+//     result) are recalled from an in-process map;
+//   - a worker pool (RunAll/Prefetch): figures declare their run-set up
+//     front so up to Jobs simulations execute concurrently instead of
+//     being discovered lazily one at a time. Each run owns a private
+//     sim.Kernel, so parallel results are bit-identical to serial ones;
+//   - an optional persistent Cache (cache.go): results survive across
+//     processes, so re-generating figures skips simulation entirely.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/config"
+	"repro/internal/system"
+)
+
+// Runner memoizes and schedules benchmark runs for one campaign. All
+// methods are safe for concurrent use.
+type Runner struct {
+	Opt Options
+	// Progress, if non-nil, receives one line per run disposition (fresh
+	// simulation or persistent-cache hit). Lines are serialized behind an
+	// internal mutex and prefixed with a [bench@network] label, so
+	// concurrent workers never interleave partial lines.
+	Progress func(string)
+	// Apps restricts the benchmark set (default: all of Benchmarks).
+	// Used to keep smoke campaigns cheap.
+	Apps []string
+	// Jobs caps concurrent simulations in RunAll/Prefetch. Zero means
+	// DefaultJobs() (REPRO_JOBS env, else GOMAXPROCS). One runs serially.
+	Jobs int
+	// Cache, if non-nil, persists results on disk across processes.
+	Cache *Cache
+
+	mu       sync.Mutex
+	memo     map[string]system.Result
+	errs     map[string]error
+	inflight map[string]*inflightRun
+	progMu   sync.Mutex
+
+	fresh     atomic.Uint64 // simulations actually executed
+	cacheHits atomic.Uint64 // runs recalled from the persistent cache
+}
+
+// inflightRun is the singleflight rendezvous for one executing run key.
+type inflightRun struct {
+	done chan struct{}
+	res  system.Result
+	err  error
+}
+
+// NewRunner builds a campaign runner. When the REPRO_CACHE environment
+// variable names a directory, the persistent result cache is attached
+// automatically (best effort; commands with explicit cache flags handle
+// errors themselves).
+func NewRunner(o Options) *Runner {
+	r := &Runner{
+		Opt:      o,
+		memo:     make(map[string]system.Result),
+		errs:     make(map[string]error),
+		inflight: make(map[string]*inflightRun),
+	}
+	if dir := os.Getenv("REPRO_CACHE"); dir != "" {
+		if c, err := OpenCache(dir); err == nil {
+			r.Cache = c
+		}
+	}
+	return r
+}
+
+// DefaultJobs returns the campaign-wide concurrency default: the REPRO_JOBS
+// environment variable when set to a positive integer, else GOMAXPROCS.
+func DefaultJobs() int {
+	if v := os.Getenv("REPRO_JOBS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (r *Runner) jobs() int {
+	if r.Jobs > 0 {
+		return r.Jobs
+	}
+	return DefaultJobs()
+}
+
+// apps returns the benchmark set this campaign covers.
+func (r *Runner) apps() []string {
+	if len(r.Apps) > 0 {
+		return r.Apps
+	}
+	return Benchmarks
+}
+
+// FreshRuns returns the number of simulations this Runner actually
+// executed (memo and persistent-cache hits excluded).
+func (r *Runner) FreshRuns() uint64 { return r.fresh.Load() }
+
+// CacheHits returns the number of runs recalled from the persistent cache.
+func (r *Runner) CacheHits() uint64 { return r.cacheHits.Load() }
+
+// Results returns a snapshot of every memoized run, keyed by run key
+// (determinism-test hook).
+func (r *Runner) Results() map[string]system.Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]system.Result, len(r.memo))
+	for k, v := range r.memo {
+		out[k] = v
+	}
+	return out
+}
+
+// key uniquely identifies a (config, benchmark) run within one campaign.
+func key(cfg config.Config, bench string) string {
+	k := fmt.Sprintf("%s|%v|%v|%v|rt%d|fl%d|k%d|%v|c%d|s%d|sn%d|lag%d|bau%v",
+		bench, cfg.Network.Kind, cfg.Network.ReceiveNet, cfg.Network.Routing,
+		cfg.Network.RThres, cfg.Network.FlitBits, cfg.Coherence.Sharers,
+		cfg.Coherence.Kind, cfg.Cores, cfg.Seed,
+		cfg.Network.StarNetsPerCl, cfg.Network.SelectDataLag, cfg.Network.BcastAsUnicast)
+	if f := cfg.Fault; f.Enabled {
+		k += fmt.Sprintf("|F:m%g:o%g:dp%d:dd%d:dm%g:lr%g:thr%g:fs%d",
+			f.MeshBER, f.OpticalBER, f.DriftPeriod, f.DriftDuty, f.DriftBERMult,
+			f.LaserDroopPerMCycle, f.DegradeThreshold, f.Seed)
+	}
+	return k
+}
+
+// Run executes (or recalls) one benchmark on one configuration. Concurrent
+// calls for the same key share a single execution.
+func (r *Runner) Run(cfg config.Config, bench string) (system.Result, error) {
+	k := key(cfg, bench)
+	r.mu.Lock()
+	if res, ok := r.memo[k]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	if err, ok := r.errs[k]; ok {
+		r.mu.Unlock()
+		return system.Result{}, err
+	}
+	if c, ok := r.inflight[k]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &inflightRun{done: make(chan struct{})}
+	r.inflight[k] = c
+	r.mu.Unlock()
+
+	c.res, c.err = r.execute(k, cfg, bench)
+
+	r.mu.Lock()
+	delete(r.inflight, k)
+	if c.err != nil {
+		r.errs[k] = c.err
+	} else {
+		r.memo[k] = c.res
+	}
+	r.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+// execute performs one run: persistent cache lookup, else simulation (and
+// cache fill).
+func (r *Runner) execute(k string, cfg config.Config, bench string) (system.Result, error) {
+	var ck string
+	if r.Cache != nil {
+		ck = r.cacheKey(k, cfg, bench)
+	}
+	if ck != "" {
+		if res, ok := r.Cache.Get(ck); ok {
+			r.cacheHits.Add(1)
+			r.progress(cfg, bench, "cached")
+			return res, nil
+		}
+	}
+	r.fresh.Add(1)
+	r.progress(cfg, bench, fmt.Sprintf("run (routing=%v, flit=%d, %v%d)",
+		cfg.Network.Routing, cfg.Network.FlitBits,
+		cfg.Coherence.Kind, cfg.Coherence.Sharers))
+	res, err := system.RunBenchmark(cfg, bench, r.Opt.Scale, r.Opt.Horizon)
+	if err != nil {
+		return res, fmt.Errorf("%s on %v: %w", bench, cfg.Network.Kind, err)
+	}
+	if ck != "" {
+		r.Cache.Put(ck, res) // best effort: a failed write only costs a re-run
+	}
+	return res, nil
+}
+
+// progress emits one serialized, labelled progress line.
+func (r *Runner) progress(cfg config.Config, bench, msg string) {
+	if r.Progress == nil {
+		return
+	}
+	line := fmt.Sprintf("[%s@%v] %s", bench, cfg.Network.Kind, msg)
+	r.progMu.Lock()
+	defer r.progMu.Unlock()
+	r.Progress(line)
+}
+
+// RunSpec names one (config, benchmark) simulation of a campaign.
+type RunSpec struct {
+	Cfg   config.Config
+	Bench string
+}
+
+// RunAll executes every spec, up to Jobs concurrently, and returns the
+// first error (the remaining runs still complete and are memoized). With
+// Jobs <= 1 the specs execute serially in order, stopping at the first
+// error — exactly the pre-parallel campaign behavior.
+func (r *Runner) RunAll(specs []RunSpec) error {
+	specs = dedupSpecs(specs)
+	if r.jobs() <= 1 || len(specs) <= 1 {
+		for _, s := range specs {
+			if _, err := r.Run(s.Cfg, s.Bench); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, r.jobs())
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for _, s := range specs {
+		wg.Add(1)
+		go func(s RunSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := r.Run(s.Cfg, s.Bench); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Prefetch warms the memo with every spec, saturating the worker pool.
+// Errors are not reported here: a failed run is memoized, and the figure
+// that needs it surfaces the identical error at the same table position a
+// serial campaign would.
+func (r *Runner) Prefetch(specs []RunSpec) {
+	_ = r.RunAll(specs)
+}
+
+// dedupSpecs drops duplicate run keys, keeping first-occurrence order (the
+// serial execution order of the declaring figure).
+func dedupSpecs(specs []RunSpec) []RunSpec {
+	seen := make(map[string]bool, len(specs))
+	out := specs[:0:0]
+	for _, s := range specs {
+		k := key(s.Cfg, s.Bench)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// FigureRuns returns the run-set figure id draws on, in the figure's own
+// serial execution order. IDs follow cmd/figures: "4".."17", "tablev",
+// "ablations", "faults" (the faults sweep's default benchmark). Figures
+// without Runner-backed runs ("3", "10") return nil.
+func (r *Runner) FigureRuns(id string) []RunSpec {
+	var specs []RunSpec
+	add := func(cfg config.Config, bench string) {
+		specs = append(specs, RunSpec{Cfg: cfg, Bench: bench})
+	}
+	switch id {
+	case "4":
+		for _, b := range r.apps() {
+			add(r.Opt.Config(config.ATACPlus), b)
+			add(r.Opt.Config(config.EMeshBCast), b)
+			add(r.Opt.Config(config.EMeshPure), b)
+		}
+	case "5", "6", "tablev":
+		for _, b := range r.apps() {
+			add(r.Opt.Config(config.ATACPlus), b)
+		}
+	case "7", "8":
+		for _, b := range r.apps() {
+			add(r.Opt.Config(config.ATACPlus), b)
+			add(r.Opt.Config(config.EMeshBCast), b)
+			add(r.Opt.Config(config.EMeshPure), b)
+		}
+	case "9":
+		for _, b := range r.apps() {
+			add(r.Opt.Config(config.ATACPlus), b)
+			add(r.Opt.Config(config.EMeshBCast), b)
+		}
+	case "11":
+		for _, b := range r.apps() {
+			add(r.Opt.Config(config.ATACPlus), b)
+			for _, w := range []int{16, 32, 64, 128, 256} {
+				cfg := r.Opt.Config(config.ATACPlus)
+				cfg.Network.FlitBits = w
+				add(cfg, b)
+			}
+		}
+	case "12":
+		for _, b := range r.apps() {
+			add(r.Opt.Config(config.ATAC), b)
+			cfgS := r.Opt.Config(config.ATACPlus)
+			cfgS.Network.Routing = config.ClusterRouting
+			add(cfgS, b)
+		}
+	case "13":
+		cfg0 := r.Opt.Config(config.ATACPlus)
+		schemes := Fig3Schemes(cfg0.MeshDim())[:5]
+		for _, b := range r.apps() {
+			for _, sch := range schemes {
+				cfg := r.Opt.Config(config.ATACPlus)
+				cfg.Network.Routing = sch.Routing
+				if sch.RThres > 0 {
+					cfg.Network.RThres = sch.RThres
+				}
+				add(cfg, b)
+			}
+		}
+	case "14":
+		for _, b := range r.apps() {
+			for _, kind := range []config.NetworkKind{config.ATACPlus, config.EMeshBCast} {
+				for _, ck := range []config.CoherenceKind{config.ACKwise, config.DirKB} {
+					cfg := r.Opt.Config(kind)
+					cfg.Coherence.Kind = ck
+					add(cfg, b)
+				}
+			}
+		}
+	case "15", "16":
+		for _, b := range r.apps() {
+			for _, k := range SharerCounts {
+				cfg := r.Opt.Config(config.ATACPlus)
+				cfg.Coherence.Sharers = k
+				add(cfg, b)
+			}
+		}
+	case "17":
+		for _, b := range r.apps() {
+			add(r.Opt.Config(config.ATACPlus), b)
+			add(r.Opt.Config(config.EMeshBCast), b)
+		}
+	case "ablations":
+		for _, v := range ablationVariants() {
+			for _, b := range r.apps() {
+				add(r.Opt.Config(config.ATACPlus), b)
+				cfg := r.Opt.Config(config.ATACPlus)
+				v.mut(&cfg)
+				add(cfg, b)
+			}
+		}
+	case "faults":
+		specs = r.FaultRuns("radix")
+	}
+	return dedupSpecs(specs)
+}
+
+// CampaignRuns returns the deduplicated union of the run-sets of the given
+// figure ids — the full work-list a campaign hands to Prefetch so the
+// worker pool is saturated from the start.
+func (r *Runner) CampaignRuns(ids []string) []RunSpec {
+	var all []RunSpec
+	for _, id := range ids {
+		all = append(all, r.FigureRuns(id)...)
+	}
+	return dedupSpecs(all)
+}

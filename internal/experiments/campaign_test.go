@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/system"
+)
+
+// testCampaignOpts is a deliberately small campaign (16 cores, two
+// benchmarks) so the engine tests re-simulate quickly.
+func testCampaignOpts() Options { return Options{Cores: 16, Scale: 1, Seed: 42} }
+
+func testCampaignRunner() *Runner {
+	r := NewRunner(testCampaignOpts())
+	r.Cache = nil // keep engine tests hermetic even if REPRO_CACHE is set
+	r.Apps = []string{"dynamic_graph", "radix"}
+	return r
+}
+
+// TestParallelMatchesSerial is the determinism regression test: a campaign
+// run through the worker pool at Jobs=8 must produce bit-identical results
+// and tables to the serial (Jobs=1) path. Run under -race (make check), this
+// also exercises the engine for data races.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := testCampaignRunner()
+	serial.Jobs = 1
+	parallel := testCampaignRunner()
+	parallel.Jobs = 8
+
+	type figs struct {
+		fig4, fig8 string
+		avgB, avgP float64
+	}
+	render := func(r *Runner) figs {
+		t4, err := r.Fig4()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t8, avgB, avgP, err := r.Fig8()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return figs{t4.String(), t8.String(), avgB, avgP}
+	}
+
+	fs := render(serial)
+	fp := render(parallel)
+	if fs != fp {
+		t.Errorf("parallel figures differ from serial:\nserial Fig4:\n%s\nparallel Fig4:\n%s\nserial Fig8:\n%s\nparallel Fig8:\n%s",
+			fs.fig4, fp.fig4, fs.fig8, fp.fig8)
+	}
+
+	rs, rp := serial.Results(), parallel.Results()
+	if len(rs) == 0 || len(rs) != len(rp) {
+		t.Fatalf("result sets differ in size: serial %d, parallel %d", len(rs), len(rp))
+	}
+	for k, v := range rs {
+		pv, ok := rp[k]
+		if !ok {
+			t.Errorf("run %q missing from parallel results", k)
+			continue
+		}
+		if !reflect.DeepEqual(v, pv) {
+			t.Errorf("run %q: parallel result differs from serial\nserial:   %+v\nparallel: %+v", k, v, pv)
+		}
+	}
+}
+
+// TestSingleflight checks that concurrent requests for the same run share
+// one simulation.
+func TestSingleflight(t *testing.T) {
+	r := testCampaignRunner()
+	cfg := r.Opt.Config(config.ATACPlus)
+	var wg sync.WaitGroup
+	results := make([]system.Result, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run(cfg, "radix")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if got := r.FreshRuns(); got != 1 {
+		t.Errorf("8 concurrent identical runs executed %d simulations, want 1", got)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("caller %d saw a different result", i)
+		}
+	}
+}
+
+// TestFigureRunsCoverFigures checks the run-set declarations: after a
+// figure's declared runs are executed, rendering the figure must not need
+// any further simulation, and the declaration must not include runs the
+// figure never uses.
+func TestFigureRunsCoverFigures(t *testing.T) {
+	cases := []struct {
+		id     string
+		render func(r *Runner) error
+	}{
+		{"4", func(r *Runner) error { _, err := r.Fig4(); return err }},
+		{"8", func(r *Runner) error { _, _, _, err := r.Fig8(); return err }},
+		{"11", func(r *Runner) error { _, err := r.Fig11(); return err }},
+		{"13", func(r *Runner) error { _, err := r.Fig13(); return err }},
+		{"14", func(r *Runner) error { _, err := r.Fig14(); return err }},
+		{"ablations", func(r *Runner) error { _, err := r.Ablations(); return err }},
+		{"faults", func(r *Runner) error { _, err := r.FaultSweep("radix"); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.id, func(t *testing.T) {
+			r := testCampaignRunner()
+			r.Apps = []string{"radix"}
+			declared := uint64(len(r.FigureRuns(tc.id)))
+			if declared == 0 {
+				t.Fatalf("FigureRuns(%q) is empty", tc.id)
+			}
+			if err := tc.render(r); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.FreshRuns(); got != declared {
+				t.Errorf("figure %s executed %d simulations, declared %d", tc.id, got, declared)
+			}
+		})
+	}
+}
+
+// TestPersistentCacheRoundTrip checks the cache end to end through the
+// Runner: a second campaign over a warm cache must run zero fresh
+// simulations and reproduce the serial tables exactly.
+func TestPersistentCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cold := testCampaignRunner()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.Cache = c
+	t4cold, err := cold.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FreshRuns() == 0 || cold.CacheHits() != 0 {
+		t.Fatalf("cold campaign: fresh=%d cacheHits=%d", cold.FreshRuns(), cold.CacheHits())
+	}
+	if c.Len() == 0 {
+		t.Fatal("cold campaign persisted no entries")
+	}
+
+	warm := testCampaignRunner()
+	warm.Cache = c
+	t4warm, err := warm.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.FreshRuns(); got != 0 {
+		t.Errorf("warm campaign executed %d fresh simulations, want 0", got)
+	}
+	if warm.CacheHits() == 0 {
+		t.Error("warm campaign recorded no cache hits")
+	}
+	if t4cold.String() != t4warm.String() {
+		t.Errorf("warm-cache table differs:\ncold:\n%s\nwarm:\n%s", t4cold, t4warm)
+	}
+
+	// A different campaign scale must never hit the same entries: the
+	// persistent key covers scale and horizon even though the in-memory
+	// memo key does not.
+	scaled := testCampaignRunner()
+	scaled.Opt.Scale = 2
+	scaled.Cache = c
+	if _, err := scaled.Run(scaled.Opt.Config(config.ATACPlus), "radix"); err != nil {
+		t.Fatal(err)
+	}
+	if got := scaled.FreshRuns(); got != 1 {
+		t.Errorf("scale-2 run hit the scale-1 cache (fresh=%d, want 1)", got)
+	}
+
+	// Invalidation empties the directory; the next campaign is cold again.
+	if err := c.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("cache holds %d entries after Invalidate", got)
+	}
+}
+
+// TestCacheRejectsBadEntries checks that schema mismatches, key collisions,
+// and corrupt files all read as misses, never as wrong results.
+func TestCacheRejectsBadEntries(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := system.Result{Benchmark: "radix", Cycles: 123}
+	if err := c.Put("k1", res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k1")
+	if !ok || got.Cycles != 123 || got.Benchmark != "radix" {
+		t.Fatalf("round trip failed: ok=%v res=%+v", ok, got)
+	}
+	if _, ok := c.Get("k2"); ok {
+		t.Error("miss reported as hit")
+	}
+
+	// Corrupt the entry on disk: must become a miss, not an error or a
+	// wrong result.
+	if err := os.WriteFile(c.path("k1"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Error("corrupt entry reported as hit")
+	}
+
+	// An entry whose embedded key disagrees with its filename (hash
+	// collision, or files moved between cache dirs) is a miss.
+	if err := c.Put("other", res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.path("other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path("k3"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k3"); ok {
+		t.Error("key-mismatched entry reported as hit")
+	}
+}
+
+// TestCacheKeyCoversConfig checks that any config change — including fields
+// the in-memory memo key ignores — changes the persistent key.
+func TestCacheKeyCoversConfig(t *testing.T) {
+	r := NewRunner(testCampaignOpts())
+	base := r.Opt.Config(config.ATACPlus)
+	k := key(base, "radix")
+	ck := r.cacheKey(k, base, "radix")
+	if ck == "" {
+		t.Fatal("empty cache key")
+	}
+
+	mutated := base
+	mutated.Network.BufFlits++ // not part of the memo key
+	if key(mutated, "radix") != k {
+		t.Skip("memo key now covers BufFlits; pick another memo-invisible field")
+	}
+	if r.cacheKey(k, mutated, "radix") == ck {
+		t.Error("BufFlits change did not change the persistent cache key")
+	}
+
+	r2 := NewRunner(testCampaignOpts())
+	r2.Opt.Horizon = 999
+	if r2.cacheKey(k, base, "radix") == ck {
+		t.Error("horizon change did not change the persistent cache key")
+	}
+}
+
+// TestDefaultCacheDirEnv checks the REPRO_CACHE override.
+func TestDefaultCacheDirEnv(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "c")
+	t.Setenv("REPRO_CACHE", dir)
+	if got := DefaultCacheDir(); got != dir {
+		t.Errorf("DefaultCacheDir() = %q, want %q", got, dir)
+	}
+	r := NewRunner(testCampaignOpts())
+	if r.Cache == nil || r.Cache.Dir() != dir {
+		t.Errorf("NewRunner did not attach REPRO_CACHE cache: %+v", r.Cache)
+	}
+}

@@ -5,7 +5,9 @@
 //
 // Simulation runs are memoized per Runner, because many figures share the
 // same underlying runs (e.g. Figs 4, 5, 6, 8 and 17 all use the ATAC+
-// application runs).
+// application runs). The Runner is also a parallel campaign engine — see
+// campaign.go — so each figure prefetches its declared run-set through a
+// worker pool before rendering its table serially from the memo.
 package experiments
 
 import (
@@ -19,7 +21,6 @@ import (
 	"repro/internal/energy"
 	"repro/internal/noc"
 	"repro/internal/sim"
-	"repro/internal/system"
 	"repro/internal/traffic"
 )
 
@@ -72,64 +73,6 @@ func (o Options) Config(kind config.NetworkKind) config.Config {
 		}
 	}
 	return cfg
-}
-
-// Runner memoizes benchmark runs for one campaign.
-type Runner struct {
-	Opt  Options
-	memo map[string]system.Result
-	// Progress, if non-nil, receives one line per fresh simulation run.
-	Progress func(string)
-	// Apps restricts the benchmark set (default: all of Benchmarks).
-	// Used to keep smoke campaigns cheap.
-	Apps []string
-}
-
-// NewRunner builds a campaign runner.
-func NewRunner(o Options) *Runner {
-	return &Runner{Opt: o, memo: make(map[string]system.Result)}
-}
-
-// apps returns the benchmark set this campaign covers.
-func (r *Runner) apps() []string {
-	if len(r.Apps) > 0 {
-		return r.Apps
-	}
-	return Benchmarks
-}
-
-// key uniquely identifies a (config, benchmark) run.
-func key(cfg config.Config, bench string) string {
-	k := fmt.Sprintf("%s|%v|%v|%v|rt%d|fl%d|k%d|%v|c%d|s%d|sn%d|lag%d|bau%v",
-		bench, cfg.Network.Kind, cfg.Network.ReceiveNet, cfg.Network.Routing,
-		cfg.Network.RThres, cfg.Network.FlitBits, cfg.Coherence.Sharers,
-		cfg.Coherence.Kind, cfg.Cores, cfg.Seed,
-		cfg.Network.StarNetsPerCl, cfg.Network.SelectDataLag, cfg.Network.BcastAsUnicast)
-	if f := cfg.Fault; f.Enabled {
-		k += fmt.Sprintf("|F:m%g:o%g:dp%d:dd%d:dm%g:lr%g:thr%g:fs%d",
-			f.MeshBER, f.OpticalBER, f.DriftPeriod, f.DriftDuty, f.DriftBERMult,
-			f.LaserDroopPerMCycle, f.DegradeThreshold, f.Seed)
-	}
-	return k
-}
-
-// Run executes (or recalls) one benchmark on one configuration.
-func (r *Runner) Run(cfg config.Config, bench string) (system.Result, error) {
-	k := key(cfg, bench)
-	if res, ok := r.memo[k]; ok {
-		return res, nil
-	}
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("run %s on %v (routing=%v, flit=%d, %v%d)",
-			bench, cfg.Network.Kind, cfg.Network.Routing, cfg.Network.FlitBits,
-			cfg.Coherence.Kind, cfg.Coherence.Sharers))
-	}
-	res, err := system.RunBenchmark(cfg, bench, r.Opt.Scale, r.Opt.Horizon)
-	if err != nil {
-		return res, fmt.Errorf("%s on %v: %w", bench, cfg.Network.Kind, err)
-	}
-	r.memo[k] = res
-	return res, nil
 }
 
 // models builds (and caches nothing: it is cheap) the energy models.
@@ -252,6 +195,7 @@ func schemeNames(s []RoutingScheme) []string {
 
 // Fig4 regenerates the application runtime comparison.
 func (r *Runner) Fig4() (*Table, error) {
+	r.Prefetch(r.FigureRuns("4"))
 	t := &Table{
 		Title:   "Fig 4: Application runtime (cycles)",
 		Columns: []string{"benchmark", "ATAC+", "EMesh-BCast", "EMesh-Pure", "BCast/ATAC+", "Pure/ATAC+"},
@@ -281,6 +225,7 @@ func (r *Runner) Fig4() (*Table, error) {
 
 // Fig5 regenerates the unicast/broadcast traffic mix (receiver-measured).
 func (r *Runner) Fig5() (*Table, error) {
+	r.Prefetch(r.FigureRuns("5"))
 	t := &Table{
 		Title:   "Fig 5: Traffic mix at the receiver (%)",
 		Columns: []string{"benchmark", "unicast %", "broadcast %"},
@@ -298,6 +243,7 @@ func (r *Runner) Fig5() (*Table, error) {
 
 // Fig6 regenerates the offered network load per application.
 func (r *Runner) Fig6() (*Table, error) {
+	r.Prefetch(r.FigureRuns("6"))
 	t := &Table{
 		Title:   "Fig 6: Offered network load (flits/cycle/core)",
 		Columns: []string{"benchmark", "load"},
@@ -314,6 +260,7 @@ func (r *Runner) Fig6() (*Table, error) {
 
 // TableV regenerates the adaptive SWMR link utilization statistics.
 func (r *Runner) TableV() (*Table, error) {
+	r.Prefetch(r.FigureRuns("tablev"))
 	t := &Table{
 		Title:   "Table V: Adaptive SWMR link utilization; unicasts between broadcasts",
 		Columns: []string{"benchmark", "link utilization %", "unicasts/broadcast"},
@@ -337,6 +284,7 @@ func (r *Runner) TableV() (*Table, error) {
 
 // Fig7 regenerates the energy breakdown comparison.
 func (r *Runner) Fig7() (*Table, error) {
+	r.Prefetch(r.FigureRuns("7"))
 	flavors := []config.Flavor{config.FlavorIdeal, config.FlavorDefault, config.FlavorRingTuned, config.FlavorCons}
 	type agg struct{ laser, tuning, other, elec, caches, total float64 }
 	sums := make([]agg, len(flavors)+2)
@@ -403,6 +351,7 @@ func (r *Runner) Fig7() (*Table, error) {
 // average EMesh-BCast/ATAC+ and EMesh-Pure/ATAC+ ratios (the paper reports
 // 1.8x and 4.8x).
 func (r *Runner) Fig8() (*Table, float64, float64, error) {
+	r.Prefetch(r.FigureRuns("8"))
 	t := &Table{
 		Title:   "Fig 8: Energy-delay product normalized to ATAC+(Ideal), ACKwise4",
 		Columns: []string{"benchmark", "ATAC+(Ideal)", "ATAC+", "ATAC+(RingTuned)", "ATAC+(Cons)", "EMesh-BCast", "EMesh-Pure"},
@@ -413,16 +362,31 @@ func (r *Runner) Fig8() (*Table, float64, float64, error) {
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		edp := func(fl config.Flavor) float64 {
+		edp := func(fl config.Flavor) (float64, error) {
 			cfg := r.Opt.Config(config.ATACPlus)
 			cfg.Network.Flavor = fl
-			m, _ := models(cfg)
-			return energy.EDP(m, resA)
+			m, err := models(cfg)
+			if err != nil {
+				return 0, err
+			}
+			return energy.EDP(m, resA), nil
 		}
-		ideal := edp(config.FlavorIdeal)
-		def := edp(config.FlavorDefault)
-		tuned := edp(config.FlavorRingTuned)
-		cons := edp(config.FlavorCons)
+		ideal, err := edp(config.FlavorIdeal)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		def, err := edp(config.FlavorDefault)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		tuned, err := edp(config.FlavorRingTuned)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		cons, err := edp(config.FlavorCons)
+		if err != nil {
+			return nil, 0, 0, err
+		}
 
 		meshEDP := func(kind config.NetworkKind) (float64, error) {
 			res, err := r.Run(r.Opt.Config(kind), b)
@@ -464,6 +428,7 @@ func (r *Runner) Fig8() (*Table, float64, float64, error) {
 
 // Fig9 regenerates the waveguide loss sweep.
 func (r *Runner) Fig9() (*Table, error) {
+	r.Prefetch(r.FigureRuns("9"))
 	losses := []float64{0.2, 0.5, 1, 2, 3, 4}
 	t := &Table{
 		Title:   "Fig 9: Uncore energy vs waveguide loss [normalized to EMesh-BCast]",
@@ -555,6 +520,7 @@ func Fig10(o Options) (*Table, error) {
 
 // Fig11 regenerates the flit-width sensitivity study.
 func (r *Runner) Fig11() (*Table, error) {
+	r.Prefetch(r.FigureRuns("11"))
 	widths := []int{16, 32, 64, 128, 256}
 	t := &Table{
 		Title:   "Fig 11: ATAC+ runtime vs flit width [normalized to 64-bit]",
@@ -595,6 +561,7 @@ func widthNames(ws []int) []string {
 
 // Fig12 regenerates the receive-network energy comparison.
 func (r *Runner) Fig12() (*Table, error) {
+	r.Prefetch(r.FigureRuns("12"))
 	t := &Table{
 		Title:   "Fig 12: Uncore energy, BNet vs StarNet (cluster routing) [normalized to BNet]",
 		Columns: []string{"benchmark", "BNet", "StarNet", "savings %"},
@@ -637,6 +604,7 @@ func (r *Runner) Fig12() (*Table, error) {
 
 // Fig13 regenerates the routing-protocol energy-delay comparison.
 func (r *Runner) Fig13() (*Table, error) {
+	r.Prefetch(r.FigureRuns("13"))
 	cfg0 := r.Opt.Config(config.ATACPlus)
 	schemes := Fig3Schemes(cfg0.MeshDim())[:5] // Cluster + Distance-{5,15,25,35}
 	t := &Table{
@@ -689,6 +657,7 @@ func (r *Runner) Fig13() (*Table, error) {
 // Fig14 regenerates the ACKwise4 vs Dir4B comparison on ATAC+ and
 // EMesh-BCast.
 func (r *Runner) Fig14() (*Table, error) {
+	r.Prefetch(r.FigureRuns("14"))
 	t := &Table{
 		Title:   "Fig 14: E-D product, ACKwise4 vs Dir4B [normalized to ATAC+/ACKwise4]",
 		Columns: []string{"benchmark", "ATAC+ ACKwise4", "ATAC+ Dir4B", "EMesh-BCast ACKwise4", "EMesh-BCast Dir4B"},
@@ -730,6 +699,7 @@ var SharerCounts = []int{4, 8, 16, 32, 1024}
 
 // Fig15 regenerates completion time vs ACKwise sharer count.
 func (r *Runner) Fig15() (*Table, error) {
+	r.Prefetch(r.FigureRuns("15"))
 	t := &Table{
 		Title:   "Fig 15: ATAC+ completion time vs ACKwise sharers [normalized to 4]",
 		Columns: append([]string{"benchmark"}, sharerNames()...),
@@ -758,6 +728,7 @@ func (r *Runner) Fig15() (*Table, error) {
 // Fig16 regenerates the energy breakdown vs ACKwise sharer count
 // (benchmark average, normalized to 4 sharers).
 func (r *Runner) Fig16() (*Table, error) {
+	r.Prefetch(r.FigureRuns("16"))
 	t := &Table{
 		Title:   "Fig 16: ATAC+ energy vs ACKwise sharers, benchmark average [normalized to 4]",
 		Columns: []string{"sharers", "directory", "other caches", "network", "total"},
@@ -800,6 +771,7 @@ func (r *Runner) Fig16() (*Table, error) {
 // Fig17 regenerates the chip energy breakdown for core NDD fractions of
 // 10% and 40%.
 func (r *Runner) Fig17() (*Table, error) {
+	r.Prefetch(r.FigureRuns("17"))
 	t := &Table{
 		Title:   "Fig 17: Chip energy breakdown (core/cache/network), per core-NDD fraction",
 		Columns: []string{"benchmark", "NDD", "net", "ATAC+ coreNDD", "coreDD", "caches", "network", "total(mJ)"},

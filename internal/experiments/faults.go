@@ -44,10 +44,23 @@ func FaultScenarios() []FaultScenario {
 	}
 }
 
+// FaultRuns returns the sweep's run-set for one benchmark, in scenario
+// order (the campaign engine's prefetch work-list).
+func (r *Runner) FaultRuns(bench string) []RunSpec {
+	var specs []RunSpec
+	for _, sc := range FaultScenarios() {
+		cfg := r.Opt.Config(config.ATACPlus)
+		cfg.Fault = sc.Fault
+		specs = append(specs, RunSpec{Cfg: cfg, Bench: bench})
+	}
+	return specs
+}
+
 // FaultSweep runs one benchmark across the fault scenarios on ATAC+ and
 // tabulates the performance and energy cost of resilience: runtime and EDP
 // inflation, retransmitted/rerouted traffic, and degraded channels.
 func (r *Runner) FaultSweep(bench string) (*Table, error) {
+	r.Prefetch(r.FaultRuns(bench))
 	t := &Table{
 		Title:   fmt.Sprintf("Resilience sweep: %s on ATAC+ under injected faults", bench),
 		Columns: []string{"scenario", "cycles", "Δcyc%", "retx flits", "rerouted", "degraded", "EDP (J·s)", "ΔEDP%", "overhead (µJ)"},

@@ -46,6 +46,23 @@ func BenchmarkMeshBroadcast(b *testing.B) {
 	}
 }
 
+// BenchmarkMeshFlitPath isolates the per-flit hot path: one maximum-length
+// unicast worm crossing the full mesh diagonal, drained to completion each
+// iteration. Allocations here are the wormhole pipeline's own (worm
+// construction, link staging, queue churn) with no traffic-generator noise.
+func BenchmarkMeshFlitPath(b *testing.B) {
+	var k sim.Kernel
+	m := NewMesh(&k, 16, 64, 4, 1, 1, false)
+	m.SetDeliver(func(int, *Message) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(&Message{Src: 0, Dst: 255, Bits: 512})
+		k.RunAll()
+	}
+	b.ReportMetric(float64(m.Stats().MeshLinkFlits)/float64(b.N), "flit-hops/msg")
+}
+
 func BenchmarkAtacUniformTraffic(b *testing.B) {
 	cfg := config.Small()
 	rng := rand.New(rand.NewSource(2))

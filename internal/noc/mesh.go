@@ -105,6 +105,8 @@ func NewMesh(k *sim.Kernel, dim, flitBits, bufFlits, routerDelay, linkDelay int,
 		r.tickFn = r.tick
 		for o := 0; o < 4; o++ {
 			r.outCredit[o] = bufFlits
+			d := o
+			r.arriveFn[d] = func() { r.linkArrive(d) }
 		}
 		m.routers[i] = r
 	}
@@ -151,7 +153,7 @@ func (m *Mesh) Send(msg *Message) {
 					c := *msg
 					c.Dst = d
 					c.origBcast = true
-					src.enqueue(portLocal, m.newWorm(&c, phaseNone, n))
+					src.enqueueWorm(&c, phaseNone, n)
 				}
 			}
 		}
@@ -165,7 +167,7 @@ func (m *Mesh) Send(msg *Message) {
 		m.K.Schedule(1, func() { m.eject(msg.Dst, msg) })
 		return
 	}
-	m.routers[msg.Src].enqueue(portLocal, m.newWorm(msg, phaseNone, n))
+	m.routers[msg.Src].enqueueWorm(msg, phaseNone, n)
 }
 
 // RouterFlits returns the per-router forwarded-flit counts (row-major),
@@ -178,26 +180,22 @@ func (m *Mesh) RouterFlits() []uint64 {
 	return out
 }
 
-// Drained reports whether no flits remain anywhere in the mesh (test hook).
+// Drained reports whether no flits remain anywhere in the mesh, including
+// flits in flight on a link (test hook).
 func (m *Mesh) Drained() bool {
 	for _, r := range m.routers {
 		for p := 0; p < numPorts; p++ {
-			if len(r.in[p]) > 0 {
+			if r.inHead[p] < len(r.in[p]) {
+				return false
+			}
+		}
+		for d := 0; d < 4; d++ {
+			if r.linkHead[d] < len(r.linkQ[d]) {
 				return false
 			}
 		}
 	}
 	return true
-}
-
-// newWorm allocates the flits of one worm.
-func (m *Mesh) newWorm(msg *Message, ph mcPhase, n int) []flit {
-	m.wormSeq++
-	w := make([]flit, n)
-	for i := range w {
-		w[i] = flit{msg: msg, worm: m.wormSeq, phase: ph, idx: i, n: n}
-	}
-	return w
 }
 
 func (m *Mesh) eject(dst int, msg *Message) {
@@ -217,19 +215,53 @@ func (m *Mesh) eject(dst int, msg *Message) {
 }
 
 // router is one mesh node. All state is touched only from kernel events.
+//
+// Input queues and the per-link staging queues are ring-free FIFOs: a head
+// index advances on pop, and the backing array is reused (reset to [:0])
+// whenever the queue drains, so steady-state flit traffic allocates
+// nothing. Each inbound link has one pre-allocated arrival event closure
+// (arriveFn), so a link crossing schedules no per-flit closure either.
 type router struct {
 	m      *Mesh
 	id     int
 	x, y   int
 	tickFn func()
 
-	in        [numPorts][]flit
+	in     [numPorts][]flit
+	inHead [numPorts]int
+	// linkQ stages flits in flight on each inbound link. A direction has
+	// exactly one upstream sender moving at most one flit per cycle with a
+	// constant link delay, so arrival order equals staging order and the
+	// FIFO pop in linkArrive reproduces per-flit event capture exactly.
+	linkQ    [4][]flit
+	linkHead [4]int
+	arriveFn [4]func()
+
 	fwdFlits  uint64 // flits this router moved (heatmap observability)
 	outCredit [4]int
 	outLock   [numPorts]uint64 // worm holding each output; 0 = free
 	lockedIn  [numPorts]int    // input the locked worm streams from
 	rr        [numPorts]int    // round-robin arbitration pointer
 	scheduled bool
+}
+
+// qempty reports whether input port p has no queued flits.
+func (r *router) qempty(p int) bool { return r.inHead[p] == len(r.in[p]) }
+
+// qfront returns the head flit of input port p (callers check qempty).
+func (r *router) qfront(p int) *flit { return &r.in[p][r.inHead[p]] }
+
+// qpop removes and returns the head flit of input port p, recycling the
+// backing array once the queue drains.
+func (r *router) qpop(p int) flit {
+	f := r.in[p][r.inHead[p]]
+	r.in[p][r.inHead[p]] = flit{} // drop the *Message reference for GC
+	r.inHead[p]++
+	if r.inHead[p] == len(r.in[p]) {
+		r.in[p] = r.in[p][:0]
+		r.inHead[p] = 0
+	}
+	return f
 }
 
 func (r *router) neighbor(dir int) *router {
@@ -261,30 +293,46 @@ func (r *router) neighbor(dir int) *router {
 // spawnRowAndCols seeds the multicast tree at the source router.
 func (r *router) spawnRowAndCols(msg *Message, n int) {
 	if r.x < r.m.Dim-1 {
-		r.enqueue(portLocal, r.m.newWorm(msg, phaseRowE, n))
+		r.enqueueWorm(msg, phaseRowE, n)
 	}
 	if r.x > 0 {
-		r.enqueue(portLocal, r.m.newWorm(msg, phaseRowW, n))
+		r.enqueueWorm(msg, phaseRowW, n)
 	}
 	r.spawnCols(msg, n)
 }
 
 func (r *router) spawnCols(msg *Message, n int) {
 	if r.y > 0 {
-		r.enqueue(portLocal, r.m.newWorm(msg, phaseColN, n))
+		r.enqueueWorm(msg, phaseColN, n)
 	}
 	if r.y < r.m.Dim-1 {
-		r.enqueue(portLocal, r.m.newWorm(msg, phaseColS, n))
+		r.enqueueWorm(msg, phaseColS, n)
 	}
 }
 
-func (r *router) enqueue(port int, worm []flit) {
-	r.in[port] = append(r.in[port], worm...)
+// enqueueWorm constructs a worm's flits directly in the local injection
+// queue (no intermediate worm slice).
+func (r *router) enqueueWorm(msg *Message, ph mcPhase, n int) {
+	r.m.wormSeq++
+	q := r.in[portLocal]
+	for i := 0; i < n; i++ {
+		q = append(q, flit{msg: msg, worm: r.m.wormSeq, phase: ph, idx: i, n: n})
+	}
+	r.in[portLocal] = q
 	r.wake()
 }
 
-func (r *router) receiveFlit(port int, f flit) {
-	r.in[port] = append(r.in[port], f)
+// linkArrive lands the oldest in-flight flit of inbound link p in its
+// input queue. It is the pre-allocated event target for link crossings.
+func (r *router) linkArrive(p int) {
+	f := r.linkQ[p][r.linkHead[p]]
+	r.linkQ[p][r.linkHead[p]] = flit{}
+	r.linkHead[p]++
+	if r.linkHead[p] == len(r.linkQ[p]) {
+		r.linkQ[p] = r.linkQ[p][:0]
+		r.linkHead[p] = 0
+	}
+	r.in[p] = append(r.in[p], f)
 	r.wake()
 }
 
@@ -349,18 +397,23 @@ func (r *router) tick() {
 		var inp = -1
 		if w := r.outLock[out]; w != 0 {
 			cand := r.lockedIn[out]
-			if len(r.in[cand]) > 0 && r.in[cand][0].worm == w && r.in[cand][0].retryAt <= now {
-				inp = cand
+			if !r.qempty(cand) {
+				if f := r.qfront(cand); f.worm == w && f.retryAt <= now {
+					inp = cand
+				}
 			}
 		} else {
 			// Round-robin over inputs with an eligible head flit.
 			for k := 0; k < numPorts; k++ {
 				p := (r.rr[out] + k) % numPorts
-				q := r.in[p]
-				if len(q) == 0 || !q[0].head() || q[0].retryAt > now {
+				if r.qempty(p) {
 					continue
 				}
-				if r.route(q[0]) == out {
+				f := r.qfront(p)
+				if !f.head() || f.retryAt > now {
+					continue
+				}
+				if r.route(*f) == out {
 					inp = p
 					r.rr[out] = (p + 1) % numPorts
 					break
@@ -386,10 +439,10 @@ func (r *router) tick() {
 			st.MeshNacks++
 			st.MeshLinkFlits++
 			st.MeshRouterFlits++
-			q := r.in[inp]
-			if int(q[0].attempts) < r.m.inj.MaxRetries() {
-				q[0].attempts++
-				q[0].retryAt = now + r.m.inj.Backoff(int(q[0].attempts))
+			h := r.qfront(inp)
+			if int(h.attempts) < r.m.inj.MaxRetries() {
+				h.attempts++
+				h.retryAt = now + r.m.inj.Backoff(int(h.attempts))
 				st.MeshRetxFlits++
 				continue
 			}
@@ -398,8 +451,7 @@ func (r *router) tick() {
 			// protocol layer always makes progress.
 			st.MeshRetriesExhausted++
 		}
-		f := r.in[inp][0]
-		r.in[inp] = r.in[inp][1:]
+		f := r.qpop(inp)
 		f.attempts, f.retryAt = 0, 0 // retry state is per hop
 		r.fwdFlits++
 		if f.head() {
@@ -431,14 +483,15 @@ func (r *router) tick() {
 			r.m.stats.MeshRouterFlits++
 			nbr := r.neighbor(out)
 			inPort := opposite(out)
-			r.m.K.Schedule(sim.Time(r.m.LinkDelay), func() { nbr.receiveFlit(inPort, f) })
+			nbr.linkQ[inPort] = append(nbr.linkQ[inPort], f)
+			r.m.K.Schedule(sim.Time(r.m.LinkDelay), nbr.arriveFn[inPort])
 			if f.tail() && f.phase != phaseNone && arrived {
 				r.mcastTailSideEffects(f)
 			}
 		}
 	}
 	for p := 0; p < numPorts; p++ {
-		if len(r.in[p]) > 0 {
+		if !r.qempty(p) {
 			r.wake()
 			break
 		}

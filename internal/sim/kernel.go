@@ -124,14 +124,25 @@ func (k *Kernel) spend() bool {
 
 // At runs fn at absolute time t. Scheduling in the past panics: it is
 // always a component bug.
+//
+// The wheel fast path is kept branch-light so Schedule inlines into a
+// direct At call at the NoC and coherence call sites; far-future events
+// take the outlined slow path. A time before now underflows the unsigned
+// subtraction to a huge delta, so the past-check also lives there.
 func (k *Kernel) At(t Time, fn func()) {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: scheduling event in the past: t=%d < now=%d", t, k.now))
-	}
 	if t-k.now < wheelSize {
 		k.wheel[t&wheelMask] = append(k.wheel[t&wheelMask], fn)
 		k.wheelCount++
 		return
+	}
+	k.atFar(t, fn)
+}
+
+// atFar handles the rare cases At keeps off its fast path: events beyond
+// the wheel horizon go to the binary heap, and past times panic.
+func (k *Kernel) atFar(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: t=%d < now=%d", t, k.now))
 	}
 	k.farSeq++
 	heap.Push(&k.far, farEvent{at: t, seq: k.farSeq, fn: fn})

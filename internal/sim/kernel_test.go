@@ -236,6 +236,46 @@ func TestCausalityProperty(t *testing.T) {
 	}
 }
 
+// BenchmarkKernelSchedule measures the enqueue fast path alone: every
+// event lands within the timing wheel, so the cost is the inlined At()
+// wheel append (the hot path of every router tick and core step).
+func BenchmarkKernelSchedule(b *testing.B) {
+	var k Kernel
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(Time(i&1023), fn)
+		if k.Pending() >= 1<<16 {
+			b.StopTimer()
+			k.RunAll()
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	k.RunAll()
+}
+
+// BenchmarkKernelRun measures the dispatch side: draining pre-scheduled
+// wheel events, including wheel-slot reuse across wraparounds.
+func BenchmarkKernelRun(b *testing.B) {
+	var k Kernel
+	fn := func() {}
+	b.ReportAllocs()
+	const batch = 1 << 14
+	for done := 0; done < b.N; done += batch {
+		n := batch
+		if b.N-done < n {
+			n = b.N - done
+		}
+		b.StopTimer()
+		for i := 0; i < n; i++ {
+			k.Schedule(Time(i&4095), fn)
+		}
+		b.StartTimer()
+		k.RunAll()
+	}
+}
+
 func BenchmarkKernelScheduleRun(b *testing.B) {
 	var k Kernel
 	b.ReportAllocs()
