@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test check figures bench clean
+.PHONY: build test check figures bench fuzz clean
+
+# Per-target budget for `make fuzz` (go test -fuzztime syntax).
+FUZZTIME ?= 10s
 
 build:
 	$(GO) build ./...
@@ -21,6 +24,13 @@ figures:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Fuzz the flit-conservation property (exactly-once delivery under
+# randomized traffic and fault seeds) for FUZZTIME per target. Go allows
+# one -fuzz target per invocation, so the targets run back to back.
+fuzz:
+	$(GO) test ./internal/noc -run '^$$' -fuzz '^FuzzMeshConservation$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/noc -run '^$$' -fuzz '^FuzzAtacConservation$$' -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

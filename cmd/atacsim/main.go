@@ -10,11 +10,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/config"
 	"repro/internal/energy"
+	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/system"
 	"repro/internal/trace"
@@ -39,6 +44,12 @@ func main() {
 		traceN  = flag.Int("trace", 0, "dump the last N protocol events after the run")
 		cfgPath = flag.String("config", "", "load the system configuration from this JSON file (overrides the geometry flags)")
 		dumpCfg = flag.String("dumpconfig", "", "write the effective configuration as JSON to this file and exit")
+
+		// Observability (internal/metrics, internal/trace).
+		metricsDir = flag.String("metrics-dir", "", "write per-epoch metrics.csv and metrics.json into this directory")
+		epochN     = flag.Int("epoch", 10000, "metrics epoch length in cycles")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON timeline (chrome://tracing, Perfetto) to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 
 		// Fault injection and simulation health (internal/fault).
 		oBER      = flag.Float64("ber", 0, "optical per-bit error rate on the ONet (0 = perfect)")
@@ -100,6 +111,10 @@ func main() {
 		return
 	}
 
+	if *pprofAddr != "" {
+		go func() { log.Println(http.ListenAndServe(*pprofAddr, nil)) }()
+	}
+
 	sys, err := system.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -109,11 +124,26 @@ func main() {
 		log.Fatal(err)
 	}
 	var ring *trace.Ring
-	if *traceN > 0 {
-		ring = trace.New(*traceN)
+	if n := *traceN; n > 0 || *traceOut != "" {
+		if n <= 0 {
+			n = 4096 // timeline export only: retain a useful tail
+		}
+		ring = trace.New(n)
 		sys.Coh.Tracer = ring
 	}
+	var col *metrics.Collector
+	if *metricsDir != "" || *traceOut != "" {
+		col = metrics.New(sys.K, sim.Time(*epochN))
+		sys.AttachMetrics(col)
+	}
 	res, err := sys.Run(spec, 0)
+	// Flush the observability sinks before acting on the run error: the
+	// time series of a wedged or fault-aborted run is exactly what the
+	// investigation needs.
+	label := fmt.Sprintf("%s on %v", *bench, cfg.Network.Kind)
+	if werr := writeMetrics(*metricsDir, *traceOut, label, col, ring); werr != nil {
+		log.Fatal(werr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -171,9 +201,70 @@ func main() {
 			fmt.Printf("\nmesh congestion heatmap (hottest router (%d,%d): %d flits):\n%s", x, y, v, hm.Render())
 		}
 	}
-	if ring != nil {
+	if ring != nil && *traceN > 0 {
 		fmt.Printf("\nlast %d of %d protocol events:\n%s", len(ring.Entries()), ring.Total(), ring.Dump())
 	}
+}
+
+// writeMetrics flushes the metrics and timeline sinks: per-epoch CSV and
+// JSON series into dir, and a Chrome trace_event timeline (with the
+// protocol ring's retained events as instant markers) to traceOut.
+func writeMetrics(dir, traceOut, label string, col *metrics.Collector, ring *trace.Ring) error {
+	if col == nil {
+		return nil
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for name, write := range map[string]func(*os.File) error{
+			"metrics.csv":  func(f *os.File) error { return col.WriteCSV(f) },
+			"metrics.json": func(f *os.File) error { return col.WriteJSON(f) },
+		} {
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			if err := write(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s -> %s\n", col.Summary(), dir)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteChromeTrace(f, label, instantsFrom(ring)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "timeline -> %s (open in chrome://tracing or Perfetto)\n", traceOut)
+	}
+	return nil
+}
+
+// instantsFrom converts the trace ring's retained protocol events into
+// Chrome-trace instant markers. Ring entries and metric epochs are both
+// stamped from the kernel clock, so they land on the same timeline axis.
+func instantsFrom(ring *trace.Ring) []metrics.Instant {
+	entries := ring.Entries()
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]metrics.Instant, len(entries))
+	for i, e := range entries {
+		out[i] = metrics.Instant{At: e.At, Cat: e.Kind, Name: e.Text}
+	}
+	return out
 }
 
 func workloadNames() []string {

@@ -12,8 +12,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"path/filepath"
 	"strconv"
@@ -40,8 +43,14 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (default: REPRO_CACHE env, else the user cache dir)")
 		noCache  = flag.Bool("no-cache", false, "disable the persistent result cache")
 		clear    = flag.Bool("clear-cache", false, "invalidate the persistent result cache, then proceed")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofA != "" {
+		go func() { log.Println(http.ListenAndServe(*pprofA, nil)) }()
+	}
+	start := time.Now()
 
 	f, err := report.ParseFormat(*format)
 	if err != nil {
@@ -131,6 +140,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "campaign: %d simulations run, %d recalled from cache\n",
 			r.FreshRuns(), r.CacheHits())
 	}
+	// Provenance manifest next to the figure outputs: what was run, from
+	// which revision, and how much came from the cache.
+	if dir := manifestDir(*svgDir, *out); dir != "" {
+		p := r.Provenance(selected, time.Since(start))
+		path := filepath.Join(dir, "manifest.json")
+		if err := experiments.WriteManifest(path, p); err != nil {
+			log.Printf("warning: manifest: %v", err)
+		} else if !*quiet {
+			fmt.Fprintln(os.Stderr, "provenance ->", path)
+		}
+	}
+}
+
+// manifestDir picks where the provenance manifest lives: beside the SVG
+// outputs when rendered, else beside the -o results file. A stdout-only
+// campaign leaves no files, so it gets no manifest either.
+func manifestDir(svgDir, out string) string {
+	if svgDir != "" {
+		return svgDir
+	}
+	if out != "" {
+		return filepath.Dir(out)
+	}
+	return ""
 }
 
 // openCache resolves the persistent result cache from the command line:

@@ -181,10 +181,14 @@ func (s *System) Quiesced() bool {
 	return true
 }
 
-// trace records one protocol event when tracing is enabled.
+// trace records one protocol event when tracing is enabled. The ring is
+// stamped from the kernel clock it binds on first use, the same sim.Time
+// source the metrics layer samples — so trace entries and metric epochs
+// can never disagree on ordering.
 func (s *System) trace(kind, format string, args ...any) {
 	if s.Tracer != nil {
-		s.Tracer.Record(s.K.Now(), kind, format, args...)
+		s.Tracer.BindClock(s.K)
+		s.Tracer.Recordf(kind, format, args...)
 	}
 }
 

@@ -53,6 +53,7 @@ type Runner struct {
 
 	fresh     atomic.Uint64 // simulations actually executed
 	cacheHits atomic.Uint64 // runs recalled from the persistent cache
+	expected  atomic.Uint64 // campaign run-set size declared via Prefetch
 }
 
 // inflightRun is the singleflight rendezvous for one executing run key.
@@ -205,12 +206,21 @@ func (r *Runner) execute(k string, cfg config.Config, bench string) (system.Resu
 	return res, nil
 }
 
-// progress emits one serialized, labelled progress line.
+// progress emits one serialized, labelled progress line. When the
+// campaign's run-set size was declared up front (Prefetch), each line is
+// prefixed with a [done/total] completion counter.
 func (r *Runner) progress(cfg config.Config, bench, msg string) {
 	if r.Progress == nil {
 		return
 	}
 	line := fmt.Sprintf("[%s@%v] %s", bench, cfg.Network.Kind, msg)
+	if tot := r.expected.Load(); tot > 0 {
+		done := r.fresh.Load() + r.cacheHits.Load()
+		if done > tot {
+			done = tot // figure-local extras beyond the declared set
+		}
+		line = fmt.Sprintf("[%d/%d] %s", done, tot, line)
+	}
 	r.progMu.Lock()
 	defer r.progMu.Unlock()
 	r.Progress(line)
@@ -264,8 +274,11 @@ func (r *Runner) RunAll(specs []RunSpec) error {
 // Prefetch warms the memo with every spec, saturating the worker pool.
 // Errors are not reported here: a failed run is memoized, and the figure
 // that needs it surfaces the identical error at the same table position a
-// serial campaign would.
+// serial campaign would. The deduplicated spec count also becomes the
+// denominator of the [done/total] progress counter.
 func (r *Runner) Prefetch(specs []RunSpec) {
+	specs = dedupSpecs(specs)
+	r.expected.Add(uint64(len(specs)))
 	_ = r.RunAll(specs)
 }
 

@@ -1,0 +1,95 @@
+// Run provenance: a machine-readable manifest written next to figure
+// outputs recording exactly what produced them — the campaign parameters,
+// a content hash of the deduplicated run-set, how much of it was fresh
+// simulation vs persistent-cache recall, wall time, and the source
+// revision — so any figure file can be traced back to the simulations and
+// code that generated it.
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Provenance describes one completed figure campaign.
+type Provenance struct {
+	Tool      string   `json:"tool"`
+	CreatedAt string   `json:"created_at"` // RFC 3339, wall clock
+	Cores     int      `json:"cores"`
+	Scale     int      `json:"scale"`
+	Seed      int64    `json:"seed"`
+	Figures   []string `json:"figures"`
+
+	// RunSetHash is a SHA-256 over the campaign options and the sorted,
+	// deduplicated run keys: two campaigns with the same hash simulated
+	// the same (config, benchmark) set.
+	RunSetHash string `json:"run_set_hash"`
+	Runs       int    `json:"runs"`
+	FreshRuns  uint64 `json:"fresh_runs"`
+	CacheHits  uint64 `json:"cache_hits"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	Jobs        int     `json:"jobs"`
+	GitDescribe string  `json:"git_describe,omitempty"`
+	GoVersion   string  `json:"go_version"`
+}
+
+// Provenance assembles the manifest for the given figure ids after a
+// campaign has run. wall is the campaign's measured wall-clock duration.
+func (r *Runner) Provenance(figures []string, wall time.Duration) Provenance {
+	specs := r.CampaignRuns(figures)
+	keys := make([]string, len(specs))
+	for i, s := range specs {
+		keys[i] = key(s.Cfg, s.Bench)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	fmt.Fprintf(h, "opts:%d/%d/%d\n", r.Opt.Cores, r.Opt.Scale, r.Opt.Seed)
+	for _, k := range keys {
+		fmt.Fprintln(h, k)
+	}
+	return Provenance{
+		Tool:        "figures",
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		Cores:       r.Opt.Cores,
+		Scale:       r.Opt.Scale,
+		Seed:        r.Opt.Seed,
+		Figures:     figures,
+		RunSetHash:  hex.EncodeToString(h.Sum(nil)),
+		Runs:        len(specs),
+		FreshRuns:   r.FreshRuns(),
+		CacheHits:   r.CacheHits(),
+		WallSeconds: wall.Seconds(),
+		Jobs:        r.jobs(),
+		GitDescribe: GitDescribe(),
+		GoVersion:   runtime.Version(),
+	}
+}
+
+// GitDescribe returns `git describe --always --dirty --tags` for the
+// working tree, or "" when git or the repository is unavailable (the
+// manifest then simply omits the revision).
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// WriteManifest writes the manifest as indented JSON at path.
+func WriteManifest(path string, p Provenance) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -47,7 +48,8 @@ type Atac struct {
 	// outstanding counts in-flight optical/receive-net jobs (test hook).
 	outstanding int
 
-	inj *fault.Injector // nil = perfect interconnect
+	inj *fault.Injector    // nil = perfect interconnect
+	lat *metrics.Histogram // nil = latency histogram disabled
 }
 
 // NewAtac builds the fabric from a validated config with an optical
@@ -119,6 +121,21 @@ func (a *Atac) DegradedClusters() []int {
 
 // ENet exposes the underlying electrical mesh (for area/static accounting).
 func (a *Atac) ENet() *Mesh { return a.enet }
+
+// SetLatencyHist attaches a per-delivery latency histogram (nil disables
+// it again). The delivery path pays one nil check when unobserved.
+func (a *Atac) SetLatencyHist(h *metrics.Histogram) { a.lat = h }
+
+// BusyCycles returns the summed optical-transmitter busy cycles across
+// every cluster hub — the cumulative counter behind Table V's link
+// utilization, exposed so the metrics layer can sample it per epoch.
+func (a *Atac) BusyCycles() uint64 {
+	var busy uint64
+	for _, h := range a.hubs {
+		busy += h.busyCycles
+	}
+	return busy
+}
 
 // Drained reports whether no traffic remains anywhere in the fabric.
 func (a *Atac) Drained() bool {
@@ -255,6 +272,7 @@ func (a *Atac) deliverNow(dst int, m *Message) {
 	}
 	a.stats.RecordLatency(a.K.Now() - m.Inject)
 	a.stats.RecordClassLatency(m.Class, a.K.Now()-m.Inject)
+	a.lat.Observe(uint64(a.K.Now() - m.Inject))
 	if a.deliver != nil {
 		a.deliver(dst, m)
 	}
@@ -560,11 +578,7 @@ func (a *Atac) LinkUtilization(runtime sim.Time) float64 {
 	if runtime == 0 || len(a.hubs) == 0 {
 		return 0
 	}
-	var busy uint64
-	for _, h := range a.hubs {
-		busy += h.busyCycles
-	}
-	return float64(busy) / (float64(runtime) * float64(len(a.hubs)))
+	return float64(a.BusyCycles()) / (float64(runtime) * float64(len(a.hubs)))
 }
 
 // UnicastsPerBroadcast returns the average number of unicast packets sent

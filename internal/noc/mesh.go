@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -86,7 +87,8 @@ type Mesh struct {
 	deliver DeliverFunc
 	stats   Stats
 	wormSeq uint64
-	inj     *fault.Injector // nil = perfect links
+	inj     *fault.Injector    // nil = perfect links
+	lat     *metrics.Histogram // nil = latency histogram disabled
 }
 
 // NewMesh builds the mesh. It panics on a non-positive geometry: meshes
@@ -126,6 +128,10 @@ func (m *Mesh) SetFaults(inj *fault.Injector) { m.inj = inj }
 
 // Stats returns the live counters.
 func (m *Mesh) Stats() *Stats { return &m.stats }
+
+// SetLatencyHist attaches a per-delivery latency histogram (nil disables
+// it again). The delivery path pays one nil check when unobserved.
+func (m *Mesh) SetLatencyHist(h *metrics.Histogram) { m.lat = h }
 
 // Send implements Network.
 func (m *Mesh) Send(msg *Message) {
@@ -208,6 +214,7 @@ func (m *Mesh) eject(dst int, msg *Message) {
 		}
 		m.stats.RecordLatency(m.K.Now() - msg.Inject)
 		m.stats.RecordClassLatency(msg.Class, m.K.Now()-msg.Inject)
+		m.lat.Observe(uint64(m.K.Now() - msg.Inject))
 	}
 	if m.deliver != nil {
 		m.deliver(dst, msg)

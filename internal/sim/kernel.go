@@ -29,6 +29,15 @@ var ErrEventBudget = errors.New("sim: event budget exhausted")
 // cycle is also a nanosecond.
 type Time uint64
 
+// Clock is the read-only simulated-time source. The observability layers
+// (internal/trace, internal/metrics) take a Clock instead of a full
+// *Kernel so that every timestamp in a run — trace entries, metric epochs,
+// exported Chrome trace events — is stamped from the one kernel clock and
+// the two packages cannot drift apart.
+type Clock interface {
+	Now() Time
+}
+
 // Forever is a sentinel time far beyond any realistic simulation horizon.
 const Forever = Time(1) << 62
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/noc"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -25,6 +26,11 @@ type System struct {
 	Atac *noc.Atac // non-nil when the network is ATAC/ATAC+
 	Coh  *coherence.System
 	Core []*cpu.Core
+
+	// Observability (both nil unless AttachMetrics was called; a nil
+	// collector keeps Run on the single-chunk fast path).
+	metrics *metrics.Collector
+	LatHist *metrics.Histogram // delivery-latency histogram, network-fed
 }
 
 // New builds a machine for the configuration.
@@ -135,7 +141,7 @@ func (s *System) Run(spec workload.Spec, horizon sim.Time) (Result, error) {
 	if s.Cfg.Fault.WatchdogInterval > 0 && s.Cfg.Fault.WatchdogStalls > 0 {
 		wd = startWatchdog(s, sim.Time(s.Cfg.Fault.WatchdogInterval), s.Cfg.Fault.WatchdogStalls)
 	}
-	s.K.Run(horizon)
+	s.runKernel(horizon)
 
 	res := Result{
 		Benchmark: spec.Name,
@@ -176,6 +182,39 @@ func (s *System) Run(spec workload.Spec, horizon sim.Time) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// runKernel executes the event loop up to horizon. Without a collector
+// this is a single Kernel.Run — the exact pre-metrics path. With one, the
+// kernel runs in epoch-sized chunks and the collector samples between
+// them: event execution order is identical (Run(t1);Run(t2) processes the
+// same events in the same order as Run(t2)), so enabling metrics cannot
+// perturb the simulation, only observe it.
+func (s *System) runKernel(horizon sim.Time) {
+	c := s.metrics
+	if c == nil {
+		s.K.Run(horizon)
+		return
+	}
+	c.Start()
+	for {
+		until := c.NextBoundary()
+		if until > horizon {
+			until = horizon
+		}
+		s.K.Run(until)
+		if s.K.Pending() == 0 || s.K.BudgetExhausted() || s.K.Now() >= horizon {
+			break
+		}
+		c.Tick()
+	}
+	// Close the final (partial) epoch at the real end-of-run clock, then
+	// reproduce Kernel.Run's drained-queue semantics (clock jumps to the
+	// horizon) so callers observe the same Now() either way.
+	c.Finish()
+	if s.K.Pending() == 0 && s.K.Now() < horizon {
+		s.K.Run(horizon)
+	}
 }
 
 // WorkloadFor resolves the named benchmark for a configuration.

@@ -27,6 +27,7 @@ type Ring struct {
 	next    int
 	total   uint64
 	filter  func(kind string) bool
+	clock   sim.Clock
 }
 
 // New creates a ring holding the most recent n events.
@@ -42,6 +43,38 @@ func (r *Ring) SetFilter(f func(kind string) bool) {
 	if r != nil {
 		r.filter = f
 	}
+}
+
+// BindClock attaches the simulated-time source Recordf stamps entries
+// from. The first bound clock wins, so call sites can bind idempotently;
+// binding the kernel keeps trace timestamps on the same sim.Time axis as
+// the metrics layer's epochs (one clock, no parallel plumbing).
+func (r *Ring) BindClock(c sim.Clock) {
+	if r != nil && r.clock == nil {
+		r.clock = c
+	}
+}
+
+// Clock returns the bound simulated-time source (nil if unbound).
+func (r *Ring) Clock() sim.Clock {
+	if r == nil {
+		return nil
+	}
+	return r.clock
+}
+
+// Recordf adds an event stamped from the bound clock. Callers that have
+// bound a clock use this instead of plumbing the kernel's Now through
+// every call site. An unbound ring stamps time zero.
+func (r *Ring) Recordf(kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	var at sim.Time
+	if r.clock != nil {
+		at = r.clock.Now()
+	}
+	r.Record(at, kind, format, args...)
 }
 
 // Record adds an event. Arguments are formatted eagerly only when the
