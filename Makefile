@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check figures bench fuzz clean
+.PHONY: build test check figures bench fuzz resume-smoke clean
 
 # Per-target budget for `make fuzz` (go test -fuzztime syntax).
 FUZZTIME ?= 10s
@@ -31,6 +31,12 @@ bench:
 fuzz:
 	$(GO) test ./internal/noc -run '^$$' -fuzz '^FuzzMeshConservation$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/noc -run '^$$' -fuzz '^FuzzAtacConservation$$' -fuzztime $(FUZZTIME)
+
+# End-to-end crash-safety smoke: SIGINT a figure campaign mid-flight,
+# resume it from the journal+cache, and require byte-identical output with
+# zero duplicate simulations.
+resume-smoke:
+	bash scripts/interrupt_resume.sh
 
 clean:
 	$(GO) clean ./...

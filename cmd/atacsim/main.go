@@ -7,14 +7,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/energy"
@@ -62,6 +65,8 @@ func main() {
 		degrade   = flag.Float64("degrade", 0, "observed error rate above which an optical channel degrades to the ENet (0 = never)")
 		faultSeed = flag.Int64("faultseed", 0, "fault stream seed (0 = derive from -seed)")
 		watchdog  = flag.Int("watchdog", 0, "progress watchdog sampling interval in cycles (0 = off)")
+
+		runTimeout = flag.Duration("run-timeout", 0, "wall-clock deadline for the run (0 = none); Ctrl-C also cancels cleanly")
 	)
 	flag.Parse()
 
@@ -136,7 +141,17 @@ func main() {
 		col = metrics.New(sys.K, sim.Time(*epochN))
 		sys.AttachMetrics(col)
 	}
-	res, err := sys.Run(spec, 0)
+	// SIGINT/SIGTERM (and -run-timeout) cancel the simulation cooperatively
+	// at the kernel's next poll, so an interrupted run still flushes its
+	// observability sinks below instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *runTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *runTimeout, fmt.Errorf("run deadline %v exceeded", *runTimeout))
+		defer cancel()
+	}
+	res, err := sys.RunContext(ctx, spec, 0)
 	// Flush the observability sinks before acting on the run error: the
 	// time series of a wedged or fault-aborted run is exactly what the
 	// investigation needs.

@@ -5,6 +5,14 @@
 //
 //	figures -cores 256            # the whole campaign at 256 cores
 //	figures -cores 1024 -only 8   # just Fig 8 at paper scale
+//
+// The campaign is crash-safe and resumable: run-state transitions are
+// write-ahead journaled next to the result cache, a failed or panicking
+// run degrades its figure cells instead of killing the campaign, and a
+// SIGINT/SIGTERM drains in-flight runs (second signal, or -grace expiry,
+// cancels them) before rendering what completed. Exit codes: 0 all runs
+// completed, 1 fatal setup/I-O error, 3 finished degraded (some runs
+// terminally failed), 4 interrupted (re-run the same command to resume).
 package main
 
 import (
@@ -29,7 +37,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
+	os.Exit(run())
+}
 
+func run() int {
 	var (
 		cores    = flag.Int("cores", 64, "total cores (paper: 1024)")
 		scale    = flag.Int("scale", 1, "workload scale factor")
@@ -44,6 +55,12 @@ func main() {
 		noCache  = flag.Bool("no-cache", false, "disable the persistent result cache")
 		clear    = flag.Bool("clear-cache", false, "invalidate the persistent result cache, then proceed")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+		runTimeout  = flag.Duration("run-timeout", 0, "per-run wall-clock deadline, e.g. 5m (0 = none; overruns retry, then fail)")
+		retries     = flag.Int("retries", 2, "extra attempts for transiently failed runs (panics, deadlines)")
+		grace       = flag.Duration("grace", 15*time.Second, "drain window after SIGINT/SIGTERM before in-flight runs are cancelled")
+		noJournal   = flag.Bool("no-journal", false, "disable the write-ahead run journal (journal.jsonl next to the cache)")
+		retryFailed = flag.Bool("retry-failed", false, "re-attempt runs the journal recorded as terminally failed")
 	)
 	flag.Parse()
 
@@ -54,21 +71,45 @@ func main() {
 
 	f, err := report.ParseFormat(*format)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return experiments.ExitFatal
 	}
 	o := experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed}
 	r := experiments.NewRunner(o)
 	r.Jobs = *jobsN
 	r.Cache = openCache(*cacheDir, *noCache, *clear)
+	r.Retries = *retries
+	r.RunTimeout = *runTimeout
+	r.Partial = true
+	r.RecallFailures = !*retryFailed
 	if !*quiet {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ...", s) }
 	}
+	if r.Cache != nil {
+		r.Cache.Log = func(s string) { log.Print(s) }
+		if !*noJournal {
+			j, err := experiments.OpenJournal(r.Cache.JournalPath())
+			if err != nil {
+				log.Printf("warning: %v (continuing without journal)", err)
+			} else {
+				r.Journal = j
+				defer func() {
+					if err := j.Close(); err != nil {
+						log.Printf("warning: journal close: %v", err)
+					}
+				}()
+			}
+		}
+	}
+	_, stopSignals := r.InstallSignalHandler(*grace, log.Printf)
+	defer stopSignals()
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return experiments.ExitFatal
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
@@ -119,29 +160,38 @@ func main() {
 	}
 	r.Prefetch(r.CampaignRuns(selected))
 
+	figureFailed := false
 	for _, j := range jobs {
 		if !sel(j.id) {
 			continue
 		}
 		t, err := j.run()
 		if err != nil {
-			log.Fatalf("figure %s: %v", j.id, err)
+			// Partial mode absorbs per-run failures into annotated cells;
+			// an error here means the whole figure is unrenderable. Skip it
+			// and keep going — the other figures are still worth emitting.
+			log.Printf("figure %s: %v", j.id, err)
+			figureFailed = true
+			continue
 		}
 		if err := report.Write(w, t, f); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return experiments.ExitFatal
 		}
 		if *svgDir != "" {
 			if err := writeSVG(*svgDir, j.id, t); err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return experiments.ExitFatal
 			}
 		}
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "campaign: %d simulations run, %d recalled from cache\n",
-			r.FreshRuns(), r.CacheHits())
+		fmt.Fprintf(os.Stderr, "campaign: %d simulations run, %d recalled from cache, %d failures recalled from journal\n",
+			r.FreshRuns(), r.CacheHits(), r.RecalledFailures())
 	}
 	// Provenance manifest next to the figure outputs: what was run, from
-	// which revision, and how much came from the cache.
+	// which revision, how much came from the cache, and — for degraded
+	// campaigns — the full failure/retry ledger.
 	if dir := manifestDir(*svgDir, *out); dir != "" {
 		p := r.Provenance(selected, time.Since(start))
 		path := filepath.Join(dir, "manifest.json")
@@ -151,6 +201,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "provenance ->", path)
 		}
 	}
+
+	code := r.ExitCode()
+	if code == experiments.ExitOK && figureFailed {
+		code = experiments.ExitDegraded
+	}
+	switch code {
+	case experiments.ExitInterrupted:
+		log.Printf("campaign interrupted; re-run the same command to resume from the journal")
+	case experiments.ExitDegraded:
+		log.Printf("campaign degraded: %d run(s) failed (see manifest failure ledger; -retry-failed re-attempts them)",
+			len(r.FailedRuns()))
+	}
+	return code
 }
 
 // manifestDir picks where the provenance manifest lives: beside the SVG

@@ -8,6 +8,12 @@
 //	sweep -param rthres -values 2,4,8,12         -bench ocean_contig
 //	sweep -param sharers -values 4,8,16,32       -bench barnes
 //	sweep -param load -pattern tornado -values 2,5,10,20   (load in % — network only)
+//
+// System sweeps share the campaign engine's resilience layer with
+// cmd/figures: runs are journaled next to the cache, failed points emit a
+// "# value N failed: ..." comment row instead of killing the sweep, and a
+// SIGINT/SIGTERM drains in-flight runs before emitting what completed.
+// Exit codes: 0 complete, 1 fatal, 3 some points failed, 4 interrupted.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/energy"
@@ -26,10 +33,23 @@ import (
 	"repro/internal/traffic"
 )
 
+// sweepOpts carries the campaign-engine knobs of a system sweep.
+type sweepOpts struct {
+	jobs       int
+	cacheDir   string
+	noCache    bool
+	runTimeout time.Duration
+	retries    int
+	grace      time.Duration
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
+	os.Exit(run())
+}
 
+func run() int {
 	var (
 		param    = flag.String("param", "flit", "swept parameter: flit, rthres, sharers, load")
 		values   = flag.String("values", "", "comma-separated integer values")
@@ -41,24 +61,34 @@ func main() {
 		jobsN    = flag.Int("jobs", 0, "max concurrent simulations (0: REPRO_JOBS env, else GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (default: REPRO_CACHE env, else disabled)")
 		noCache  = flag.Bool("no-cache", false, "disable the persistent result cache")
+
+		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none)")
+		retries    = flag.Int("retries", 2, "extra attempts for transiently failed runs (panics, deadlines)")
+		grace      = flag.Duration("grace", 15*time.Second, "drain window after SIGINT/SIGTERM before in-flight runs are cancelled")
 	)
 	flag.Parse()
 
 	vals, err := parseInts(*values)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return experiments.ExitFatal
 	}
 	if len(vals) == 0 {
-		log.Fatal("no -values given")
+		log.Print("no -values given")
+		return experiments.ExitFatal
 	}
 
 	switch *param {
 	case "load":
-		sweepLoad(*pattern, *cores, vals, *seed)
+		return sweepLoad(*pattern, *cores, vals, *seed)
 	case "flit", "rthres", "sharers":
-		sweepSystem(*param, *bench, *net, *cores, vals, *seed, *jobsN, *cacheDir, *noCache)
+		return sweepSystem(*param, *bench, *net, *cores, vals, *seed, sweepOpts{
+			jobs: *jobsN, cacheDir: *cacheDir, noCache: *noCache,
+			runTimeout: *runTimeout, retries: *retries, grace: *grace,
+		})
 	default:
-		log.Fatalf("unknown -param %q", *param)
+		log.Printf("unknown -param %q", *param)
+		return experiments.ExitFatal
 	}
 }
 
@@ -109,7 +139,7 @@ func baseConfig(net string, cores int, seed int64) (config.Config, error) {
 	return cfg, cfg.Validate()
 }
 
-func sweepSystem(param, bench, net string, cores int, vals []int, seed int64, jobs int, cacheDir string, noCache bool) {
+func sweepSystem(param, bench, net string, cores int, vals []int, seed int64, o sweepOpts) int {
 	// Build every swept configuration first, then hand the whole set to the
 	// campaign engine: points run concurrently (up to -jobs) and repeat
 	// invocations hit the persistent cache.
@@ -118,7 +148,8 @@ func sweepSystem(param, bench, net string, cores int, vals []int, seed int64, jo
 	for _, v := range vals {
 		cfg, err := baseConfig(net, cores, seed)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return experiments.ExitFatal
 		}
 		switch param {
 		case "flit":
@@ -130,52 +161,79 @@ func sweepSystem(param, bench, net string, cores int, vals []int, seed int64, jo
 			cfg.Coherence.Sharers = v
 		}
 		if err := cfg.Validate(); err != nil {
-			log.Fatalf("value %d: %v", v, err)
+			log.Printf("value %d: %v", v, err)
+			return experiments.ExitFatal
 		}
 		cfgs = append(cfgs, cfg)
 		specs = append(specs, experiments.RunSpec{Cfg: cfg, Bench: bench})
 	}
 
 	r := experiments.NewRunner(experiments.Options{Cores: cores, Scale: 1, Seed: seed})
-	r.Jobs = jobs
-	if noCache {
+	r.Jobs = o.jobs
+	r.Retries = o.retries
+	r.RunTimeout = o.runTimeout
+	r.RecallFailures = true
+	if o.noCache {
 		r.Cache = nil
-	} else if cacheDir != "" {
-		c, err := experiments.OpenCache(cacheDir)
+	} else if o.cacheDir != "" {
+		c, err := experiments.OpenCache(o.cacheDir)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return experiments.ExitFatal
 		}
 		r.Cache = c
 	}
-	if err := r.RunAll(specs); err != nil {
-		log.Fatal(err)
+	if r.Cache != nil {
+		r.Cache.Log = func(s string) { log.Print(s) }
+		j, err := experiments.OpenJournal(r.Cache.JournalPath())
+		if err != nil {
+			log.Printf("warning: %v (continuing without journal)", err)
+		} else {
+			r.Journal = j
+			defer func() {
+				if err := j.Close(); err != nil {
+					log.Printf("warning: journal close: %v", err)
+				}
+			}()
+		}
 	}
+	ctx, stopSignals := r.InstallSignalHandler(o.grace, log.Printf)
+	defer stopSignals()
+
+	// Errors are surfaced per-point below, as comment rows in the CSV; an
+	// entirely failed sweep still emits its header and comments.
+	_ = r.RunAll(ctx, specs)
 
 	fmt.Printf("%s,cycles,instructions,energy_mJ,edp_uJs\n", param)
 	for i, v := range vals {
 		res, err := r.Run(cfgs[i], bench)
 		if err != nil {
-			log.Fatalf("value %d: %v", v, err)
+			fmt.Printf("# value %d failed: %v\n", v, err)
+			continue
 		}
 		m, err := energy.Build(cfgs[i])
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return experiments.ExitFatal
 		}
 		bd := energy.Combine(m, res)
 		fmt.Printf("%d,%d,%d,%.4f,%.4f\n", v, res.Cycles, res.Instructions,
 			bd.Total()*1e3, energy.EDP(m, res)*1e6)
 	}
 	fmt.Fprintln(os.Stderr, "done")
+	return r.ExitCode()
 }
 
-func sweepLoad(pattern string, cores int, percents []int, seed int64) {
+func sweepLoad(pattern string, cores int, percents []int, seed int64) int {
 	cfg, err := baseConfig("atac+", cores, seed)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return experiments.ExitFatal
 	}
 	p, err := traffic.ByName(pattern, cfg.MeshDim(), 0.001)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return experiments.ExitFatal
 	}
 	fmt.Println("load_pct,injected,delivered,mean_lat,p50,p95,p99,max")
 	for _, pc := range percents {
@@ -188,4 +246,5 @@ func sweepLoad(pattern string, cores int, percents []int, seed int64) {
 			res.Latency.Percentile(99), res.Latency.Max())
 	}
 	fmt.Fprintln(os.Stderr, "done")
+	return experiments.ExitOK
 }

@@ -51,36 +51,41 @@ func (r *Runner) Ablations() (*Table, error) {
 		},
 	}
 	for _, v := range variants {
-		var sumRT, sumED float64
-		n := 0
-		for _, b := range r.apps() {
-			base := r.Opt.Config(config.ATACPlus)
-			res0, err := r.Run(base, b)
-			if err != nil {
-				return nil, err
+		err := r.row(t, v.name, func() ([]string, error) {
+			var sumRT, sumED float64
+			n := 0
+			for _, b := range r.apps() {
+				base := r.Opt.Config(config.ATACPlus)
+				res0, err := r.Run(base, b)
+				if err != nil {
+					return nil, err
+				}
+				m0, err := models(base)
+				if err != nil {
+					return nil, err
+				}
+				cfg := r.Opt.Config(config.ATACPlus)
+				v.mut(&cfg)
+				if err := cfg.Validate(); err != nil {
+					return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+				}
+				res, err := r.Run(cfg, b)
+				if err != nil {
+					return nil, err
+				}
+				m, err := models(cfg)
+				if err != nil {
+					return nil, err
+				}
+				sumRT += float64(res.Cycles) / float64(res0.Cycles)
+				sumED += energy.EDP(m, res) / energy.EDP(m0, res0)
+				n++
 			}
-			m0, err := models(base)
-			if err != nil {
-				return nil, err
-			}
-			cfg := r.Opt.Config(config.ATACPlus)
-			v.mut(&cfg)
-			if err := cfg.Validate(); err != nil {
-				return nil, fmt.Errorf("ablation %s: %w", v.name, err)
-			}
-			res, err := r.Run(cfg, b)
-			if err != nil {
-				return nil, err
-			}
-			m, err := models(cfg)
-			if err != nil {
-				return nil, err
-			}
-			sumRT += float64(res.Cycles) / float64(res0.Cycles)
-			sumED += energy.EDP(m, res) / energy.EDP(m0, res0)
-			n++
+			return []string{f3(sumRT / float64(n)), f3(sumED / float64(n))}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{v.name, f3(sumRT / float64(n)), f3(sumED / float64(n))})
 	}
 	return t, nil
 }

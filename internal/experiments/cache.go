@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/config"
 	"repro/internal/system"
@@ -25,12 +26,23 @@ const cacheSchemaVersion = 1
 // everything that determines a result — the full configuration, the
 // benchmark, and the campaign's scale and horizon.
 //
-// Writes are atomic (temp file + rename), so a crashed or parallel writer
-// can never leave a torn entry; corrupt or mismatched entries read as
-// misses. Methods are safe for concurrent use.
+// Writes are atomic (temp file + fsync + rename), so a crashed or
+// parallel writer can never leave a torn entry. Corrupt, schema-stale, or
+// key-mismatched entries are quarantined — renamed into a quarantine/
+// subdirectory with the reason logged — so bad bytes read as misses
+// exactly once and stay inspectable instead of being silently re-read
+// forever. Methods are safe for concurrent use.
 type Cache struct {
 	dir string
+
+	// Log, if non-nil, receives one line per quarantined entry.
+	Log func(string)
+
+	quarantined atomic.Uint64
 }
+
+// quarantineDirName is the subdirectory bad entries are moved into.
+const quarantineDirName = "quarantine"
 
 // OpenCache creates (if needed) and opens a cache rooted at dir.
 func OpenCache(dir string) (*Cache, error) {
@@ -46,6 +58,10 @@ func OpenCache(dir string) (*Cache, error) {
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
+// JournalPath returns where this cache's run journal lives (journal.jsonl
+// next to the entries).
+func (c *Cache) JournalPath() string { return filepath.Join(c.dir, JournalFileName) }
+
 // cacheEntry is the on-disk format. Key holds the full (pre-hash) run key
 // so a hash collision — or a caller mixing cache directories — is detected
 // as a miss instead of silently returning the wrong run's result.
@@ -60,45 +76,63 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
 }
 
-// Get returns the cached result for key, if present and valid.
+// Get returns the cached result for key, if present and valid. An entry
+// that exists but cannot be trusted — unparsable bytes, a stale schema
+// stamp, or an embedded key that disagrees with its filename — is
+// quarantined and reads as a miss.
 func (c *Cache) Get(key string) (system.Result, bool) {
-	data, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return system.Result{}, false
 	}
 	var e cacheEntry
 	if err := json.Unmarshal(data, &e); err != nil {
+		c.quarantine(path, fmt.Sprintf("corrupt entry: %v", err))
 		return system.Result{}, false
 	}
-	if e.Schema != cacheSchemaVersion || e.Key != key {
+	if e.Schema != cacheSchemaVersion {
+		c.quarantine(path, fmt.Sprintf("stale schema %d (current %d)", e.Schema, cacheSchemaVersion))
+		return system.Result{}, false
+	}
+	if e.Key != key {
+		c.quarantine(path, "embedded key disagrees with filename (hash collision or mixed cache dirs)")
 		return system.Result{}, false
 	}
 	return e.Result, true
 }
 
-// Put stores res under key. Errors are returned so callers can warn, but a
-// failed Put only costs a future re-simulation — it is never fatal.
+// quarantine moves a bad entry into the quarantine subdirectory (keeping
+// its name, so the offending run stays identifiable) and logs why. Best
+// effort: if even the rename fails, the entry still reads as a miss and a
+// fresh simulation overwrites it.
+func (c *Cache) quarantine(path, reason string) {
+	qdir := filepath.Join(c.dir, quarantineDirName)
+	dest := filepath.Join(qdir, filepath.Base(path))
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if err := os.Rename(path, dest); err != nil {
+			dest = path + " (rename failed: " + err.Error() + ")"
+		}
+	}
+	c.quarantined.Add(1)
+	if c.Log != nil {
+		c.Log(fmt.Sprintf("cache: quarantined %s -> %s: %s", filepath.Base(path), dest, reason))
+	}
+}
+
+// Quarantined reports how many entries this Cache has quarantined.
+func (c *Cache) Quarantined() uint64 { return c.quarantined.Load() }
+
+// Put stores res under key via fsync-and-rename (atomicWriteFile, shared
+// with the journal and the manifest writer). Errors are returned so
+// callers can warn, but a failed Put only costs a future re-simulation —
+// it is never fatal.
 func (c *Cache) Put(key string, res system.Result) error {
 	data, err := json.Marshal(cacheEntry{Schema: cacheSchemaVersion, Key: key, Result: res})
 	if err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}
-	final := c.path(key)
-	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
-	if err != nil {
-		return fmt.Errorf("cache: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("cache: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("cache: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicWriteFile(c.path(key), data, 0o644); err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}
 	return nil

@@ -13,15 +13,28 @@
 //     sim.Kernel, so parallel results are bit-identical to serial ones;
 //   - an optional persistent Cache (cache.go): results survive across
 //     processes, so re-generating figures skips simulation entirely.
+//
+// On top of those sits the resilience layer (journal.go, retry.go): every
+// run-state transition is write-ahead logged to a journal next to the
+// cache, workers are panic-isolated with bounded retry/backoff, each
+// attempt can carry a wall-clock deadline, and an interrupted or partially
+// failed campaign resumes with zero duplicate simulations.
 package experiments
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/system"
@@ -44,16 +57,66 @@ type Runner struct {
 	Jobs int
 	// Cache, if non-nil, persists results on disk across processes.
 	Cache *Cache
+	// Journal, if non-nil, write-ahead logs every run-state transition
+	// (journal.jsonl next to the cache), making the campaign resumable.
+	Journal *Journal
+	// Retries is how many extra attempts a transiently failed run (panic
+	// or per-run deadline) gets before being marked failed. Deterministic
+	// failures — watchdog, event budget, horizon, validation — never
+	// retry. Zero means fail on the first attempt.
+	Retries int
+	// RunTimeout caps each attempt's wall-clock time; an overrunning
+	// simulation is cancelled cooperatively (sim kernel poll), journaled,
+	// and classified transient. Zero means no deadline.
+	RunTimeout time.Duration
+	// Ctx is the campaign-wide cancellation context, typically wired to
+	// SIGINT/SIGTERM by the command. Nil means context.Background().
+	Ctx context.Context
+	// Partial switches figure rendering to degraded mode: a failed run
+	// annotates its cells as missing instead of aborting the figure.
+	Partial bool
+	// RecallFailures replays terminal failures recorded in the journal
+	// instead of re-simulating them (simulations are deterministic, so
+	// the failure would reproduce byte for byte). Commands enable this so
+	// resumed campaigns stay attributable at zero cost; pass -retry-failed
+	// to clear it and re-attempt.
+	RecallFailures bool
 
 	mu       sync.Mutex
 	memo     map[string]system.Result
 	errs     map[string]error
 	inflight map[string]*inflightRun
+	ledger   map[string]*RunRecord // per-run disposition, keyed by run key
 	progMu   sync.Mutex
 
 	fresh     atomic.Uint64 // simulations actually executed
 	cacheHits atomic.Uint64 // runs recalled from the persistent cache
+	recalled  atomic.Uint64 // failures recalled from the journal
 	expected  atomic.Uint64 // campaign run-set size declared via Prefetch
+
+	quiesced    atomic.Bool // Quiesce called: no new simulations
+	interrupted atomic.Bool // at least one run was cut off or skipped
+
+	// Test seams: backoff overrides and the chaos-injection hook, which
+	// runs at the top of every simulation attempt and may panic.
+	backoffBase, backoffCap time.Duration
+	testHook                func(cfg config.Config, bench string, attempt int)
+}
+
+// RunRecord is one row of the campaign's failure/retry ledger: the final
+// disposition of a run, how it was obtained, and — for failures — why it
+// died. The ledger lands in manifest.json so a degraded figure set is
+// attributable without re-running anything.
+type RunRecord struct {
+	Key       string  `json:"key"`
+	Hash      string  `json:"hash"`
+	Benchmark string  `json:"benchmark"`
+	Config    string  `json:"config"`
+	Status    string  `json:"status"` // done | failed | interrupted
+	Source    string  `json:"source"` // sim | cache | journal
+	Attempts  int     `json:"attempts"`
+	WallMS    float64 `json:"wall_ms"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // inflightRun is the singleflight rendezvous for one executing run key.
@@ -73,6 +136,7 @@ func NewRunner(o Options) *Runner {
 		memo:     make(map[string]system.Result),
 		errs:     make(map[string]error),
 		inflight: make(map[string]*inflightRun),
+		ledger:   make(map[string]*RunRecord),
 	}
 	if dir := os.Getenv("REPRO_CACHE"); dir != "" {
 		if c, err := OpenCache(dir); err == nil {
@@ -115,6 +179,85 @@ func (r *Runner) FreshRuns() uint64 { return r.fresh.Load() }
 // CacheHits returns the number of runs recalled from the persistent cache.
 func (r *Runner) CacheHits() uint64 { return r.cacheHits.Load() }
 
+// RecalledFailures returns the number of terminal failures replayed from
+// the journal without re-simulation.
+func (r *Runner) RecalledFailures() uint64 { return r.recalled.Load() }
+
+// Interrupted reports whether any run was skipped or cut off by campaign
+// cancellation (SIGINT/SIGTERM or Ctx expiry).
+func (r *Runner) Interrupted() bool { return r.interrupted.Load() }
+
+// Quiesce stops the campaign from starting new simulations: subsequent
+// runs still recall memo, cache, and journal entries, but a run that
+// would need fresh simulation fails fast with ErrInterrupted. This is the
+// drain half of graceful shutdown — in-flight runs finish, nothing new
+// starts, and rendering proceeds from whatever completed.
+func (r *Runner) Quiesce() { r.quiesced.Store(true) }
+
+// context returns the campaign cancellation context.
+func (r *Runner) context() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// Ledger returns the per-run disposition records, sorted by run key.
+func (r *Runner) Ledger() []RunRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RunRecord, 0, len(r.ledger))
+	for _, rec := range r.ledger {
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// FailedRuns returns the ledger rows that did not complete: terminal
+// failures and interrupted runs.
+func (r *Runner) FailedRuns() []RunRecord {
+	var out []RunRecord
+	for _, rec := range r.Ledger() {
+		if rec.Status != StatusDone {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// record stores (or overwrites) a run's ledger row.
+func (r *Runner) record(rec RunRecord) {
+	r.mu.Lock()
+	r.ledger[rec.Key] = &rec
+	r.mu.Unlock()
+}
+
+// runHash is the run's persistent identity: the sha256 of the full cache
+// key, i.e. the same hex the result cache files the run under. The
+// journal uses it so two processes with different in-memory state agree
+// on which runs are which.
+func runHash(cacheKey string) string {
+	sum := sha256.Sum256([]byte(cacheKey))
+	return hex.EncodeToString(sum[:])
+}
+
+// shortHash abbreviates a run hash for log lines and error messages.
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+// configLabel names a run's configuration for ledger rows and wrapped
+// errors: the network kind plus the coherence scheme and scale, enough to
+// find the run in any figure without the full key.
+func configLabel(cfg config.Config) string {
+	return fmt.Sprintf("%v/%v%d/c%d", cfg.Network.Kind, cfg.Coherence.Kind,
+		cfg.Coherence.Sharers, cfg.Cores)
+}
+
 // Results returns a snapshot of every memoized run, keyed by run key
 // (determinism-test hook).
 func (r *Runner) Results() map[string]system.Result {
@@ -145,6 +288,13 @@ func key(cfg config.Config, bench string) string {
 // Run executes (or recalls) one benchmark on one configuration. Concurrent
 // calls for the same key share a single execution.
 func (r *Runner) Run(cfg config.Config, bench string) (system.Result, error) {
+	return r.RunContext(r.context(), cfg, bench)
+}
+
+// RunContext is Run under an explicit cancellation context. Concurrent
+// calls for the same key share a single execution regardless of which
+// caller's context it runs under.
+func (r *Runner) RunContext(ctx context.Context, cfg config.Config, bench string) (system.Result, error) {
 	k := key(cfg, bench)
 	r.mu.Lock()
 	if res, ok := r.memo[k]; ok {
@@ -164,7 +314,7 @@ func (r *Runner) Run(cfg config.Config, bench string) (system.Result, error) {
 	r.inflight[k] = c
 	r.mu.Unlock()
 
-	c.res, c.err = r.execute(k, cfg, bench)
+	c.res, c.err = r.execute(ctx, k, cfg, bench)
 
 	r.mu.Lock()
 	delete(r.inflight, k)
@@ -178,32 +328,136 @@ func (r *Runner) Run(cfg config.Config, bench string) (system.Result, error) {
 	return c.res, c.err
 }
 
-// execute performs one run: persistent cache lookup, else simulation (and
-// cache fill).
-func (r *Runner) execute(k string, cfg config.Config, bench string) (system.Result, error) {
-	var ck string
-	if r.Cache != nil {
-		ck = r.cacheKey(k, cfg, bench)
-	}
-	if ck != "" {
+// execute performs one run, cheapest source first: persistent cache, then
+// journal recall of known terminal failures, then panic-isolated
+// simulation with bounded retry. Every state transition is write-ahead
+// journaled, and the final disposition lands in the ledger.
+func (r *Runner) execute(ctx context.Context, k string, cfg config.Config, bench string) (system.Result, error) {
+	ck := r.cacheKey(k, cfg, bench)
+	hash := runHash(ck)
+	rec := RunRecord{Key: k, Hash: hash, Benchmark: bench, Config: configLabel(cfg)}
+
+	if r.Cache != nil && ck != "" {
 		if res, ok := r.Cache.Get(ck); ok {
 			r.cacheHits.Add(1)
+			rec.Status, rec.Source = StatusDone, "cache"
+			r.record(rec)
 			r.progress(cfg, bench, "cached")
 			return res, nil
 		}
 	}
+	if r.Journal != nil && r.RecallFailures {
+		if e, ok := r.Journal.Lookup(hash); ok && e.Status == StatusFailed {
+			r.recalled.Add(1)
+			rec.Status, rec.Source = StatusFailed, "journal"
+			rec.Attempts, rec.WallMS, rec.Error = e.Attempt, e.WallMS, e.Error
+			r.record(rec)
+			r.progress(cfg, bench, fmt.Sprintf("failed (recalled from journal, %d attempt(s))", e.Attempt))
+			// Reproduce the stored error verbatim: a resumed campaign then
+			// renders byte-identical degraded figures. The ledger row's
+			// Source field records that it came from the journal.
+			return system.Result{}, errors.New(e.Error)
+		}
+	}
+	if r.quiesced.Load() || ctx.Err() != nil {
+		r.interrupted.Store(true)
+		rec.Status, rec.Source = "interrupted", "sim"
+		r.record(rec)
+		return system.Result{}, fmt.Errorf("run %s (%s, %s): %w",
+			shortHash(hash), bench, configLabel(cfg), ErrInterrupted)
+	}
+
 	r.fresh.Add(1)
-	r.progress(cfg, bench, fmt.Sprintf("run (routing=%v, flit=%d, %v%d)",
-		cfg.Network.Routing, cfg.Network.FlitBits,
-		cfg.Coherence.Kind, cfg.Coherence.Sharers))
-	res, err := system.RunBenchmark(cfg, bench, r.Opt.Scale, r.Opt.Horizon)
-	if err != nil {
-		return res, fmt.Errorf("%s on %v: %w", bench, cfg.Network.Kind, err)
+	attempts := r.Retries + 1
+	var wall time.Duration
+	for attempt := 1; ; attempt++ {
+		r.Journal.Begin(hash, k, attempt)
+		msg := fmt.Sprintf("run (routing=%v, flit=%d, %v%d)",
+			cfg.Network.Routing, cfg.Network.FlitBits,
+			cfg.Coherence.Kind, cfg.Coherence.Sharers)
+		if attempt > 1 {
+			msg = fmt.Sprintf("retry %d/%d", attempt, attempts)
+		}
+		r.progress(cfg, bench, msg)
+
+		start := time.Now()
+		res, err := r.simulate(ctx, cfg, bench, attempt)
+		wall += time.Since(start)
+
+		if err == nil {
+			r.Journal.Done(hash, k, attempt, wall)
+			rec.Status, rec.Source, rec.Attempts = StatusDone, "sim", attempt
+			rec.WallMS = float64(wall.Microseconds()) / 1e3
+			r.record(rec)
+			if r.Cache != nil && ck != "" {
+				r.Cache.Put(ck, res) // best effort: a failed write only costs a re-run
+			}
+			return res, nil
+		}
+		// Campaign-level cancellation is not a run failure: leave the
+		// journal record at "running" so a resumed campaign re-runs it.
+		if ctx.Err() != nil {
+			r.interrupted.Store(true)
+			rec.Status, rec.Source, rec.Attempts = "interrupted", "sim", attempt
+			rec.WallMS = float64(wall.Microseconds()) / 1e3
+			rec.Error = err.Error()
+			r.record(rec)
+			return system.Result{}, fmt.Errorf("run %s (%s, %s): %w: %v",
+				shortHash(hash), bench, configLabel(cfg), ErrInterrupted, err)
+		}
+		if attempt < attempts && transientFailure(err) {
+			d := retryBackoff(k, attempt, r.backoffBase, r.backoffCap)
+			r.progress(cfg, bench, fmt.Sprintf("attempt %d/%d failed (%v); retrying in %v",
+				attempt, attempts, err, d.Round(time.Millisecond)))
+			select {
+			case <-time.After(d):
+				continue
+			case <-ctx.Done():
+				r.interrupted.Store(true)
+				rec.Status, rec.Source, rec.Attempts = "interrupted", "sim", attempt
+				rec.Error = err.Error()
+				r.record(rec)
+				return system.Result{}, fmt.Errorf("run %s (%s, %s): %w",
+					shortHash(hash), bench, configLabel(cfg), ErrInterrupted)
+			}
+		}
+		// Terminal: deterministic failure, or the attempt budget is spent.
+		// The wrap carries the run key hash and config name so a tripped
+		// watchdog or exhausted event budget is attributable in the
+		// failure ledger without re-running anything.
+		wrapped := fmt.Errorf("run %s (%s, %s, attempt %d/%d): %w",
+			shortHash(hash), bench, configLabel(cfg), attempt, attempts, err)
+		r.Journal.Fail(hash, k, attempt, wall, wrapped)
+		rec.Status, rec.Source, rec.Attempts = StatusFailed, "sim", attempt
+		rec.WallMS = float64(wall.Microseconds()) / 1e3
+		rec.Error = wrapped.Error()
+		r.record(rec)
+		var pe *PanicError
+		if errors.As(err, &pe) && len(pe.Stack) > 0 {
+			r.progress(cfg, bench, fmt.Sprintf("panic isolated (stack captured, %d bytes)", len(pe.Stack)))
+		}
+		return system.Result{}, wrapped
 	}
-	if ck != "" {
-		r.Cache.Put(ck, res) // best effort: a failed write only costs a re-run
+}
+
+// simulate performs one panic-isolated attempt under the per-run deadline.
+// A panic anywhere in the simulator surfaces as a *PanicError carrying the
+// worker's stack instead of unwinding into the pool.
+func (r *Runner) simulate(ctx context.Context, cfg config.Config, bench string, attempt int) (res system.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	if r.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, r.RunTimeout, ErrRunDeadline)
+		defer cancel()
 	}
-	return res, nil
+	if h := r.testHook; h != nil {
+		h(cfg, bench, attempt) // chaos seam: may panic, by design
+	}
+	return system.RunBenchmarkContext(ctx, cfg, bench, r.Opt.Scale, r.Opt.Horizon)
 }
 
 // progress emits one serialized, labelled progress line. When the
@@ -215,7 +469,7 @@ func (r *Runner) progress(cfg config.Config, bench, msg string) {
 	}
 	line := fmt.Sprintf("[%s@%v] %s", bench, cfg.Network.Kind, msg)
 	if tot := r.expected.Load(); tot > 0 {
-		done := r.fresh.Load() + r.cacheHits.Load()
+		done := r.fresh.Load() + r.cacheHits.Load() + r.recalled.Load()
 		if done > tot {
 			done = tot // figure-local extras beyond the declared set
 		}
@@ -232,15 +486,19 @@ type RunSpec struct {
 	Bench string
 }
 
-// RunAll executes every spec, up to Jobs concurrently, and returns the
-// first error (the remaining runs still complete and are memoized). With
+// RunAll executes every spec under ctx, up to Jobs concurrently, and
+// returns the first error (the remaining runs still complete and are
+// memoized — a panicking or failed run never takes the pool down). With
 // Jobs <= 1 the specs execute serially in order, stopping at the first
 // error — exactly the pre-parallel campaign behavior.
-func (r *Runner) RunAll(specs []RunSpec) error {
+func (r *Runner) RunAll(ctx context.Context, specs []RunSpec) error {
+	if ctx == nil {
+		ctx = r.context()
+	}
 	specs = dedupSpecs(specs)
 	if r.jobs() <= 1 || len(specs) <= 1 {
 		for _, s := range specs {
-			if _, err := r.Run(s.Cfg, s.Bench); err != nil {
+			if _, err := r.RunContext(ctx, s.Cfg, s.Bench); err != nil {
 				return err
 			}
 		}
@@ -258,9 +516,10 @@ func (r *Runner) RunAll(specs []RunSpec) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if _, err := r.Run(s.Cfg, s.Bench); err != nil {
+			if _, err := r.RunContext(ctx, s.Cfg, s.Bench); err != nil {
 				errMu.Lock()
-				if firstErr == nil {
+				if firstErr == nil || errors.Is(firstErr, ErrInterrupted) {
+					// Prefer a real failure over an interrupt marker.
 					firstErr = err
 				}
 				errMu.Unlock()
@@ -279,7 +538,7 @@ func (r *Runner) RunAll(specs []RunSpec) error {
 func (r *Runner) Prefetch(specs []RunSpec) {
 	specs = dedupSpecs(specs)
 	r.expected.Add(uint64(len(specs)))
-	_ = r.RunAll(specs)
+	_ = r.RunAll(r.context(), specs)
 }
 
 // dedupSpecs drops duplicate run keys, keeping first-occurrence order (the

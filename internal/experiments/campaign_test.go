@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -278,5 +280,107 @@ func TestDefaultCacheDirEnv(t *testing.T) {
 	r := NewRunner(testCampaignOpts())
 	if r.Cache == nil || r.Cache.Dir() != dir {
 		t.Errorf("NewRunner did not attach REPRO_CACHE cache: %+v", r.Cache)
+	}
+}
+
+// TestCacheQuarantine checks that untrustworthy entries — truncated,
+// bit-flipped, or schema-stale — are renamed into quarantine/ with a
+// logged reason instead of being silently re-read as misses forever.
+func TestCacheQuarantine(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	c.Log = func(s string) { logged = append(logged, s) }
+	res := system.Result{Benchmark: "radix", Cycles: 123}
+
+	// A truncated entry (torn write from a pre-atomic writer or disk
+	// trouble).
+	if err := c.Put("trunc", res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.path("trunc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path("trunc"), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A bit-flipped entry that is still valid JSON per se but fails to
+	// parse as the entry shape (flip a structural byte), plus one that
+	// parses but carries a flipped schema stamp.
+	if err := c.Put("flip", res); err != nil {
+		t.Fatal(err)
+	}
+	flipped, err := os.ReadFile(c.path("flip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped[0] ^= 0xff // '{' becomes garbage: unparsable
+	if err := os.WriteFile(c.path("flip"), flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c.Get("trunc"); ok {
+		t.Error("truncated entry reported as hit")
+	}
+	if _, ok := c.Get("flip"); ok {
+		t.Error("bit-flipped entry reported as hit")
+	}
+	if got := c.Quarantined(); got != 2 {
+		t.Fatalf("quarantined %d entries, want 2 (log: %v)", got, logged)
+	}
+	if len(logged) != 2 {
+		t.Fatalf("logged %d reasons, want 2: %v", len(logged), logged)
+	}
+	for _, l := range logged {
+		if !strings.Contains(l, "quarantine") {
+			t.Errorf("log line lacks destination: %q", l)
+		}
+	}
+
+	// The bad bytes moved into quarantine/ under their original names,
+	// and the main directory no longer holds them.
+	qdir := filepath.Join(c.Dir(), quarantineDirName)
+	entries, err := os.ReadDir(qdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("quarantine holds %d files, want 2", len(entries))
+	}
+	if _, err := os.Stat(c.path("trunc")); !os.IsNotExist(err) {
+		t.Error("truncated entry still in the main cache directory")
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("cache Len() = %d after quarantine, want 0", got)
+	}
+
+	// A fresh Put over a quarantined key works and reads back cleanly.
+	if err := c.Put("trunc", res); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get("trunc"); !ok || got.Cycles != 123 {
+		t.Fatalf("re-put after quarantine: ok=%v res=%+v", ok, got)
+	}
+}
+
+// TestCacheQuarantineSchemaStale checks the schema-stamp path specifically.
+func TestCacheQuarantineSchemaStale(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := fmt.Sprintf(`{"schema":%d,"key":"old","result":{}}`, cacheSchemaVersion+1)
+	if err := os.WriteFile(c.path("old"), []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("old"); ok {
+		t.Error("schema-stale entry reported as hit")
+	}
+	if got := c.Quarantined(); got != 1 {
+		t.Fatalf("quarantined %d, want 1", got)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/noc"
 	"repro/internal/sim"
+	"repro/internal/system"
 	"repro/internal/traffic"
 )
 
@@ -78,12 +79,14 @@ func (o Options) Config(kind config.NetworkKind) config.Config {
 // models builds (and caches nothing: it is cheap) the energy models.
 func models(cfg config.Config) (energy.Models, error) { return energy.Build(cfg) }
 
-// Table is a printable result grid.
+// Table is a printable result grid. Degraded marks a table rendered in
+// partial mode with one or more cells missing (annotated in Notes).
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	Title    string
+	Columns  []string
+	Rows     [][]string
+	Notes    []string
+	Degraded bool
 }
 
 // String renders the table with aligned columns.
@@ -201,24 +204,28 @@ func (r *Runner) Fig4() (*Table, error) {
 		Columns: []string{"benchmark", "ATAC+", "EMesh-BCast", "EMesh-Pure", "BCast/ATAC+", "Pure/ATAC+"},
 	}
 	for _, b := range r.apps() {
-		ra, err := r.Run(r.Opt.Config(config.ATACPlus), b)
-		if err != nil {
-			return nil, err
-		}
-		rb, err := r.Run(r.Opt.Config(config.EMeshBCast), b)
-		if err != nil {
-			return nil, err
-		}
-		rp, err := r.Run(r.Opt.Config(config.EMeshPure), b)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			b,
-			fmt.Sprint(ra.Cycles), fmt.Sprint(rb.Cycles), fmt.Sprint(rp.Cycles),
-			f2(float64(rb.Cycles) / float64(ra.Cycles)),
-			f2(float64(rp.Cycles) / float64(ra.Cycles)),
+		err := r.row(t, b, func() ([]string, error) {
+			ra, err := r.Run(r.Opt.Config(config.ATACPlus), b)
+			if err != nil {
+				return nil, err
+			}
+			rb, err := r.Run(r.Opt.Config(config.EMeshBCast), b)
+			if err != nil {
+				return nil, err
+			}
+			rp, err := r.Run(r.Opt.Config(config.EMeshPure), b)
+			if err != nil {
+				return nil, err
+			}
+			return []string{
+				fmt.Sprint(ra.Cycles), fmt.Sprint(rb.Cycles), fmt.Sprint(rp.Cycles),
+				f2(float64(rb.Cycles) / float64(ra.Cycles)),
+				f2(float64(rp.Cycles) / float64(ra.Cycles)),
+			}, nil
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }
@@ -231,12 +238,17 @@ func (r *Runner) Fig5() (*Table, error) {
 		Columns: []string{"benchmark", "unicast %", "broadcast %"},
 	}
 	for _, b := range r.apps() {
-		res, err := r.Run(r.Opt.Config(config.ATACPlus), b)
+		err := r.row(t, b, func() ([]string, error) {
+			res, err := r.Run(r.Opt.Config(config.ATACPlus), b)
+			if err != nil {
+				return nil, err
+			}
+			bf := res.BroadcastRecvFraction()
+			return []string{f2((1 - bf) * 100), f2(bf * 100)}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		bf := res.BroadcastRecvFraction()
-		t.Rows = append(t.Rows, []string{b, f2((1 - bf) * 100), f2(bf * 100)})
 	}
 	return t, nil
 }
@@ -249,11 +261,16 @@ func (r *Runner) Fig6() (*Table, error) {
 		Columns: []string{"benchmark", "load"},
 	}
 	for _, b := range r.apps() {
-		res, err := r.Run(r.Opt.Config(config.ATACPlus), b)
+		err := r.row(t, b, func() ([]string, error) {
+			res, err := r.Run(r.Opt.Config(config.ATACPlus), b)
+			if err != nil {
+				return nil, err
+			}
+			return []string{fmt.Sprintf("%.4f", res.OfferedLoad())}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{b, fmt.Sprintf("%.4f", res.OfferedLoad())})
 	}
 	return t, nil
 }
@@ -266,13 +283,16 @@ func (r *Runner) TableV() (*Table, error) {
 		Columns: []string{"benchmark", "link utilization %", "unicasts/broadcast"},
 	}
 	for _, b := range r.apps() {
-		res, err := r.Run(r.Opt.Config(config.ATACPlus), b)
+		err := r.row(t, b, func() ([]string, error) {
+			res, err := r.Run(r.Opt.Config(config.ATACPlus), b)
+			if err != nil {
+				return nil, err
+			}
+			return []string{f2(res.LinkUtilization * 100), f2(res.UnicastsPerBcast)}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
-			b, f2(res.LinkUtilization * 100), f2(res.UnicastsPerBcast),
-		})
 	}
 	return t, nil
 }
@@ -289,12 +309,41 @@ func (r *Runner) Fig7() (*Table, error) {
 	type agg struct{ laser, tuning, other, elec, caches, total float64 }
 	sums := make([]agg, len(flavors)+2)
 	names := []string{"ATAC+(Ideal)", "ATAC+", "ATAC+(RingTuned)", "ATAC+(Cons)", "EMesh-BCast", "EMesh-Pure"}
+	t := &Table{
+		Title:   "Fig 7: Uncore energy breakdown, benchmark average [normalized to ATAC+(Ideal)]",
+		Columns: []string{"config", "laser", "ring tuning", "mod/rx/select", "electrical", "caches", "total"},
+		Notes:   []string{"laser dominates ATAC+(Cons); ring tuning dominates RingTuned; ATAC+ ~= Ideal"},
+	}
 
+	contributed := 0
 	for _, b := range r.apps() {
+		// Gather every run this benchmark contributes before touching the
+		// sums, so a failed run excludes the whole benchmark cleanly
+		// instead of leaving it half-accumulated.
 		resA, err := r.Run(r.Opt.Config(config.ATACPlus), b)
 		if err != nil {
+			if r.skip(t, "benchmark "+b, err) {
+				continue
+			}
 			return nil, err
 		}
+		resMesh := make([]system.Result, 2)
+		meshOK := true
+		for j, kind := range []config.NetworkKind{config.EMeshBCast, config.EMeshPure} {
+			res, err := r.Run(r.Opt.Config(kind), b)
+			if err != nil {
+				if r.skip(t, "benchmark "+b, err) {
+					meshOK = false
+					break
+				}
+				return nil, err
+			}
+			resMesh[j] = res
+		}
+		if !meshOK {
+			continue
+		}
+		contributed++
 		for i, fl := range flavors {
 			cfg := r.Opt.Config(config.ATACPlus)
 			cfg.Network.Flavor = fl
@@ -311,28 +360,22 @@ func (r *Runner) Fig7() (*Table, error) {
 			sums[i].total += bd.UncoreTotal()
 		}
 		for j, kind := range []config.NetworkKind{config.EMeshBCast, config.EMeshPure} {
-			res, err := r.Run(r.Opt.Config(kind), b)
-			if err != nil {
-				return nil, err
-			}
 			m, err := models(r.Opt.Config(kind))
 			if err != nil {
 				return nil, err
 			}
-			bd := energy.Combine(m, res)
+			bd := energy.Combine(m, resMesh[j])
 			i := len(flavors) + j
 			sums[i].elec += bd.NetElecDyn + bd.NetElecStatic
 			sums[i].caches += bd.Caches()
 			sums[i].total += bd.UncoreTotal()
 		}
 	}
+	if contributed == 0 {
+		return nil, fmt.Errorf("fig 7: every benchmark failed")
+	}
 
 	norm := sums[0].total
-	t := &Table{
-		Title:   "Fig 7: Uncore energy breakdown, benchmark average [normalized to ATAC+(Ideal)]",
-		Columns: []string{"config", "laser", "ring tuning", "mod/rx/select", "electrical", "caches", "total"},
-		Notes:   []string{"laser dominates ATAC+(Cons); ring tuning dominates RingTuned; ATAC+ ~= Ideal"},
-	}
 	for i, n := range names {
 		s := sums[i]
 		t.Rows = append(t.Rows, []string{
@@ -357,64 +400,75 @@ func (r *Runner) Fig8() (*Table, float64, float64, error) {
 		Columns: []string{"benchmark", "ATAC+(Ideal)", "ATAC+", "ATAC+(RingTuned)", "ATAC+(Cons)", "EMesh-BCast", "EMesh-Pure"},
 	}
 	var sumB, sumP float64
+	completed := 0
 	for _, b := range r.apps() {
-		resA, err := r.Run(r.Opt.Config(config.ATACPlus), b)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		edp := func(fl config.Flavor) (float64, error) {
-			cfg := r.Opt.Config(config.ATACPlus)
-			cfg.Network.Flavor = fl
-			m, err := models(cfg)
+		err := r.row(t, b, func() ([]string, error) {
+			resA, err := r.Run(r.Opt.Config(config.ATACPlus), b)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			return energy.EDP(m, resA), nil
-		}
-		ideal, err := edp(config.FlavorIdeal)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		def, err := edp(config.FlavorDefault)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		tuned, err := edp(config.FlavorRingTuned)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		cons, err := edp(config.FlavorCons)
-		if err != nil {
-			return nil, 0, 0, err
-		}
+			edp := func(fl config.Flavor) (float64, error) {
+				cfg := r.Opt.Config(config.ATACPlus)
+				cfg.Network.Flavor = fl
+				m, err := models(cfg)
+				if err != nil {
+					return 0, err
+				}
+				return energy.EDP(m, resA), nil
+			}
+			ideal, err := edp(config.FlavorIdeal)
+			if err != nil {
+				return nil, err
+			}
+			def, err := edp(config.FlavorDefault)
+			if err != nil {
+				return nil, err
+			}
+			tuned, err := edp(config.FlavorRingTuned)
+			if err != nil {
+				return nil, err
+			}
+			cons, err := edp(config.FlavorCons)
+			if err != nil {
+				return nil, err
+			}
 
-		meshEDP := func(kind config.NetworkKind) (float64, error) {
-			res, err := r.Run(r.Opt.Config(kind), b)
-			if err != nil {
-				return 0, err
+			meshEDP := func(kind config.NetworkKind) (float64, error) {
+				res, err := r.Run(r.Opt.Config(kind), b)
+				if err != nil {
+					return 0, err
+				}
+				m, err := models(r.Opt.Config(kind))
+				if err != nil {
+					return 0, err
+				}
+				return energy.EDP(m, res), nil
 			}
-			m, err := models(r.Opt.Config(kind))
+			bc, err := meshEDP(config.EMeshBCast)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			return energy.EDP(m, res), nil
-		}
-		bc, err := meshEDP(config.EMeshBCast)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		pu, err := meshEDP(config.EMeshPure)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		sumB += bc / def
-		sumP += pu / def
-		t.Rows = append(t.Rows, []string{
-			b, f2(ideal / ideal), f2(def / ideal), f2(tuned / ideal),
-			f2(cons / ideal), f2(bc / ideal), f2(pu / ideal),
+			pu, err := meshEDP(config.EMeshPure)
+			if err != nil {
+				return nil, err
+			}
+			sumB += bc / def
+			sumP += pu / def
+			completed++
+			return []string{
+				f2(ideal / ideal), f2(def / ideal), f2(tuned / ideal),
+				f2(cons / ideal), f2(bc / ideal), f2(pu / ideal),
+			}, nil
 		})
+		if err != nil {
+			return nil, 0, 0, err
+		}
 	}
-	n := float64(len(r.apps()))
+	if completed == 0 {
+		t.Notes = append(t.Notes, "averages unavailable: every benchmark failed")
+		return t, 0, 0, nil
+	}
+	n := float64(completed)
 	avgB, avgP := sumB/n, sumP/n
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("average E-D vs ATAC+: EMesh-BCast %.2fx, EMesh-Pure %.2fx (paper: 1.8x, 4.8x)", avgB, avgP))
@@ -436,31 +490,36 @@ func (r *Runner) Fig9() (*Table, error) {
 		Notes:   []string{"ATAC+ tolerates ~2 dB before losing to EMesh-BCast (paper)"},
 	}
 	for _, b := range r.apps() {
-		resA, err := r.Run(r.Opt.Config(config.ATACPlus), b)
-		if err != nil {
-			return nil, err
-		}
-		resM, err := r.Run(r.Opt.Config(config.EMeshBCast), b)
-		if err != nil {
-			return nil, err
-		}
-		mm, err := models(r.Opt.Config(config.EMeshBCast))
-		if err != nil {
-			return nil, err
-		}
-		base := energy.Combine(mm, resM).UncoreTotal()
-		row := []string{b}
-		for _, loss := range losses {
-			cfg := r.Opt.Config(config.ATACPlus)
-			pp := energy.DefaultPhotonics()
-			pp.TotalWaveguideLossDB = loss
-			m, err := energy.BuildWith(cfg, energy.DefaultTech(), pp)
+		err := r.row(t, b, func() ([]string, error) {
+			resA, err := r.Run(r.Opt.Config(config.ATACPlus), b)
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, f3(energy.Combine(m, resA).UncoreTotal()/base))
+			resM, err := r.Run(r.Opt.Config(config.EMeshBCast), b)
+			if err != nil {
+				return nil, err
+			}
+			mm, err := models(r.Opt.Config(config.EMeshBCast))
+			if err != nil {
+				return nil, err
+			}
+			base := energy.Combine(mm, resM).UncoreTotal()
+			var cells []string
+			for _, loss := range losses {
+				cfg := r.Opt.Config(config.ATACPlus)
+				pp := energy.DefaultPhotonics()
+				pp.TotalWaveguideLossDB = loss
+				m, err := energy.BuildWith(cfg, energy.DefaultTech(), pp)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, f3(energy.Combine(m, resA).UncoreTotal()/base))
+			}
+			return cells, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }
@@ -528,21 +587,26 @@ func (r *Runner) Fig11() (*Table, error) {
 		Notes:   []string{"runtime improves steeply to 64 bits, then flattens (paper: 50% from 16->64, 10% from 64->256)"},
 	}
 	for _, b := range r.apps() {
-		base, err := r.Run(r.Opt.Config(config.ATACPlus), b)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{b}
-		for _, w := range widths {
-			cfg := r.Opt.Config(config.ATACPlus)
-			cfg.Network.FlitBits = w
-			res, err := r.Run(cfg, b)
+		err := r.row(t, b, func() ([]string, error) {
+			base, err := r.Run(r.Opt.Config(config.ATACPlus), b)
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, f3(float64(res.Cycles)/float64(base.Cycles)))
+			var cells []string
+			for _, w := range widths {
+				cfg := r.Opt.Config(config.ATACPlus)
+				cfg.Network.FlitBits = w
+				res, err := r.Run(cfg, b)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, f3(float64(res.Cycles)/float64(base.Cycles)))
+			}
+			return cells, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }
@@ -569,32 +633,41 @@ func (r *Runner) Fig12() (*Table, error) {
 	}
 	var totB, totS float64
 	for _, b := range r.apps() {
-		cfgB := r.Opt.Config(config.ATAC) // BNet + cluster routing
-		cfgS := r.Opt.Config(config.ATACPlus)
-		cfgS.Network.Routing = config.ClusterRouting
-		resB, err := r.Run(cfgB, b)
+		err := r.row(t, b, func() ([]string, error) {
+			cfgB := r.Opt.Config(config.ATAC) // BNet + cluster routing
+			cfgS := r.Opt.Config(config.ATACPlus)
+			cfgS.Network.Routing = config.ClusterRouting
+			resB, err := r.Run(cfgB, b)
+			if err != nil {
+				return nil, err
+			}
+			resS, err := r.Run(cfgS, b)
+			if err != nil {
+				return nil, err
+			}
+			mB, err := models(cfgB)
+			if err != nil {
+				return nil, err
+			}
+			mS, err := models(cfgS)
+			if err != nil {
+				return nil, err
+			}
+			eB := energy.Combine(mB, resB).UncoreTotal()
+			eS := energy.Combine(mS, resS).UncoreTotal()
+			totB += eB
+			totS += eS
+			return []string{"1.000", f3(eS / eB), f2((1 - eS/eB) * 100)}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		resS, err := r.Run(cfgS, b)
-		if err != nil {
-			return nil, err
-		}
-		mB, err := models(cfgB)
-		if err != nil {
-			return nil, err
-		}
-		mS, err := models(cfgS)
-		if err != nil {
-			return nil, err
-		}
-		eB := energy.Combine(mB, resB).UncoreTotal()
-		eS := energy.Combine(mS, resS).UncoreTotal()
-		totB += eB
-		totS += eS
-		t.Rows = append(t.Rows, []string{b, "1.000", f3(eS / eB), f2((1 - eS/eB) * 100)})
 	}
-	t.Notes = append(t.Notes, fmt.Sprintf("average savings: %.1f%%", (1-totS/totB)*100))
+	if totB > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("average savings: %.1f%%", (1-totS/totB)*100))
+	} else {
+		t.Notes = append(t.Notes, "average savings unavailable: every benchmark failed")
+	}
 	return t, nil
 }
 
@@ -613,40 +686,57 @@ func (r *Runner) Fig13() (*Table, error) {
 		Notes:   []string{"paper: Distance-15 lowest, ~10% below Cluster on average"},
 	}
 	sums := make([]float64, len(schemes))
+	completed := 0
 	for _, b := range r.apps() {
-		var clusterEDP float64
-		row := []string{b}
-		for i, sch := range schemes {
-			cfg := r.Opt.Config(config.ATACPlus)
-			cfg.Network.Routing = sch.Routing
-			if sch.RThres > 0 {
-				cfg.Network.RThres = sch.RThres
+		err := r.row(t, b, func() ([]string, error) {
+			var clusterEDP float64
+			var cells []string
+			rowSums := make([]float64, len(schemes))
+			for i, sch := range schemes {
+				cfg := r.Opt.Config(config.ATACPlus)
+				cfg.Network.Routing = sch.Routing
+				if sch.RThres > 0 {
+					cfg.Network.RThres = sch.RThres
+				}
+				res, err := r.Run(cfg, b)
+				if err != nil {
+					return nil, err
+				}
+				m, err := models(cfg)
+				if err != nil {
+					return nil, err
+				}
+				e := energy.EDP(m, res)
+				if i == 0 {
+					clusterEDP = e
+				}
+				rowSums[i] = e / clusterEDP
+				cells = append(cells, f3(e/clusterEDP))
 			}
-			res, err := r.Run(cfg, b)
-			if err != nil {
-				return nil, err
+			// Commit to the cross-benchmark sums only once the whole row
+			// succeeded, so a degraded row cannot skew the averages.
+			for i, s := range rowSums {
+				sums[i] += s
 			}
-			m, err := models(cfg)
-			if err != nil {
-				return nil, err
-			}
-			e := energy.EDP(m, res)
-			if i == 0 {
-				clusterEDP = e
-			}
-			sums[i] += e / clusterEDP
-			row = append(row, f3(e/clusterEDP))
+			completed++
+			return cells, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Rows = append(t.Rows, row)
 	}
-	best, bestI := sums[0], 0
-	for i, s := range sums {
-		if s < best {
-			best, bestI = s, i
+	if completed > 0 {
+		best, bestI := sums[0], 0
+		for i, s := range sums {
+			if s < best {
+				best, bestI = s, i
+			}
 		}
+		t.Notes = append(t.Notes, fmt.Sprintf("best average scheme: %s (%.3f of Cluster)",
+			schemes[bestI].Name, best/float64(completed)))
+	} else {
+		t.Notes = append(t.Notes, "best average scheme unavailable: every benchmark failed")
 	}
-	t.Notes = append(t.Notes, fmt.Sprintf("best average scheme: %s (%.3f of Cluster)",
-		schemes[bestI].Name, best/float64(len(r.apps()))))
 	return t, nil
 }
 
@@ -664,28 +754,33 @@ func (r *Runner) Fig14() (*Table, error) {
 		Notes:   []string{"Dir4B suffers on broadcast-heavy apps (1024 acks per invalidation), worse on the mesh"},
 	}
 	for _, b := range r.apps() {
-		row := []string{b}
-		var base float64
-		for _, kind := range []config.NetworkKind{config.ATACPlus, config.EMeshBCast} {
-			for _, ck := range []config.CoherenceKind{config.ACKwise, config.DirKB} {
-				cfg := r.Opt.Config(kind)
-				cfg.Coherence.Kind = ck
-				res, err := r.Run(cfg, b)
-				if err != nil {
-					return nil, err
+		err := r.row(t, b, func() ([]string, error) {
+			var cells []string
+			var base float64
+			for _, kind := range []config.NetworkKind{config.ATACPlus, config.EMeshBCast} {
+				for _, ck := range []config.CoherenceKind{config.ACKwise, config.DirKB} {
+					cfg := r.Opt.Config(kind)
+					cfg.Coherence.Kind = ck
+					res, err := r.Run(cfg, b)
+					if err != nil {
+						return nil, err
+					}
+					m, err := models(cfg)
+					if err != nil {
+						return nil, err
+					}
+					e := energy.EDP(m, res)
+					if base == 0 {
+						base = e
+					}
+					cells = append(cells, f3(e/base))
 				}
-				m, err := models(cfg)
-				if err != nil {
-					return nil, err
-				}
-				e := energy.EDP(m, res)
-				if base == 0 {
-					base = e
-				}
-				row = append(row, f3(e/base))
 			}
+			return cells, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }
@@ -706,21 +801,26 @@ func (r *Runner) Fig15() (*Table, error) {
 		Notes:   []string{"paper: little runtime variation, non-monotonic"},
 	}
 	for _, b := range r.apps() {
-		var base float64
-		row := []string{b}
-		for _, k := range SharerCounts {
-			cfg := r.Opt.Config(config.ATACPlus)
-			cfg.Coherence.Sharers = k
-			res, err := r.Run(cfg, b)
-			if err != nil {
-				return nil, err
+		err := r.row(t, b, func() ([]string, error) {
+			var base float64
+			var cells []string
+			for _, k := range SharerCounts {
+				cfg := r.Opt.Config(config.ATACPlus)
+				cfg.Coherence.Sharers = k
+				res, err := r.Run(cfg, b)
+				if err != nil {
+					return nil, err
+				}
+				if base == 0 {
+					base = float64(res.Cycles)
+				}
+				cells = append(cells, f3(float64(res.Cycles)/base))
 			}
-			if base == 0 {
-				base = float64(res.Cycles)
-			}
-			row = append(row, f3(float64(res.Cycles)/base))
+			return cells, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }
@@ -735,31 +835,39 @@ func (r *Runner) Fig16() (*Table, error) {
 		Notes:   []string{"paper: ~2x total energy growth from 4 to 1024 sharers, driven by the directory"},
 	}
 	var base float64
-	for _, k := range SharerCounts {
-		var dir, caches, net, tot float64
-		for _, b := range r.apps() {
-			cfg := r.Opt.Config(config.ATACPlus)
-			cfg.Coherence.Sharers = k
-			res, err := r.Run(cfg, b)
-			if err != nil {
-				return nil, err
+	for ki, k := range SharerCounts {
+		err := r.row(t, fmt.Sprint(k), func() ([]string, error) {
+			var dir, caches, net, tot float64
+			for _, b := range r.apps() {
+				cfg := r.Opt.Config(config.ATACPlus)
+				cfg.Coherence.Sharers = k
+				res, err := r.Run(cfg, b)
+				if err != nil {
+					return nil, err
+				}
+				m, err := models(cfg)
+				if err != nil {
+					return nil, err
+				}
+				bd := energy.Combine(m, res)
+				dir += bd.DirDyn + bd.DirStatic
+				caches += bd.Caches() - bd.DirDyn - bd.DirStatic
+				net += bd.Network()
+				tot += bd.UncoreTotal()
 			}
-			m, err := models(cfg)
-			if err != nil {
-				return nil, err
+			if base == 0 {
+				if ki > 0 {
+					// The 4-sharer row (the normalization base) degraded;
+					// a ratio against a different base would be misleading.
+					return nil, fmt.Errorf("normalization base (%d sharers) unavailable", SharerCounts[0])
+				}
+				base = tot
 			}
-			bd := energy.Combine(m, res)
-			dir += bd.DirDyn + bd.DirStatic
-			caches += bd.Caches() - bd.DirDyn - bd.DirStatic
-			net += bd.Network()
-			tot += bd.UncoreTotal()
-		}
-		if base == 0 {
-			base = tot
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(k), f3(dir / base), f3(caches / base), f3(net / base), f3(tot / base),
+			return []string{f3(dir / base), f3(caches / base), f3(net / base), f3(tot / base)}, nil
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }
@@ -780,22 +888,27 @@ func (r *Runner) Fig17() (*Table, error) {
 	for _, ndd := range []float64{0.10, 0.40} {
 		for _, b := range r.apps() {
 			for _, kind := range []config.NetworkKind{config.ATACPlus, config.EMeshBCast} {
-				cfg := r.Opt.Config(kind)
-				res, err := r.Run(cfg, b)
-				if err != nil {
-					return nil, err
-				}
-				cfg.Core.NDDFraction = ndd
-				m, err := models(cfg)
-				if err != nil {
-					return nil, err
-				}
-				bd := energy.Combine(m, res)
-				t.Rows = append(t.Rows, []string{
-					b, fmt.Sprintf("%.0f%%", ndd*100), kind.String(),
-					f3(bd.CoreNDD * 1e3), f3(bd.CoreDD * 1e3),
-					f3(bd.Caches() * 1e3), f3(bd.Network() * 1e3), f3(bd.Total() * 1e3),
+				err := r.row(t, b, func() ([]string, error) {
+					cfg := r.Opt.Config(kind)
+					res, err := r.Run(cfg, b)
+					if err != nil {
+						return nil, err
+					}
+					cfg.Core.NDDFraction = ndd
+					m, err := models(cfg)
+					if err != nil {
+						return nil, err
+					}
+					bd := energy.Combine(m, res)
+					return []string{
+						fmt.Sprintf("%.0f%%", ndd*100), kind.String(),
+						f3(bd.CoreNDD * 1e3), f3(bd.CoreDD * 1e3),
+						f3(bd.Caches() * 1e3), f3(bd.Network() * 1e3), f3(bd.Total() * 1e3),
+					}, nil
 				})
+				if err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

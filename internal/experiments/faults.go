@@ -71,32 +71,43 @@ func (r *Runner) FaultSweep(bench string) (*Table, error) {
 	}
 	var baseCycles, baseEDP float64
 	for _, sc := range FaultScenarios() {
-		cfg := r.Opt.Config(config.ATACPlus)
-		cfg.Fault = sc.Fault
-		res, err := r.Run(cfg, bench)
-		if err != nil {
-			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
-		}
-		m, err := models(cfg)
+		err := r.row(t, sc.Name, func() ([]string, error) {
+			cfg := r.Opt.Config(config.ATACPlus)
+			cfg.Fault = sc.Fault
+			res, err := r.Run(cfg, bench)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+			}
+			m, err := models(cfg)
+			if err != nil {
+				return nil, err
+			}
+			edp := energy.EDP(m, res)
+			if baseCycles == 0 {
+				baseCycles, baseEDP = float64(res.Cycles), edp
+			}
+			// If the clean baseline itself degraded, the Δ columns have no
+			// reference — render the absolute values and mark the deltas.
+			dCyc, dEDP := missingCell, missingCell
+			if baseCycles > 0 {
+				dCyc = f2((float64(res.Cycles)/baseCycles - 1) * 100)
+				dEDP = f2((edp/baseEDP - 1) * 100)
+			}
+			retx := res.Net.MeshRetxFlits + res.Net.OpticalRetxFlits
+			return []string{
+				fmt.Sprint(res.Cycles),
+				dCyc,
+				fmt.Sprint(retx),
+				fmt.Sprint(res.Net.ReroutedMsgs),
+				fmt.Sprint(res.Net.DegradedChannels),
+				fmt.Sprintf("%.3e", edp),
+				dEDP,
+				f2(energy.ResilienceOverheadJ(m, res) * 1e6),
+			}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		edp := energy.EDP(m, res)
-		if baseCycles == 0 {
-			baseCycles, baseEDP = float64(res.Cycles), edp
-		}
-		retx := res.Net.MeshRetxFlits + res.Net.OpticalRetxFlits
-		t.Rows = append(t.Rows, []string{
-			sc.Name,
-			fmt.Sprint(res.Cycles),
-			f2((float64(res.Cycles)/baseCycles - 1) * 100),
-			fmt.Sprint(retx),
-			fmt.Sprint(res.Net.ReroutedMsgs),
-			fmt.Sprint(res.Net.DegradedChannels),
-			fmt.Sprintf("%.3e", edp),
-			f2((edp/baseEDP - 1) * 100),
-			f2(energy.ResilienceOverheadJ(m, res) * 1e6),
-		})
 	}
 	return t, nil
 }

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalFileName)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Begin("h1", "k1", 1)
+	j.Done("h1", "k1", 1, 1500*time.Millisecond)
+	j.Begin("h2", "k2", 1)
+	j.Fail("h2", "k2", 2, time.Second, errors.New("watchdog stall"))
+	j.Begin("h3", "k3", 1) // interrupted: no terminal record
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Len(); got != 3 {
+		t.Fatalf("replayed %d runs, want 3", got)
+	}
+	e1, ok := j2.Lookup("h1")
+	if !ok || e1.Status != StatusDone || e1.Attempt != 1 || e1.WallMS != 1500 {
+		t.Fatalf("h1 = %+v", e1)
+	}
+	e2, ok := j2.Lookup("h2")
+	if !ok || e2.Status != StatusFailed || e2.Attempt != 2 || !strings.Contains(e2.Error, "watchdog") {
+		t.Fatalf("h2 = %+v", e2)
+	}
+	e3, ok := j2.Lookup("h3")
+	if !ok || e3.Status != StatusRunning {
+		t.Fatalf("h3 = %+v (an interrupted run must replay as running)", e3)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalFileName)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Done("h1", "k1", 1, 0)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn, unterminated JSON fragment.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"hash":"h2","key":"k2","sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail broke replay: %v", err)
+	}
+	defer j2.Close()
+	if got := j2.Len(); got != 1 {
+		t.Fatalf("replayed %d runs, want 1 (torn record skipped)", got)
+	}
+	if _, ok := j2.Lookup("h2"); ok {
+		t.Fatal("torn record replayed as a real entry")
+	}
+	// Appending after replay must still work and produce a parsable file.
+	j2.Done("h3", "k3", 1, 0)
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if _, ok := j3.Lookup("h3"); !ok || j3.Len() != 2 {
+		t.Fatalf("post-tear append lost: len=%d", j3.Len())
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), JournalFileName)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three transitions for one run; compaction must fold them to one line.
+	j.Begin("h1", "k1", 1)
+	j.Begin("h1", "k1", 2)
+	j.Done("h1", "k1", 2, 0)
+	j.Begin("h2", "k2", 1)
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("compacted journal has %d lines, want 2:\n%s", len(lines), data)
+	}
+	// The append handle must survive compaction.
+	j.Done("h2", "k2", 1, 0)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	e, ok := j2.Lookup("h2")
+	if !ok || e.Status != StatusDone {
+		t.Fatalf("h2 after compact+append = %+v", e)
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := atomicWriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := atomicWriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("data=%q err=%v", data, err)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want 1", len(entries))
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
 	"os/exec"
 	"runtime"
 	"sort"
@@ -35,6 +34,16 @@ type Provenance struct {
 	Runs       int    `json:"runs"`
 	FreshRuns  uint64 `json:"fresh_runs"`
 	CacheHits  uint64 `json:"cache_hits"`
+
+	// Failure ledger. RecalledFailures counts failed runs recalled from
+	// the journal without re-simulation; Failures lists every run that did
+	// not complete (terminally failed or interrupted), with its attempt
+	// count and final error, so a degraded figure set documents exactly
+	// which cells are missing and why. Interrupted marks a campaign cut
+	// short by SIGINT/SIGTERM.
+	RecalledFailures uint64      `json:"recalled_failures,omitempty"`
+	Failures         []RunRecord `json:"failures,omitempty"`
+	Interrupted      bool        `json:"interrupted,omitempty"`
 
 	WallSeconds float64 `json:"wall_seconds"`
 	Jobs        int     `json:"jobs"`
@@ -63,14 +72,17 @@ func (r *Runner) Provenance(figures []string, wall time.Duration) Provenance {
 		Scale:       r.Opt.Scale,
 		Seed:        r.Opt.Seed,
 		Figures:     figures,
-		RunSetHash:  hex.EncodeToString(h.Sum(nil)),
-		Runs:        len(specs),
-		FreshRuns:   r.FreshRuns(),
-		CacheHits:   r.CacheHits(),
-		WallSeconds: wall.Seconds(),
-		Jobs:        r.jobs(),
-		GitDescribe: GitDescribe(),
-		GoVersion:   runtime.Version(),
+		RunSetHash:       hex.EncodeToString(h.Sum(nil)),
+		Runs:             len(specs),
+		FreshRuns:        r.FreshRuns(),
+		CacheHits:        r.CacheHits(),
+		RecalledFailures: r.RecalledFailures(),
+		Failures:         r.FailedRuns(),
+		Interrupted:      r.Interrupted(),
+		WallSeconds:      wall.Seconds(),
+		Jobs:             r.jobs(),
+		GitDescribe:      GitDescribe(),
+		GoVersion:        runtime.Version(),
 	}
 }
 
@@ -85,11 +97,13 @@ func GitDescribe() string {
 	return strings.TrimSpace(string(out))
 }
 
-// WriteManifest writes the manifest as indented JSON at path.
+// WriteManifest writes the manifest as indented JSON at path, via the same
+// fsync-and-rename discipline as the cache and journal, so an interrupted
+// write can never leave a torn manifest beside otherwise-valid figures.
 func WriteManifest(path string, p Provenance) error {
 	data, err := json.MarshalIndent(p, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return atomicWriteFile(path, append(data, '\n'), 0o644)
 }

@@ -39,10 +39,11 @@ func ParseFormat(s string) (Format, error) {
 
 // jsonTable is the JSON shape of one table.
 type jsonTable struct {
-	Title   string              `json:"title"`
-	Columns []string            `json:"columns"`
-	Rows    []map[string]string `json:"rows"`
-	Notes   []string            `json:"notes,omitempty"`
+	Title    string              `json:"title"`
+	Columns  []string            `json:"columns"`
+	Rows     []map[string]string `json:"rows"`
+	Notes    []string            `json:"notes,omitempty"`
+	Degraded bool                `json:"degraded,omitempty"`
 }
 
 // Write renders one table to w in the requested format.
@@ -69,7 +70,7 @@ func Write(w io.Writer, t *experiments.Table, f Format) error {
 		cw.Flush()
 		return cw.Error()
 	case JSON:
-		jt := jsonTable{Title: t.Title, Columns: t.Columns, Notes: t.Notes}
+		jt := jsonTable{Title: t.Title, Columns: t.Columns, Notes: t.Notes, Degraded: t.Degraded}
 		for _, row := range t.Rows {
 			m := make(map[string]string, len(row))
 			for i, cell := range row {

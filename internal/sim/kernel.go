@@ -90,6 +90,17 @@ type Kernel struct {
 	budget    uint64
 	budgeted  bool
 	exhausted bool
+
+	// Cooperative cancellation (SetPoll): poll is consulted every
+	// pollEvery executed events; once it reports false the kernel stops
+	// like an exhausted budget, with Cancelled set. Unlike the event
+	// budget — which counts simulated work — the poll escapes to wall
+	// clock, so a livelocked run spinning on one cycle is still
+	// interruptible.
+	poll      func() bool
+	pollEvery uint64
+	pollLeft  uint64
+	cancelled bool
 }
 
 // Now returns the current simulated time.
@@ -117,9 +128,41 @@ func (k *Kernel) SetEventBudget(n uint64) {
 // was reached).
 func (k *Kernel) BudgetExhausted() bool { return k.exhausted }
 
-// spend consumes one event from the budget; it reports false when the
-// budget is already spent, marking the kernel exhausted.
+// SetPoll arms a cancellation check: fn is called before the first event
+// and then every `every` executed events, and a false return halts Run/Step
+// at the current event boundary with Cancelled reporting true. Queued
+// events stay queued, exactly like an exhausted budget. The poll is how a
+// wall-clock deadline (context cancellation) reaches a simulation that
+// never drains its queue — the event budget bounds simulated work, the
+// poll bounds real time. A nil fn disarms the check.
+func (k *Kernel) SetPoll(every uint64, fn func() bool) {
+	if every == 0 {
+		every = 1
+	}
+	k.poll = fn
+	k.pollEvery = every
+	k.pollLeft = 0
+	k.cancelled = false
+}
+
+// Cancelled reports whether a Run/Step stopped because the poll installed
+// by SetPoll returned false.
+func (k *Kernel) Cancelled() bool { return k.cancelled }
+
+// spend gates one event's execution: the cancellation poll first (wall
+// clock), then the event budget (simulated work). It reports false when
+// either says stop, marking the kernel cancelled or exhausted.
 func (k *Kernel) spend() bool {
+	if k.poll != nil {
+		if k.pollLeft == 0 {
+			if !k.poll() {
+				k.cancelled = true
+				return false
+			}
+			k.pollLeft = k.pollEvery
+		}
+		k.pollLeft--
+	}
 	if !k.budgeted {
 		return true
 	}
@@ -229,12 +272,15 @@ func (k *Kernel) Step() bool {
 func (k *Kernel) Run(until Time) int {
 	n := 0
 	for {
-		// A spent budget stops the run before the clock moves again —
-		// including the idle jump to `until` when the queue is empty
-		// (a watchdog that zeroes the budget from the last queued event
-		// must halt the clock at the trip cycle, not the horizon).
+		// A spent budget or a cancellation stops the run before the clock
+		// moves again — including the idle jump to `until` when the queue
+		// is empty (a watchdog that zeroes the budget from the last queued
+		// event must halt the clock at the trip cycle, not the horizon).
 		if k.budgeted && k.budget == 0 {
 			k.exhausted = true
+			return n
+		}
+		if k.cancelled {
 			return n
 		}
 		switch k.advance(until) {

@@ -388,3 +388,92 @@ func TestWheelReuseAcrossManyCycles(t *testing.T) {
 		t.Fatalf("count=%d now=%d", count, k.Now())
 	}
 }
+
+func TestPollCancelsRun(t *testing.T) {
+	// A poll that trips after a while must stop Run mid-stream, leave the
+	// remaining events queued, and keep the clock at the cancellation
+	// cycle rather than jumping to the horizon.
+	var k Kernel
+	executed := 0
+	var tick func()
+	tick = func() {
+		executed++
+		k.Schedule(1, tick)
+	}
+	k.Schedule(1, tick)
+	calls := 0
+	k.SetPoll(10, func() bool {
+		calls++
+		return calls < 5
+	})
+	k.Run(1 << 20)
+	if !k.Cancelled() {
+		t.Fatal("kernel not cancelled")
+	}
+	if k.BudgetExhausted() {
+		t.Fatal("cancellation misreported as budget exhaustion")
+	}
+	// 4 successful polls cover 4*10 events; the 5th poll fires before
+	// event 41 and trips.
+	if executed != 40 {
+		t.Fatalf("executed %d events, want 40", executed)
+	}
+	if k.Pending() == 0 {
+		t.Fatal("cancellation dropped the queued events")
+	}
+	if k.Now() >= 1<<20 {
+		t.Fatalf("clock jumped to the horizon (now=%d)", k.Now())
+	}
+	// A second Run on a cancelled kernel stops immediately.
+	if n := k.Run(1 << 20); n != 0 {
+		t.Fatalf("cancelled kernel executed %d more events", n)
+	}
+}
+
+func TestPollHarmlessWhenHealthy(t *testing.T) {
+	// An always-true poll must not change what executes or where the
+	// clock ends up.
+	var run Kernel
+	var ref Kernel
+	for _, k := range []*Kernel{&run, &ref} {
+		k := k
+		count := 0
+		var tick func()
+		tick = func() {
+			count++
+			if count < 100 {
+				k.Schedule(3, tick)
+			}
+		}
+		k.Schedule(1, tick)
+	}
+	run.SetPoll(7, func() bool { return true })
+	n1 := run.Run(5000)
+	n2 := ref.Run(5000)
+	if n1 != n2 || run.Now() != ref.Now() || run.Cancelled() {
+		t.Fatalf("poll perturbed the run: n=%d/%d now=%d/%d cancelled=%v",
+			n1, n2, run.Now(), ref.Now(), run.Cancelled())
+	}
+	// Disarming restores the unpolled kernel.
+	run.SetPoll(1, nil)
+	if run.poll != nil {
+		t.Fatal("SetPoll(nil) did not disarm")
+	}
+}
+
+func TestPollAndBudgetCompose(t *testing.T) {
+	// The budget still applies under an armed (healthy) poll.
+	var k Kernel
+	for i := 0; i < 50; i++ {
+		k.Schedule(Time(i+1), func() {})
+	}
+	k.SetPoll(3, func() bool { return true })
+	k.SetEventBudget(20)
+	k.Run(1 << 20)
+	if !k.BudgetExhausted() || k.Cancelled() {
+		t.Fatalf("exhausted=%v cancelled=%v, want true/false", k.BudgetExhausted(), k.Cancelled())
+	}
+	if k.Pending() != 30 {
+		t.Fatalf("pending=%d, want 30", k.Pending())
+	}
+}

@@ -6,6 +6,8 @@
 package system
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/coherence"
@@ -109,11 +111,38 @@ func (r *Result) BroadcastRecvFraction() float64 {
 	return float64(r.Net.BroadcastRecv) / float64(tot)
 }
 
+// ErrStalled marks a run halted by the progress watchdog; errors.Is lets
+// a campaign layer classify the failure (deterministic — retrying cannot
+// help) without parsing the per-core blocked-state report.
+var ErrStalled = errors.New("watchdog stall")
+
+// ErrRunCancelled marks a run halted by context cancellation — a per-run
+// wall-clock deadline or a campaign-level interrupt. Unlike a watchdog or
+// budget trip, cancellation is a host-side judgement: the simulation
+// itself may be healthy, just slower than the caller will wait.
+var ErrRunCancelled = errors.New("run cancelled")
+
+// cancelPollEvents is how many kernel events execute between context
+// checks when RunContext is given a cancellable context: frequent enough
+// that a cancelled run stops within microseconds of wall clock, rare
+// enough that the hot loop never notices.
+const cancelPollEvents = 4096
+
 // Run executes the benchmark to completion (or the horizon, whichever is
 // first) and returns the measured counters. The spec's Init pre-loads the
 // value store; Validate, if non-nil, is checked and its failure returned
 // as an error.
 func (s *System) Run(spec workload.Spec, horizon sim.Time) (Result, error) {
+	return s.RunContext(context.Background(), spec, horizon)
+}
+
+// RunContext is Run under a context: when ctx is cancellable, the kernel
+// polls it every cancelPollEvents executed events and a cancellation (or
+// deadline) halts even a livelocked simulation at the next event
+// boundary, returning an error wrapping ErrRunCancelled and the context's
+// cause. The poll composes with — and does not replace — the simulated
+// health backstops (event budget, watchdog).
+func (s *System) RunContext(ctx context.Context, spec workload.Spec, horizon sim.Time) (Result, error) {
 	if spec.Init != nil {
 		spec.Init(s.Coh.Vals)
 	}
@@ -141,6 +170,9 @@ func (s *System) Run(spec workload.Spec, horizon sim.Time) (Result, error) {
 	if s.Cfg.Fault.WatchdogInterval > 0 && s.Cfg.Fault.WatchdogStalls > 0 {
 		wd = startWatchdog(s, sim.Time(s.Cfg.Fault.WatchdogInterval), s.Cfg.Fault.WatchdogStalls)
 	}
+	if ctx.Done() != nil {
+		s.K.SetPoll(cancelPollEvents, func() bool { return ctx.Err() == nil })
+	}
 	s.runKernel(horizon)
 
 	res := Result{
@@ -164,7 +196,11 @@ func (s *System) Run(spec workload.Spec, horizon sim.Time) (Result, error) {
 			c.Kill()
 		}
 		if wd.Tripped() {
-			return res, fmt.Errorf("system: %s: watchdog: %s", spec.Name, wd.Report())
+			return res, fmt.Errorf("system: %s: %w: %s", spec.Name, ErrStalled, wd.Report())
+		}
+		if s.K.Cancelled() {
+			return res, fmt.Errorf("system: %s: %w at cycle %d (%d instructions retired): %w",
+				spec.Name, ErrRunCancelled, s.K.Now(), res.Instructions, context.Cause(ctx))
 		}
 		if s.K.BudgetExhausted() {
 			return res, fmt.Errorf("system: %s: %w after %d events at cycle %d",
@@ -203,7 +239,7 @@ func (s *System) runKernel(horizon sim.Time) {
 			until = horizon
 		}
 		s.K.Run(until)
-		if s.K.Pending() == 0 || s.K.BudgetExhausted() || s.K.Now() >= horizon {
+		if s.K.Pending() == 0 || s.K.BudgetExhausted() || s.K.Cancelled() || s.K.Now() >= horizon {
 			break
 		}
 		c.Tick()
@@ -225,6 +261,12 @@ func WorkloadFor(cfg config.Config, name string, scale int) (workload.Spec, erro
 // RunBenchmark is the one-call convenience: build a machine for cfg and
 // run the named workload at the given scale.
 func RunBenchmark(cfg config.Config, name string, scale int, horizon sim.Time) (Result, error) {
+	return RunBenchmarkContext(context.Background(), cfg, name, scale, horizon)
+}
+
+// RunBenchmarkContext is RunBenchmark under a cancellable context (see
+// RunContext for the cancellation semantics).
+func RunBenchmarkContext(ctx context.Context, cfg config.Config, name string, scale int, horizon sim.Time) (Result, error) {
 	spec, err := workload.ByName(name, cfg.Cores, cfg.Seed, scale)
 	if err != nil {
 		return Result{}, err
@@ -233,5 +275,5 @@ func RunBenchmark(cfg config.Config, name string, scale int, horizon sim.Time) (
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run(spec, horizon)
+	return s.RunContext(ctx, spec, horizon)
 }

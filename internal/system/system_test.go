@@ -1,6 +1,9 @@
 package system
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/config"
@@ -79,5 +82,66 @@ func TestZeroMetricsOnEmptyResult(t *testing.T) {
 	var r Result
 	if r.IPC() != 0 || r.OfferedLoad() != 0 || r.BroadcastRecvFraction() != 0 {
 		t.Error("zero result must produce zero metrics")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	cfg := config.Tiny()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workload.ByName("radix", cfg.Cores, cfg.Seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("per-run deadline")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	res, err := s.RunContext(ctx, spec, 0)
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if !errors.Is(err, ErrRunCancelled) {
+		t.Fatalf("error does not wrap ErrRunCancelled: %v", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("error does not carry the cancellation cause: %v", err)
+	}
+	if res.Finished {
+		t.Fatal("cancelled run claims to have finished")
+	}
+}
+
+func TestRunContextBackgroundUnperturbed(t *testing.T) {
+	// A background context must take the poll-free path and reproduce the
+	// plain Run result bit for bit.
+	cfg := config.Tiny()
+	run := func(ctx context.Context) Result {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := workload.ByName("radix", cfg.Cores, cfg.Seed, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res Result
+		if ctx == nil {
+			res, err = s.Run(spec, 0)
+		} else {
+			res, err = s.RunContext(ctx, spec, 0)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	polled := run(ctx) // cancellable, but never cancelled
+	if !reflect.DeepEqual(plain, polled) {
+		t.Fatalf("cancellable context perturbed the run:\n%+v\n%+v", plain, polled)
 	}
 }
