@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check figures bench fuzz resume-smoke clean
+.PHONY: build test check figures bench fuzz resume-smoke serve-smoke clean
 
 # Per-target budget for `make fuzz` (go test -fuzztime syntax).
 FUZZTIME ?= 10s
@@ -37,6 +37,13 @@ fuzz:
 # zero duplicate simulations.
 resume-smoke:
 	bash scripts/interrupt_resume.sh
+
+# End-to-end smoke of the serving daemon: start atacd, submit a run via
+# atacctl with live SSE progress, require the served result to match a
+# direct atacsim run, coalesce a resubmission, then SIGTERM-drain and
+# check a restarted daemon serves the run from the persistent cache.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,285 @@
+// Command atacctl is the client for the atacd simulation daemon.
+//
+// Usage:
+//
+//	atacctl [-addr http://localhost:8347] <command> [flags]
+//
+//	submit  -bench radix -cores 16 [-net atac+] [-wait]   submit a job
+//	status  [-id ID]                                      one job, or all
+//	watch   -id ID                                        stream progress (SSE)
+//	result  -id ID [-wait]                                fetch the result JSON
+//	health                                                daemon /healthz
+//
+// submit -wait is the one-shot form: submit, stream progress to stderr,
+// print the result JSON to stdout — the curlable equivalent of running
+// atacsim remotely.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+	"repro/internal/version"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atacctl: ")
+	os.Exit(run())
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: atacctl [-addr URL] {submit|status|watch|result|health} [flags]")
+	flag.PrintDefaults()
+}
+
+func run() int {
+	addr := flag.String("addr", "http://localhost:8347", "atacd base URL")
+	showVer := flag.Bool("version", false, "print the build version and exit")
+	flag.Usage = usage
+	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return 0
+	}
+	if flag.NArg() < 1 {
+		usage()
+		return 2
+	}
+	c := &client{base: strings.TrimRight(*addr, "/")}
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "submit":
+		err = c.submit(flag.Args()[1:])
+	case "status":
+		err = c.status(flag.Args()[1:])
+	case "watch":
+		err = c.watch(flag.Args()[1:])
+	case "result":
+		err = c.result(flag.Args()[1:])
+	case "health":
+		err = c.health()
+	default:
+		log.Printf("unknown command %q", cmd)
+		usage()
+		return 2
+	}
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+type client struct{ base string }
+
+// apiErr extracts the server's error message from a non-2xx response.
+func apiErr(resp *http.Response, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (c *client) getJSON(path string, out any) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return apiErr(resp, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+func printJSON(v any) {
+	out, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Println(string(out))
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		bench   = fs.String("bench", "radix", "benchmark name, or a synth:... pseudo-benchmark")
+		net     = fs.String("net", "", "network: pure, bcast, atac, atac+ (default atac+)")
+		cores   = fs.Int("cores", 0, "total cores (default: daemon default)")
+		sharers = fs.Int("sharers", 0, "hardware sharer pointers (0 = default)")
+		proto   = fs.String("coherence", "", "coherence protocol: ackwise, dirkb")
+		flit    = fs.Int("flit", 0, "flit width in bits (0 = default)")
+		rthres  = fs.Int("rthres", 0, "distance routing threshold (0 = auto)")
+		seed    = fs.Int64("seed", 0, "simulation seed (0 = daemon default)")
+		wait    = fs.Bool("wait", false, "stream progress to stderr and print the result JSON")
+	)
+	fs.Parse(args)
+	spec := serve.JobSpec{
+		Bench: *bench,
+		Geometry: experiments.Geometry{
+			Net: *net, Cores: *cores, Sharers: *sharers, Coherence: *proto,
+			FlitBits: *flit, RThres: *rthres, Seed: *seed,
+		},
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			return fmt.Errorf("%w (Retry-After: %ss)", apiErr(resp, raw), ra)
+		}
+		return apiErr(resp, raw)
+	}
+	var st serve.JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return err
+	}
+	if !*wait {
+		printJSON(st)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "job %s (%s on %s): %s\n", st.ID, st.Bench, st.Config, st.State)
+	if err := c.stream(st.ID, os.Stderr); err != nil {
+		return err
+	}
+	return c.fetchResult(st.ID, true)
+}
+
+func (c *client) status(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	id := fs.String("id", "", "job ID (empty: list all jobs)")
+	fs.Parse(args)
+	if *id == "" {
+		var all []serve.JobStatus
+		if err := c.getJSON("/v1/jobs", &all); err != nil {
+			return err
+		}
+		printJSON(all)
+		return nil
+	}
+	var st serve.JobStatus
+	if err := c.getJSON("/v1/jobs/"+*id, &st); err != nil {
+		return err
+	}
+	printJSON(st)
+	return nil
+}
+
+func (c *client) watch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	id := fs.String("id", "", "job ID")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("watch: missing -id")
+	}
+	return c.stream(*id, os.Stdout)
+}
+
+// stream follows the job's SSE feed, writing one line per event, until
+// the server ends the stream (job terminal) or the connection drops.
+func (c *client) stream(id string, w io.Writer) error {
+	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		body, _ := io.ReadAll(resp.Body)
+		return apiErr(resp, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			fmt.Fprintf(w, "%-12s %s\n", event, strings.TrimPrefix(line, "data: "))
+		}
+	}
+	return sc.Err()
+}
+
+func (c *client) result(args []string) error {
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	id := fs.String("id", "", "job ID")
+	wait := fs.Bool("wait", false, "poll until the job completes")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("result: missing -id")
+	}
+	return c.fetchResult(*id, *wait)
+}
+
+// fetchResult prints the completed result JSON verbatim (so two clients
+// fetching the same job can diff bytes). With wait, 202 responses poll.
+func (c *client) fetchResult(id string, wait bool) error {
+	for {
+		resp, err := http.Get(c.base + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			os.Stdout.Write(body)
+			return nil
+		case resp.StatusCode == http.StatusAccepted && wait:
+			time.Sleep(200 * time.Millisecond)
+		default:
+			return apiErr(resp, body)
+		}
+	}
+}
+
+func (c *client) health() error {
+	// A draining daemon answers 503 with a valid Health body; show it
+	// rather than erroring.
+	resp, err := http.Get(c.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var h serve.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		return apiErr(resp, body)
+	}
+	printJSON(h)
+	return nil
+}

@@ -1,0 +1,144 @@
+// Command atacd is the simulation-as-a-service daemon: it serves the
+// campaign engine over HTTP/JSON. Submitted jobs share the engine's
+// worker pool, singleflight dedup, persistent result cache and run
+// journal, so identical requests — concurrent or across restarts — cost
+// one simulation; progress streams live over Server-Sent Events fed by
+// the per-epoch metrics layer.
+//
+// Usage:
+//
+//	atacd -addr :8347 -cache-dir /var/cache/atac
+//	atacctl -addr http://localhost:8347 submit -bench radix -cores 16
+//
+// Shutdown is the campaign's two-stage drain: the first SIGINT/SIGTERM
+// stops admission (submits get 503, /healthz flips to draining) and lets
+// in-flight simulations finish and journal; a second signal — or the
+// -grace window expiring — cancels them at the kernel's next poll. A
+// restarted daemon pointed at the same cache serves the drained runs'
+// results without re-simulating.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/version"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atacd: ")
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", ":8347", "HTTP listen address")
+		cores    = flag.Int("cores", 64, "default total cores for jobs that do not specify one")
+		scale    = flag.Int("scale", 1, "workload scale factor (part of every run's identity)")
+		seed     = flag.Int64("seed", 42, "default simulation seed")
+		jobsN    = flag.Int("jobs", 0, "max concurrent simulations (0: REPRO_JOBS env, else GOMAXPROCS)")
+		depth    = flag.Int("queue-depth", 64, "bounded job queue length; beyond it submits get 429")
+		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (default: REPRO_CACHE env, else the user cache dir)")
+		noCache  = flag.Bool("no-cache", false, "disable the persistent result cache")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "bound the on-disk cache, evicting least-recently-used entries (0 = unbounded)")
+		epoch    = flag.Int("epoch", 10000, "progress-stream epoch length in cycles (0 disables live epoch events)")
+
+		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none)")
+		retries    = flag.Int("retries", 2, "extra attempts for transiently failed runs (panics, deadlines)")
+		grace      = flag.Duration("grace", 30*time.Second, "drain window after SIGINT/SIGTERM before in-flight runs are cancelled")
+		showVer    = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.String())
+		return 0
+	}
+
+	r := experiments.NewRunner(experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed})
+	r.Jobs = *jobsN
+	r.Retries = *retries
+	r.RunTimeout = *runTimeout
+	r.RecallFailures = true
+	r.EpochCycles = sim.Time(*epoch)
+	if *noCache {
+		r.Cache = nil
+	} else if *cacheDir != "" {
+		c, err := experiments.OpenCache(*cacheDir)
+		if err != nil {
+			log.Print(err)
+			return experiments.ExitFatal
+		}
+		r.Cache = c
+	} else if r.Cache == nil {
+		if dir := experiments.DefaultCacheDir(); dir != "" {
+			if c, err := experiments.OpenCache(dir); err == nil {
+				r.Cache = c
+			} else {
+				log.Printf("warning: %v (continuing without cache)", err)
+			}
+		}
+	}
+	if r.Cache != nil {
+		r.Cache.MaxBytes = *cacheMax
+		r.Cache.Log = func(s string) { log.Print(s) }
+		j, err := experiments.OpenJournal(r.Cache.JournalPath())
+		if err != nil {
+			log.Printf("warning: %v (continuing without journal)", err)
+		} else {
+			r.Journal = j
+			defer func() {
+				if err := j.Close(); err != nil {
+					log.Printf("warning: journal close: %v", err)
+				}
+			}()
+		}
+		log.Printf("cache: %s", r.Cache.Dir())
+	}
+
+	srv := serve.New(r, serve.Options{QueueDepth: *depth, Workers: r.Jobs}, log.Printf)
+	ctx, stopSignals := r.InstallSignalHandlerHook(*grace, log.Printf, func(stage string) {
+		if stage == "drain" {
+			srv.Drain()
+		}
+	})
+	defer stopSignals()
+	srv.SetBaseContext(ctx)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("%s listening on %s", version.String(), *addr)
+
+	select {
+	case err := <-errc:
+		log.Print(err)
+		return experiments.ExitFatal
+	case <-srv.Draining():
+	}
+
+	// Drain: finish what is queued and in flight (bounded by the
+	// hard-cancel context), then stop the listener. SSE streams close as
+	// their jobs finish, so Shutdown's own grace can stay short.
+	log.Print("draining: waiting for in-flight jobs")
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain cut short: %v", err)
+	}
+	hctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(hctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Print("drained; bye")
+	return experiments.ExitOK
+}

@@ -16,16 +16,17 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
 	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/energy"
+	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/system"
 	"repro/internal/trace"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
 
@@ -67,9 +68,14 @@ func main() {
 		watchdog  = flag.Int("watchdog", 0, "progress watchdog sampling interval in cycles (0 = off)")
 
 		runTimeout = flag.Duration("run-timeout", 0, "wall-clock deadline for the run (0 = none); Ctrl-C also cancels cleanly")
+		showVer    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 	if *bench == "list" {
 		for _, n := range workloadNames() {
 			fmt.Println(n)
@@ -82,7 +88,10 @@ func main() {
 	if *cfgPath != "" {
 		cfg, err = config.LoadFile(*cfgPath)
 	} else {
-		cfg, err = buildConfig(*net, *cores, *sharers, *proto, *flit, *rthres, *seed)
+		cfg, err = experiments.BuildConfig(experiments.Geometry{
+			Net: *net, Cores: *cores, Sharers: *sharers, Coherence: *proto,
+			FlitBits: *flit, RThres: *rthres, Seed: *seed,
+		})
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -288,56 +297,6 @@ func workloadNames() []string {
 		names = append(names, s.Name)
 	}
 	return names
-}
-
-func buildConfig(net string, cores, sharers int, proto string, flit, rthres int, seed int64) (config.Config, error) {
-	var kind config.NetworkKind
-	switch strings.ToLower(net) {
-	case "pure", "emesh-pure":
-		kind = config.EMeshPure
-	case "bcast", "emesh-bcast":
-		kind = config.EMeshBCast
-	case "atac":
-		kind = config.ATAC
-	case "atac+", "atacplus":
-		kind = config.ATACPlus
-	default:
-		return config.Config{}, fmt.Errorf("unknown network %q", net)
-	}
-	cfg := config.Default().WithNetwork(kind)
-	cfg.Cores = cores
-	cfg.Seed = seed
-	if cores < 64 {
-		cfg.ClusterDim = 2
-	}
-	cfg.Caches.DirSlices = cfg.Clusters()
-	cfg.Memory.Controllers = cfg.Clusters()
-	cfg.Coherence.Sharers = sharers
-	cfg.Network.FlitBits = flit
-	switch strings.ToLower(proto) {
-	case "ackwise":
-		cfg.Coherence.Kind = config.ACKwise
-	case "dirkb":
-		cfg.Coherence.Kind = config.DirKB
-	default:
-		return config.Config{}, fmt.Errorf("unknown coherence %q", proto)
-	}
-	if rthres > 0 {
-		cfg.Network.RThres = rthres
-	} else if cores < 1024 {
-		cfg.Network.RThres = max(2, cfg.MeshDim()/2)
-	}
-	if err := cfg.Validate(); err != nil {
-		return cfg, err
-	}
-	return cfg, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func init() {

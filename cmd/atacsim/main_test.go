@@ -1,59 +1,9 @@
 package main
 
-import (
-	"testing"
+import "testing"
 
-	"repro/internal/config"
-)
-
-func TestBuildConfigNetworks(t *testing.T) {
-	cases := map[string]config.NetworkKind{
-		"pure":        config.EMeshPure,
-		"EMesh-Pure":  config.EMeshPure,
-		"bcast":       config.EMeshBCast,
-		"EMesh-BCast": config.EMeshBCast,
-		"atac":        config.ATAC,
-		"atac+":       config.ATACPlus,
-		"ATACPlus":    config.ATACPlus,
-	}
-	for name, want := range cases {
-		cfg, err := buildConfig(name, 64, 4, "ackwise", 64, 0, 1)
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-		if cfg.Network.Kind != want {
-			t.Errorf("%s -> %v, want %v", name, cfg.Network.Kind, want)
-		}
-		if err := cfg.Validate(); err != nil {
-			t.Errorf("%s: invalid config: %v", name, err)
-		}
-	}
-}
-
-func TestBuildConfigRejects(t *testing.T) {
-	if _, err := buildConfig("hypercube", 64, 4, "ackwise", 64, 0, 1); err == nil {
-		t.Error("unknown network accepted")
-	}
-	if _, err := buildConfig("atac+", 64, 4, "moesi", 64, 0, 1); err == nil {
-		t.Error("unknown protocol accepted")
-	}
-	if _, err := buildConfig("atac+", 63, 4, "ackwise", 64, 0, 1); err == nil {
-		t.Error("non-square core count accepted")
-	}
-}
-
-func TestBuildConfigSmallClusters(t *testing.T) {
-	cfg, err := buildConfig("atac+", 16, 4, "dirkb", 32, 3, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if cfg.ClusterDim != 2 {
-		t.Errorf("ClusterDim = %d, want 2 at 16 cores", cfg.ClusterDim)
-	}
-	if cfg.Coherence.Kind != config.DirKB || cfg.Network.FlitBits != 32 || cfg.Network.RThres != 3 {
-		t.Errorf("flags not applied: %+v", cfg.Network)
-	}
-}
+// Config resolution lives in internal/experiments (BuildConfig) and is
+// tested there; atacsim only forwards its flags into a Geometry.
 
 func TestWorkloadNames(t *testing.T) {
 	names := workloadNames()

@@ -32,6 +32,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/plot"
 	"repro/internal/report"
+	"repro/internal/version"
 )
 
 func main() {
@@ -53,6 +54,7 @@ func run() int {
 		jobsN    = flag.Int("jobs", 0, "max concurrent simulations (0: REPRO_JOBS env, else GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (default: REPRO_CACHE env, else the user cache dir)")
 		noCache  = flag.Bool("no-cache", false, "disable the persistent result cache")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "bound the on-disk cache, evicting least-recently-used entries (0 = unbounded)")
 		clear    = flag.Bool("clear-cache", false, "invalidate the persistent result cache, then proceed")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 
@@ -61,9 +63,14 @@ func run() int {
 		grace       = flag.Duration("grace", 15*time.Second, "drain window after SIGINT/SIGTERM before in-flight runs are cancelled")
 		noJournal   = flag.Bool("no-journal", false, "disable the write-ahead run journal (journal.jsonl next to the cache)")
 		retryFailed = flag.Bool("retry-failed", false, "re-attempt runs the journal recorded as terminally failed")
+		showVer     = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 
+	if *showVer {
+		fmt.Println(version.String())
+		return 0
+	}
 	if *pprofA != "" {
 		go func() { log.Println(http.ListenAndServe(*pprofA, nil)) }()
 	}
@@ -78,6 +85,9 @@ func run() int {
 	r := experiments.NewRunner(o)
 	r.Jobs = *jobsN
 	r.Cache = openCache(*cacheDir, *noCache, *clear)
+	if r.Cache != nil {
+		r.Cache.MaxBytes = *cacheMax
+	}
 	r.Retries = *retries
 	r.RunTimeout = *runTimeout
 	r.Partial = true

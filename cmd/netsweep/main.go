@@ -1,50 +1,118 @@
 // Command netsweep runs the network-only latency-vs-load sweeps of Fig 3:
-// uniform-random unicast traffic with a configurable broadcast fraction,
+// synthetic traffic with a configurable pattern and broadcast fraction,
 // swept across offered loads for each routing scheme.
+//
+// The sweep runs through the cached campaign engine, like cmd/figures and
+// cmd/sweep: points execute concurrently (up to -jobs), identical points
+// are deduplicated, results persist in the on-disk cache, and every
+// run-state transition is journaled next to it — so re-running a sweep
+// recalls every point instead of re-simulating it.
 //
 // Usage:
 //
 //	netsweep -cores 256 -loads 0.01,0.05,0.1,0.2 -bcast 0.001
+//	netsweep -pattern tornado -cache-dir /tmp/cache
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/internal/version"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netsweep: ")
+	os.Exit(run())
+}
 
+func run() int {
 	var (
-		cores   = flag.Int("cores", 64, "total cores")
-		loadStr = flag.String("loads", "0.01,0.02,0.04,0.08,0.12,0.16", "offered loads, flits/cycle/core")
-		bcast   = flag.Float64("bcast", 0.001, "broadcast fraction of injected messages")
-		warmup  = flag.Uint64("warmup", 3000, "warmup cycles")
-		measure = flag.Uint64("measure", 6000, "measurement cycles")
-		seed    = flag.Int64("seed", 42, "seed")
+		cores    = flag.Int("cores", 64, "total cores")
+		loadStr  = flag.String("loads", "0.01,0.02,0.04,0.08,0.12,0.16", "offered loads, flits/cycle/core")
+		bcast    = flag.Float64("bcast", 0.001, "broadcast fraction of injected messages")
+		pattern  = flag.String("pattern", "uniform", "traffic pattern: "+strings.Join(traffic.Patterns(), ", "))
+		warmup   = flag.Uint64("warmup", 3000, "warmup cycles")
+		measure  = flag.Uint64("measure", 6000, "measurement cycles")
+		seed     = flag.Int64("seed", 42, "seed")
+		jobsN    = flag.Int("jobs", 0, "max concurrent simulations (0: REPRO_JOBS env, else GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (default: REPRO_CACHE env, else disabled)")
+		noCache  = flag.Bool("no-cache", false, "disable the persistent result cache")
+		quiet    = flag.Bool("q", false, "suppress per-run progress")
+		showVer  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return 0
+	}
 
 	var loads []float64
 	for _, s := range strings.Split(*loadStr, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			log.Fatalf("bad load %q: %v", s, err)
+			log.Printf("bad load %q: %v", s, err)
+			return experiments.ExitFatal
 		}
 		loads = append(loads, v)
 	}
 
 	o := experiments.Options{Cores: *cores, Scale: 1, Seed: *seed}
+	r := experiments.NewRunner(o)
+	r.Jobs = *jobsN
+	r.RecallFailures = true
+	if *noCache {
+		r.Cache = nil
+	} else if *cacheDir != "" {
+		c, err := experiments.OpenCache(*cacheDir)
+		if err != nil {
+			log.Print(err)
+			return experiments.ExitFatal
+		}
+		r.Cache = c
+	}
+	if r.Cache != nil {
+		r.Cache.Log = func(s string) { log.Print(s) }
+		j, err := experiments.OpenJournal(r.Cache.JournalPath())
+		if err != nil {
+			log.Printf("warning: %v (continuing without journal)", err)
+		} else {
+			r.Journal = j
+			defer func() {
+				if err := j.Close(); err != nil {
+					log.Printf("warning: journal close: %v", err)
+				}
+			}()
+		}
+	}
+	if !*quiet {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ...", s) }
+	}
+	ctx, stopSignals := r.InstallSignalHandler(15*time.Second, log.Printf)
+	defer stopSignals()
+
 	cfg := o.Config(config.ATACPlus)
 	schemes := experiments.Fig3Schemes(cfg.MeshDim())
+	sp := experiments.SynthSpec{
+		Pattern:   *pattern,
+		BcastFrac: *bcast,
+		Warmup:    sim.Time(*warmup),
+		Measure:   sim.Time(*measure),
+	}
+	// Declare the whole (scheme x load) run-set up front so the worker
+	// pool is saturated; the table renders from warm memo/cache entries.
+	// Per-point errors surface as comment rows below.
+	_ = r.RunAll(ctx, r.SynthSpecs(schemes, loads, sp))
 
 	fmt.Printf("%-10s", "load")
 	for _, s := range schemes {
@@ -53,11 +121,26 @@ func main() {
 	fmt.Println()
 	for _, load := range loads {
 		fmt.Printf("%-10.3f", load)
+		pt := sp
+		pt.Load = load
+		var failures []string
 		for _, sch := range schemes {
-			lat := experiments.SyntheticLatency(o, sch, load, *bcast,
-				sim.Time(*warmup), sim.Time(*measure))
-			fmt.Printf("  %14.2f", lat)
+			res, err := r.RunSynthetic(r.SchemeConfig(sch), pt)
+			if err != nil {
+				fmt.Printf("  %14s", "—")
+				failures = append(failures, fmt.Sprintf("%s: %v", sch.Name, err))
+				continue
+			}
+			fmt.Printf("  %14.2f", res.Synth.MeanLat)
 		}
 		fmt.Println()
+		for _, f := range failures {
+			fmt.Printf("# load %.3f %s\n", load, f)
+		}
 	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweep: %d simulations run, %d recalled from cache\n",
+			r.FreshRuns(), r.CacheHits())
+	}
+	return r.ExitCode()
 }

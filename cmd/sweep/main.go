@@ -31,6 +31,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/sim"
 	"repro/internal/traffic"
+	"repro/internal/version"
 )
 
 // sweepOpts carries the campaign-engine knobs of a system sweep.
@@ -65,9 +66,14 @@ func run() int {
 		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none)")
 		retries    = flag.Int("retries", 2, "extra attempts for transiently failed runs (panics, deadlines)")
 		grace      = flag.Duration("grace", 15*time.Second, "drain window after SIGINT/SIGTERM before in-flight runs are cancelled")
+		showVer    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 
+	if *showVer {
+		fmt.Println(version.String())
+		return 0
+	}
 	vals, err := parseInts(*values)
 	if err != nil {
 		log.Print(err)
@@ -109,34 +115,7 @@ func parseInts(s string) ([]int, error) {
 }
 
 func baseConfig(net string, cores int, seed int64) (config.Config, error) {
-	var kind config.NetworkKind
-	switch strings.ToLower(net) {
-	case "pure":
-		kind = config.EMeshPure
-	case "bcast":
-		kind = config.EMeshBCast
-	case "atac":
-		kind = config.ATAC
-	case "atac+":
-		kind = config.ATACPlus
-	default:
-		return config.Config{}, fmt.Errorf("unknown network %q", net)
-	}
-	cfg := config.Default().WithNetwork(kind)
-	cfg.Cores = cores
-	cfg.Seed = seed
-	if cores < 64 {
-		cfg.ClusterDim = 2
-	}
-	cfg.Caches.DirSlices = cfg.Clusters()
-	cfg.Memory.Controllers = cfg.Clusters()
-	if cores < 1024 {
-		cfg.Network.RThres = cfg.MeshDim() / 2
-		if cfg.Network.RThres < 2 {
-			cfg.Network.RThres = 2
-		}
-	}
-	return cfg, cfg.Validate()
+	return experiments.BuildConfig(experiments.Geometry{Net: net, Cores: cores, Seed: seed})
 }
 
 func sweepSystem(param, bench, net string, cores int, vals []int, seed int64, o sweepOpts) int {

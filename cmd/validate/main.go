@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/system"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
 
@@ -26,11 +27,17 @@ func main() {
 	log.SetPrefix("validate: ")
 
 	var (
-		cores = flag.Int("cores", 16, "total cores")
-		seed  = flag.Int64("seed", 42, "seed")
-		scale = flag.Int("scale", 1, "workload scale")
+		cores   = flag.Int("cores", 16, "total cores")
+		seed    = flag.Int64("seed", 42, "seed")
+		scale   = flag.Int("scale", 1, "workload scale")
+		showVer = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	networks := []config.NetworkKind{config.EMeshPure, config.EMeshBCast, config.ATAC, config.ATACPlus}
 	protocols := []config.CoherenceKind{config.ACKwise, config.DirKB}

@@ -7,17 +7,24 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/system"
+	"repro/internal/version"
 )
 
-// cacheSchemaVersion stamps every persisted entry. Bump it whenever the
-// simulator's observable behavior changes (timing model, coherence
-// protocol, workload generation, Result layout): a mismatched stamp makes
-// every old entry a miss, so stale results can never leak into figures.
-const cacheSchemaVersion = 1
+// cacheSchemaVersion stamps every persisted entry. It lives in
+// internal/version (as version.CacheSchema) so the daemon's /healthz
+// endpoint and every -version flag report the same stamp the cache
+// enforces; bump it there whenever the simulator's observable behavior
+// changes (timing model, coherence protocol, workload generation, Result
+// layout): a mismatched stamp makes every old entry a miss, so stale
+// results can never leak into figures.
+const cacheSchemaVersion = version.CacheSchema
 
 // Cache is a persistent, on-disk store of benchmark results, one JSON file
 // per run keyed by a content hash of the full run identity. It is shared
@@ -38,7 +45,16 @@ type Cache struct {
 	// Log, if non-nil, receives one line per quarantined entry.
 	Log func(string)
 
+	// MaxBytes, when > 0, bounds the cache's on-disk footprint: after
+	// every Put the least-recently-used entries (by file access order —
+	// Get touches an entry's mtime) are evicted until entries plus
+	// quarantined files fit the budget again. Evicting only costs a
+	// future re-simulation, never correctness. 0 means unbounded.
+	MaxBytes int64
+
 	quarantined atomic.Uint64
+	evicted     atomic.Uint64
+	evictMu     sync.Mutex
 }
 
 // quarantineDirName is the subdirectory bad entries are moved into.
@@ -99,6 +115,12 @@ func (c *Cache) Get(key string) (system.Result, bool) {
 		c.quarantine(path, "embedded key disagrees with filename (hash collision or mixed cache dirs)")
 		return system.Result{}, false
 	}
+	// Mark the entry recently used so a bounded cache evicts cold runs
+	// first. Best effort: a failed touch only skews eviction order.
+	if c.MaxBytes > 0 {
+		now := time.Now()
+		_ = os.Chtimes(path, now, now)
+	}
 	return e.Result, true
 }
 
@@ -135,8 +157,81 @@ func (c *Cache) Put(key string, res system.Result) error {
 	if err := atomicWriteFile(c.path(key), data, 0o644); err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}
+	if c.MaxBytes > 0 {
+		if _, err := c.EnforceBudget(); err != nil && c.Log != nil {
+			c.Log(fmt.Sprintf("cache: eviction: %v", err))
+		}
+	}
 	return nil
 }
+
+// EnforceBudget evicts least-recently-used entries until the cache fits
+// MaxBytes, returning how many files it removed. Both live entries and
+// quarantined files count against (and are evictable under) the budget;
+// the journal is not a cache entry and is never touched. A no-op when
+// MaxBytes is 0. Serialized internally so concurrent Puts do not race to
+// delete the same files.
+func (c *Cache) EnforceBudget() (int, error) {
+	if c.MaxBytes <= 0 {
+		return 0, nil
+	}
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []entry
+	var total int64
+	for _, dir := range []string{c.dir, filepath.Join(c.dir, quarantineDirName)} {
+		des, err := os.ReadDir(dir)
+		if err != nil {
+			continue // quarantine/ may not exist yet
+		}
+		for _, de := range des {
+			if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+				continue
+			}
+			info, err := de.Info()
+			if err != nil {
+				continue // raced with another evictor
+			}
+			files = append(files, entry{filepath.Join(dir, de.Name()), info.Size(), info.ModTime()})
+			total += info.Size()
+		}
+	}
+	if total <= c.MaxBytes {
+		return 0, nil
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	evicted := 0
+	var firstErr error
+	for _, f := range files {
+		if total <= c.MaxBytes {
+			break
+		}
+		if err := os.Remove(f.path); err != nil {
+			if firstErr == nil && !os.IsNotExist(err) {
+				firstErr = err
+			}
+			continue
+		}
+		total -= f.size
+		evicted++
+	}
+	if evicted > 0 {
+		c.evicted.Add(uint64(evicted))
+		if c.Log != nil {
+			c.Log(fmt.Sprintf("cache: evicted %d entries to fit %d-byte budget (%d bytes now)", evicted, c.MaxBytes, total))
+		}
+	}
+	return evicted, firstErr
+}
+
+// Evicted reports how many files this Cache has evicted under MaxBytes.
+func (c *Cache) Evicted() uint64 { return c.evicted.Load() }
 
 // Invalidate removes every entry in the cache directory (the explicit
 // invalidation path behind the -clear-cache flag). The directory itself

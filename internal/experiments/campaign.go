@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/sim"
 	"repro/internal/system"
 )
 
@@ -77,10 +78,20 @@ type Runner struct {
 	Partial bool
 	// RecallFailures replays terminal failures recorded in the journal
 	// instead of re-simulating them (simulations are deterministic, so
-	// the failure would reproduce byte for byte). Commands enable this so
+	// the failure would reproduce byte by byte). Commands enable this so
 	// resumed campaigns stay attributable at zero cost; pass -retry-failed
 	// to clear it and re-attempt.
 	RecallFailures bool
+	// Events, if non-nil, receives one structured RunEvent per run
+	// lifecycle transition (see hooks.go). Calls are serialized; the
+	// consumer must not block.
+	Events func(RunEvent)
+	// EpochCycles, when positive and Events is set, attaches a metrics
+	// collector to every fresh simulation and streams one PhaseEpoch
+	// event per closed epoch — the live-progress feed behind the serving
+	// daemon's SSE streams. Zero keeps fresh runs on the unobserved fast
+	// path.
+	EpochCycles sim.Time
 
 	mu       sync.Mutex
 	memo     map[string]system.Result
@@ -88,6 +99,7 @@ type Runner struct {
 	inflight map[string]*inflightRun
 	ledger   map[string]*RunRecord // per-run disposition, keyed by run key
 	progMu   sync.Mutex
+	evMu     sync.Mutex
 
 	fresh     atomic.Uint64 // simulations actually executed
 	cacheHits atomic.Uint64 // runs recalled from the persistent cache
@@ -343,6 +355,8 @@ func (r *Runner) execute(ctx context.Context, k string, cfg config.Config, bench
 			rec.Status, rec.Source = StatusDone, "cache"
 			r.record(rec)
 			r.progress(cfg, bench, "cached")
+			r.emitEvent(RunEvent{Hash: hash, Benchmark: bench, Config: rec.Config,
+				Phase: PhaseCached, Cycles: uint64(res.Cycles)})
 			return res, nil
 		}
 	}
@@ -353,6 +367,8 @@ func (r *Runner) execute(ctx context.Context, k string, cfg config.Config, bench
 			rec.Attempts, rec.WallMS, rec.Error = e.Attempt, e.WallMS, e.Error
 			r.record(rec)
 			r.progress(cfg, bench, fmt.Sprintf("failed (recalled from journal, %d attempt(s))", e.Attempt))
+			r.emitEvent(RunEvent{Hash: hash, Benchmark: bench, Config: rec.Config,
+				Phase: PhaseRecalled, Attempt: e.Attempt, Error: e.Error})
 			// Reproduce the stored error verbatim: a resumed campaign then
 			// renders byte-identical degraded figures. The ledger row's
 			// Source field records that it came from the journal.
@@ -363,6 +379,8 @@ func (r *Runner) execute(ctx context.Context, k string, cfg config.Config, bench
 		r.interrupted.Store(true)
 		rec.Status, rec.Source = "interrupted", "sim"
 		r.record(rec)
+		r.emitEvent(RunEvent{Hash: hash, Benchmark: bench, Config: rec.Config,
+			Phase: PhaseInterrupted})
 		return system.Result{}, fmt.Errorf("run %s (%s, %s): %w",
 			shortHash(hash), bench, configLabel(cfg), ErrInterrupted)
 	}
@@ -379,6 +397,12 @@ func (r *Runner) execute(ctx context.Context, k string, cfg config.Config, bench
 			msg = fmt.Sprintf("retry %d/%d", attempt, attempts)
 		}
 		r.progress(cfg, bench, msg)
+		phase := PhaseStart
+		if attempt > 1 {
+			phase = PhaseRetry
+		}
+		r.emitEvent(RunEvent{Hash: hash, Benchmark: bench, Config: rec.Config,
+			Phase: phase, Attempt: attempt})
 
 		start := time.Now()
 		res, err := r.simulate(ctx, cfg, bench, attempt)
@@ -392,6 +416,9 @@ func (r *Runner) execute(ctx context.Context, k string, cfg config.Config, bench
 			if r.Cache != nil && ck != "" {
 				r.Cache.Put(ck, res) // best effort: a failed write only costs a re-run
 			}
+			r.emitEvent(RunEvent{Hash: hash, Benchmark: bench, Config: rec.Config,
+				Phase: PhaseDone, Attempt: attempt, Cycles: uint64(res.Cycles),
+				Instructions: res.Instructions, WallMS: rec.WallMS})
 			return res, nil
 		}
 		// Campaign-level cancellation is not a run failure: leave the
@@ -402,6 +429,8 @@ func (r *Runner) execute(ctx context.Context, k string, cfg config.Config, bench
 			rec.WallMS = float64(wall.Microseconds()) / 1e3
 			rec.Error = err.Error()
 			r.record(rec)
+			r.emitEvent(RunEvent{Hash: hash, Benchmark: bench, Config: rec.Config,
+				Phase: PhaseInterrupted, Attempt: attempt, Error: err.Error()})
 			return system.Result{}, fmt.Errorf("run %s (%s, %s): %w: %v",
 				shortHash(hash), bench, configLabel(cfg), ErrInterrupted, err)
 		}
@@ -432,6 +461,8 @@ func (r *Runner) execute(ctx context.Context, k string, cfg config.Config, bench
 		rec.WallMS = float64(wall.Microseconds()) / 1e3
 		rec.Error = wrapped.Error()
 		r.record(rec)
+		r.emitEvent(RunEvent{Hash: hash, Benchmark: bench, Config: rec.Config,
+			Phase: PhaseFailed, Attempt: attempt, WallMS: rec.WallMS, Error: wrapped.Error()})
 		var pe *PanicError
 		if errors.As(err, &pe) && len(pe.Stack) > 0 {
 			r.progress(cfg, bench, fmt.Sprintf("panic isolated (stack captured, %d bytes)", len(pe.Stack)))
@@ -456,6 +487,12 @@ func (r *Runner) simulate(ctx context.Context, cfg config.Config, bench string, 
 	}
 	if h := r.testHook; h != nil {
 		h(cfg, bench, attempt) // chaos seam: may panic, by design
+	}
+	if sp, ok := ParseSynthBench(bench); ok {
+		return r.runSynthetic(cfg, bench, sp)
+	}
+	if r.EpochCycles > 0 && r.Events != nil {
+		return r.runObserved(ctx, cfg, bench)
 	}
 	return system.RunBenchmarkContext(ctx, cfg, bench, r.Opt.Scale, r.Opt.Horizon)
 }

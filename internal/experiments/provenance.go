@@ -11,11 +11,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os/exec"
 	"runtime"
 	"sort"
-	"strings"
 	"time"
+
+	"repro/internal/version"
 )
 
 // Provenance describes one completed figure campaign.
@@ -49,6 +49,10 @@ type Provenance struct {
 	Jobs        int     `json:"jobs"`
 	GitDescribe string  `json:"git_describe,omitempty"`
 	GoVersion   string  `json:"go_version"`
+	// CacheSchema is the result-cache schema stamp this build enforces
+	// (internal/version), so a manifest records which cache generation its
+	// recalled results came from.
+	CacheSchema int `json:"cache_schema"`
 }
 
 // Provenance assembles the manifest for the given figure ids after a
@@ -83,19 +87,15 @@ func (r *Runner) Provenance(figures []string, wall time.Duration) Provenance {
 		Jobs:             r.jobs(),
 		GitDescribe:      GitDescribe(),
 		GoVersion:        runtime.Version(),
+		CacheSchema:      version.CacheSchema,
 	}
 }
 
 // GitDescribe returns `git describe --always --dirty --tags` for the
 // working tree, or "" when git or the repository is unavailable (the
-// manifest then simply omits the revision).
-func GitDescribe() string {
-	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(out))
-}
+// manifest then simply omits the revision). It delegates to
+// internal/version, the shared build-identity helper.
+func GitDescribe() string { return version.GitDescribe() }
 
 // WriteManifest writes the manifest as indented JSON at path, via the same
 // fsync-and-rename discipline as the cache and journal, so an interrupted

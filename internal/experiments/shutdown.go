@@ -49,6 +49,15 @@ func (r *Runner) ExitCode() int {
 // handler (restoring default signal behavior) and releases the context.
 // logf, if non-nil, receives progress messages ("draining", "cancelling").
 func (r *Runner) InstallSignalHandler(grace time.Duration, logf func(format string, args ...any)) (context.Context, func()) {
+	return r.InstallSignalHandlerHook(grace, logf, nil)
+}
+
+// InstallSignalHandlerHook is InstallSignalHandler with a stage callback:
+// onStage, if non-nil, fires with "drain" when the first signal quiesces
+// the Runner and with "cancel" when the grace period (or a second signal)
+// hard-cancels it. The serving daemon uses it to stop admitting work and
+// to flip /healthz while the same two-stage machinery drains the queue.
+func (r *Runner) InstallSignalHandlerHook(grace time.Duration, logf func(format string, args ...any), onStage func(stage string)) (context.Context, func()) {
 	ctx, cancel := context.WithCancel(context.Background())
 	r.Ctx = ctx
 
@@ -62,6 +71,9 @@ func (r *Runner) InstallSignalHandler(grace time.Duration, logf func(format stri
 				logf("%v: draining in-flight runs (signal again to cancel now; hard cancel in %v)", s, grace)
 			}
 			r.Quiesce()
+			if onStage != nil {
+				onStage("drain")
+			}
 			timer := time.NewTimer(grace)
 			defer timer.Stop()
 			select {
@@ -72,6 +84,9 @@ func (r *Runner) InstallSignalHandler(grace time.Duration, logf func(format stri
 			}
 			if logf != nil {
 				logf("cancelling in-flight runs")
+			}
+			if onStage != nil {
+				onStage("cancel")
 			}
 			cancel()
 		case <-done:

@@ -1,0 +1,110 @@
+// Flag/API-level configuration building, shared by every front end.
+//
+// atacsim, sweep, the serving daemon and its client all describe a
+// machine the same way — a network name, a core count, and a handful of
+// optional overrides — and they must all resolve that description to the
+// exact same config.Config, or a result served by the daemon would not be
+// comparable to one produced by the CLI. Geometry and BuildConfig are
+// that single resolution path.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+)
+
+// ParseNetworkKind maps the user-facing network names (pure, bcast, atac,
+// atac+) to config kinds. The empty string defaults to ATAC+.
+func ParseNetworkKind(s string) (config.NetworkKind, error) {
+	switch strings.ToLower(s) {
+	case "pure", "emesh-pure":
+		return config.EMeshPure, nil
+	case "bcast", "emesh-bcast":
+		return config.EMeshBCast, nil
+	case "atac":
+		return config.ATAC, nil
+	case "", "atac+", "atacplus":
+		return config.ATACPlus, nil
+	default:
+		return 0, fmt.Errorf("unknown network %q", s)
+	}
+}
+
+// ParseCoherenceKind maps the user-facing protocol names to config kinds.
+// The empty string defaults to ACKwise.
+func ParseCoherenceKind(s string) (config.CoherenceKind, error) {
+	switch strings.ToLower(s) {
+	case "", "ackwise":
+		return config.ACKwise, nil
+	case "dirkb":
+		return config.DirKB, nil
+	default:
+		return 0, fmt.Errorf("unknown coherence %q", s)
+	}
+}
+
+// Geometry is the flag/API-level description of one machine
+// configuration. Zero values mean "default": ATAC+ network, 64 cores,
+// ACKwise with the config package's default sharer count, default flit
+// width, auto-scaled distance threshold.
+type Geometry struct {
+	Net       string `json:"net,omitempty"`
+	Cores     int    `json:"cores,omitempty"`
+	Sharers   int    `json:"sharers,omitempty"`
+	Coherence string `json:"coherence,omitempty"`
+	FlitBits  int    `json:"flit,omitempty"`
+	RThres    int    `json:"rthres,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+}
+
+// BuildConfig resolves a Geometry into a validated config.Config with the
+// defaulting rules every front end shares: small machines shrink the
+// cluster dimension, directory slices and memory controllers track the
+// cluster count, and the distance-routing threshold scales with the mesh
+// span unless overridden.
+func BuildConfig(g Geometry) (config.Config, error) {
+	kind, err := ParseNetworkKind(g.Net)
+	if err != nil {
+		return config.Config{}, err
+	}
+	cores := g.Cores
+	if cores == 0 {
+		cores = 64
+	}
+	cfg := config.Default().WithNetwork(kind)
+	cfg.Cores = cores
+	cfg.Seed = g.Seed
+	if cores < 64 {
+		cfg.ClusterDim = 2 // keep >= 4 clusters at tiny scales
+	}
+	cfg.Caches.DirSlices = cfg.Clusters()
+	cfg.Memory.Controllers = cfg.Clusters()
+	if g.Sharers > 0 {
+		cfg.Coherence.Sharers = g.Sharers
+	}
+	if g.FlitBits > 0 {
+		cfg.Network.FlitBits = g.FlitBits
+	}
+	if g.Coherence != "" {
+		ck, err := ParseCoherenceKind(g.Coherence)
+		if err != nil {
+			return config.Config{}, err
+		}
+		cfg.Coherence.Kind = ck
+	}
+	if g.RThres > 0 {
+		cfg.Network.RThres = g.RThres
+	} else if cores < 1024 {
+		// Keep the distance threshold proportional to the mesh span.
+		cfg.Network.RThres = cfg.MeshDim() / 2
+		if cfg.Network.RThres < 2 {
+			cfg.Network.RThres = 2
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestBuildConfigNetworks(t *testing.T) {
+	cases := map[string]config.NetworkKind{
+		"pure":        config.EMeshPure,
+		"EMesh-Pure":  config.EMeshPure,
+		"bcast":       config.EMeshBCast,
+		"EMesh-BCast": config.EMeshBCast,
+		"atac":        config.ATAC,
+		"atac+":       config.ATACPlus,
+		"ATACPlus":    config.ATACPlus,
+		"":            config.ATACPlus,
+	}
+	for name, want := range cases {
+		cfg, err := BuildConfig(Geometry{Net: name, Cores: 64, Seed: 1})
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if cfg.Network.Kind != want {
+			t.Errorf("%q -> %v, want %v", name, cfg.Network.Kind, want)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%q: invalid config: %v", name, err)
+		}
+	}
+}
+
+func TestBuildConfigRejects(t *testing.T) {
+	if _, err := BuildConfig(Geometry{Net: "hypercube", Cores: 64}); err == nil {
+		t.Error("unknown network accepted")
+	}
+	if _, err := BuildConfig(Geometry{Coherence: "moesi", Cores: 64}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := BuildConfig(Geometry{Cores: 63}); err == nil {
+		t.Error("non-square core count accepted")
+	}
+}
+
+func TestBuildConfigSmallClusters(t *testing.T) {
+	cfg, err := BuildConfig(Geometry{Cores: 16, Sharers: 4, Coherence: "dirkb", FlitBits: 32, RThres: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ClusterDim != 2 {
+		t.Errorf("ClusterDim = %d, want 2 at 16 cores", cfg.ClusterDim)
+	}
+	if cfg.Coherence.Kind != config.DirKB || cfg.Network.FlitBits != 32 || cfg.Network.RThres != 3 {
+		t.Errorf("overrides not applied: %+v", cfg.Network)
+	}
+}
+
+// TestBuildConfigZeroGeometry pins the documented defaults: 64 cores on
+// ATAC+ with an auto-scaled distance threshold.
+func TestBuildConfigZeroGeometry(t *testing.T) {
+	cfg, err := BuildConfig(Geometry{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cores != 64 || cfg.Network.Kind != config.ATACPlus {
+		t.Errorf("defaults: cores=%d kind=%v", cfg.Cores, cfg.Network.Kind)
+	}
+	if cfg.Network.RThres != 4 {
+		t.Errorf("RThres = %d, want MeshDim/2 = 4 at 64 cores", cfg.Network.RThres)
+	}
+}

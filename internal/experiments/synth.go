@@ -1,0 +1,169 @@
+// Synthetic network-only runs through the campaign engine.
+//
+// Fig 3 and cmd/netsweep drive uniform-random (and other) traffic
+// patterns through a bare fabric with no cores or coherence. Encoding
+// such a run as a pseudo-benchmark name ("synth:...") lets it flow
+// through the Runner unchanged, so network-only sweeps inherit the
+// singleflight dedup, worker pool, persistent cache and journal that the
+// application campaigns already have. The latency statistics land in
+// Result.Synth and are cached like any other result.
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/traffic"
+)
+
+// SynthSpec describes one network-only synthetic-traffic run: the
+// pattern, offered load in flits/cycle/core, broadcast fraction, and the
+// warmup/measurement windows in cycles. The swept fabric (network kind,
+// routing scheme, flit width, ...) lives in the config, as usual.
+type SynthSpec struct {
+	Pattern   string
+	Load      float64
+	BcastFrac float64
+	Warmup    sim.Time
+	Measure   sim.Time
+}
+
+// synthPrefix marks a pseudo-benchmark name as a synthetic run.
+const synthPrefix = "synth:"
+
+// synthDrainLimit bounds the post-measurement drain, matching the Fig 3
+// and load-sweep drivers.
+const synthDrainLimit = 20000
+
+// Bench encodes the spec as a canonical pseudo-benchmark name. The
+// encoding is part of the run's identity: it appears in the memo key and
+// the persistent cache key, so two specs encode equal iff they describe
+// the same measurement.
+func (s SynthSpec) Bench() string {
+	return fmt.Sprintf("%s%s:load=%g:bcast=%g:warmup=%d:measure=%d",
+		synthPrefix, s.Pattern, s.Load, s.BcastFrac, s.Warmup, s.Measure)
+}
+
+// ParseSynthBench decodes a pseudo-benchmark name produced by Bench.
+// Ordinary benchmark names return ok == false.
+func ParseSynthBench(bench string) (SynthSpec, bool) {
+	if !strings.HasPrefix(bench, synthPrefix) {
+		return SynthSpec{}, false
+	}
+	parts := strings.Split(strings.TrimPrefix(bench, synthPrefix), ":")
+	if len(parts) != 5 || parts[0] == "" {
+		return SynthSpec{}, false
+	}
+	sp := SynthSpec{Pattern: parts[0]}
+	for _, part := range parts[1:] {
+		k, v, found := strings.Cut(part, "=")
+		if !found {
+			return SynthSpec{}, false
+		}
+		var err error
+		switch k {
+		case "load":
+			sp.Load, err = strconv.ParseFloat(v, 64)
+		case "bcast":
+			sp.BcastFrac, err = strconv.ParseFloat(v, 64)
+		case "warmup":
+			var n uint64
+			n, err = strconv.ParseUint(v, 10, 64)
+			sp.Warmup = sim.Time(n)
+		case "measure":
+			var n uint64
+			n, err = strconv.ParseUint(v, 10, 64)
+			sp.Measure = sim.Time(n)
+		default:
+			return SynthSpec{}, false
+		}
+		if err != nil {
+			return SynthSpec{}, false
+		}
+	}
+	return sp, true
+}
+
+// RunSynthetic executes (or recalls) one synthetic run through the full
+// memo/cache/journal pipeline. Concurrent calls for the same (config,
+// spec) share one execution, exactly like application runs.
+func (r *Runner) RunSynthetic(cfg config.Config, sp SynthSpec) (system.Result, error) {
+	return r.Run(cfg, sp.Bench())
+}
+
+// SynthSpecs builds the RunSpec set of a (scheme x load) sweep for
+// Prefetch: every named routing scheme of the base config's mesh span,
+// crossed with every offered load.
+func (r *Runner) SynthSpecs(schemes []RoutingScheme, loads []float64, sp SynthSpec) []RunSpec {
+	var specs []RunSpec
+	for _, load := range loads {
+		s := sp
+		s.Load = load
+		for _, sch := range schemes {
+			specs = append(specs, RunSpec{Cfg: r.SchemeConfig(sch), Bench: s.Bench()})
+		}
+	}
+	return specs
+}
+
+// SchemeConfig derives the ATAC+ configuration for one Fig 3 routing
+// scheme under this Runner's campaign options.
+func (r *Runner) SchemeConfig(sch RoutingScheme) config.Config {
+	cfg := r.Opt.Config(config.ATACPlus)
+	cfg.Network.Routing = sch.Routing
+	if sch.RThres > 0 {
+		cfg.Network.RThres = sch.RThres
+	}
+	return cfg
+}
+
+// runSynthetic performs the actual network-only simulation: build the
+// bare fabric the config names, drive the pattern through it, and fold
+// the measurement into a Result whose Synth section carries the latency
+// distribution. Deterministic for a given (config, spec), so it is as
+// cacheable as an application run.
+func (r *Runner) runSynthetic(cfg config.Config, bench string, sp SynthSpec) (system.Result, error) {
+	p, err := traffic.ByName(sp.Pattern, cfg.MeshDim(), sp.BcastFrac)
+	if err != nil {
+		return system.Result{}, err
+	}
+	var k sim.Kernel
+	var net noc.Network
+	n := &cfg.Network
+	switch n.Kind {
+	case config.EMeshPure:
+		net = noc.NewMesh(&k, cfg.MeshDim(), n.FlitBits, n.BufFlits, n.RouterDelay, n.LinkDelay, false)
+	case config.EMeshBCast:
+		net = noc.NewMesh(&k, cfg.MeshDim(), n.FlitBits, n.BufFlits, n.RouterDelay, n.LinkDelay, true)
+	case config.ATAC, config.ATACPlus:
+		net = noc.NewAtac(&k, &cfg)
+	default:
+		return system.Result{}, fmt.Errorf("synthetic run: unknown network kind %v", n.Kind)
+	}
+	res := traffic.Drive(&k, net, cfg.Cores, p, sp.Load, n.FlitBits,
+		sp.Warmup, sp.Measure, synthDrainLimit, cfg.Seed)
+	return system.Result{
+		Benchmark: bench,
+		Cfg:       cfg,
+		Cycles:    sp.Warmup + sp.Measure,
+		Finished:  true,
+		Net:       *net.Stats(),
+		Synth: &system.SynthStats{
+			Pattern:   res.Pattern,
+			Load:      res.Load,
+			BcastFrac: sp.BcastFrac,
+			Injected:  res.Injected,
+			Delivered: res.Delivered,
+			MeanLat:   res.Latency.Mean(),
+			P50Lat:    res.Latency.Percentile(50),
+			P95Lat:    res.Latency.Percentile(95),
+			P99Lat:    res.Latency.Percentile(99),
+			MaxLat:    res.Latency.Max(),
+		},
+	}, nil
+}

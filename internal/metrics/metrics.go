@@ -70,7 +70,16 @@ type Collector struct {
 	rows      []Row
 	lastAt    sim.Time
 	started   bool
+
+	subs []EpochFunc
 }
+
+// EpochFunc is an epoch subscriber: it receives each completed epoch as
+// soon as Tick records it, with the epoch's index in the row series. The
+// collector calls subscribers synchronously on the simulation goroutine,
+// so they must be fast and must not block — hand anything slow (an SSE
+// broadcast, a network write) off to a channel or goroutine.
+type EpochFunc func(index int, r Row)
 
 // New builds a collector stamping epochs from the given clock. epoch is
 // the epoch length in cycles and must be positive.
@@ -166,6 +175,17 @@ func (c *Collector) DerivedColumns() []string {
 	return out
 }
 
+// Subscribe registers a live epoch subscriber (see EpochFunc). This is
+// the fan-out behind the serving daemon's progress streams: the sinks in
+// sinks.go read the full series after the run, subscribers see each epoch
+// as it closes. Subscribing changes nothing about what is recorded.
+func (c *Collector) Subscribe(fn EpochFunc) {
+	if c == nil || fn == nil {
+		return
+	}
+	c.subs = append(c.subs, fn)
+}
+
 // Start snapshots the baseline of every source at the current simulated
 // time. It must be called before the first Tick.
 func (c *Collector) Start() {
@@ -199,9 +219,13 @@ func (c *Collector) Tick() {
 	for i := range deltas {
 		deltas[i] = c.cur[i] - c.prev[i]
 	}
-	c.rows = append(c.rows, Row{Start: c.lastAt, End: now, Deltas: deltas})
+	row := Row{Start: c.lastAt, End: now, Deltas: deltas}
+	c.rows = append(c.rows, row)
 	c.prev, c.cur = c.cur, c.prev
 	c.lastAt = now
+	for _, fn := range c.subs {
+		fn(len(c.rows)-1, row)
+	}
 }
 
 // Finish records the final (possibly partial) epoch. After Finish the

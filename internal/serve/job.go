@@ -1,0 +1,182 @@
+// Job lifecycle and per-job event fan-out for the serving daemon.
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/system"
+)
+
+// Job states, in lifecycle order.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobSpec is the request body of POST /v1/jobs: the benchmark (an
+// application name, or a "synth:..." pseudo-benchmark for network-only
+// runs) plus the machine geometry, resolved through the same
+// experiments.BuildConfig every CLI front end uses — a daemon-served
+// result is byte-comparable to an atacsim run of the same spec.
+type JobSpec struct {
+	Bench string `json:"bench"`
+	experiments.Geometry
+}
+
+// Job is one submitted simulation. Identity is the run hash — the same
+// sha256 the cache and journal key on — so identical specs are the same
+// job: resubmits coalesce onto it, whatever its state.
+type Job struct {
+	ID   string // short run hash, the API identifier
+	Hash string // full run hash
+	Spec JobSpec
+	Cfg  config.Config
+
+	mu        sync.Mutex
+	state     string
+	events    []experiments.RunEvent
+	subs      map[chan experiments.RunEvent]struct{}
+	result    *system.Result
+	errText   string
+	coalesced uint64
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// JobStatus is the wire form of a job's current state.
+type JobStatus struct {
+	ID        string `json:"id"`
+	Hash      string `json:"hash"`
+	State     string `json:"state"`
+	Bench     string `json:"bench"`
+	Config    string `json:"config"`
+	Coalesced uint64 `json:"coalesced"`
+	Events    int    `json:"events"`
+	Created   string `json:"created"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+	Error     string `json:"error,omitempty"`
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		Hash:      j.Hash,
+		State:     j.state,
+		Bench:     j.Spec.Bench,
+		Coalesced: j.coalesced,
+		Events:    len(j.events),
+		Created:   rfc3339(j.created),
+		Started:   rfc3339(j.started),
+		Finished:  rfc3339(j.finished),
+		Error:     j.errText,
+	}
+	st.Config = configString(j.Cfg)
+	if j.state == StateDone {
+		st.ResultURL = "/v1/jobs/" + j.ID + "/result"
+	}
+	return st
+}
+
+// deliver appends one run event and fans it out to live subscribers.
+// Subscriber channels are buffered; a subscriber that cannot keep up
+// drops events rather than stalling the simulation goroutine (SSE
+// clients replay the full log on reconnect).
+func (j *Job) deliver(ev experiments.RunEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe returns the event log so far plus a live channel for what
+// follows. The channel is closed when the job reaches a terminal state;
+// cancel detaches early.
+func (j *Job) subscribe() (replay []experiments.RunEvent, ch chan experiments.RunEvent, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]experiments.RunEvent(nil), j.events...)
+	if j.state == StateDone || j.state == StateFailed {
+		return replay, nil, func() {}
+	}
+	ch = make(chan experiments.RunEvent, 64)
+	if j.subs == nil {
+		j.subs = make(map[chan experiments.RunEvent]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// start marks the job running.
+func (j *Job) start() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish records the terminal disposition and closes every subscriber:
+// all delivered events happen-before the Runner returns, so subscribers
+// see the complete log.
+func (j *Job) finish(res system.Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.errText = err.Error()
+	} else {
+		j.state = StateDone
+		j.result = &res
+	}
+	for ch := range j.subs {
+		delete(j.subs, ch)
+		close(ch)
+	}
+}
+
+// Result returns the completed result, if the job is done.
+func (j *Job) Result() (system.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		return system.Result{}, false
+	}
+	return *j.result, true
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}

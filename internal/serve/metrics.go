@@ -1,0 +1,106 @@
+// Hand-rolled Prometheus text exposition for the daemon. The repo takes
+// no dependencies; the exposition format is simple enough to emit
+// directly, and the scrape side (curl, Prometheus, the CI smoke test)
+// only needs counters, gauges, and a small latency summary.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// latWindow is how many recent job durations the p50/p99 summary covers.
+const latWindow = 1024
+
+// metricsState aggregates the daemon's counters and the job-latency
+// window. All fields are concurrency-safe.
+type metricsState struct {
+	submitted atomic.Uint64 // every POST /v1/jobs that parsed
+	coalesced atomic.Uint64 // submits folded onto an existing job
+	rejected  atomic.Uint64 // 429s: queue full
+	done      atomic.Uint64
+	failed    atomic.Uint64
+	inflight  atomic.Uint64
+	sseSubs   atomic.Uint64
+
+	latMu  sync.Mutex
+	lats   [latWindow]float64 // seconds, ring buffer
+	latN   uint64             // total observations
+	latSum float64
+}
+
+// observe records one job's wall-clock duration.
+func (m *metricsState) observe(d time.Duration) {
+	s := d.Seconds()
+	m.latMu.Lock()
+	m.lats[m.latN%latWindow] = s
+	m.latN++
+	m.latSum += s
+	m.latMu.Unlock()
+}
+
+// quantiles returns the p50 and p99 of the retained window plus the
+// all-time sum and count.
+func (m *metricsState) quantiles() (p50, p99, sum float64, n uint64) {
+	m.latMu.Lock()
+	defer m.latMu.Unlock()
+	n, sum = m.latN, m.latSum
+	k := int(n)
+	if k > latWindow {
+		k = latWindow
+	}
+	if k == 0 {
+		return 0, 0, sum, n
+	}
+	w := make([]float64, k)
+	copy(w, m.lats[:k])
+	sort.Float64s(w)
+	p50 = w[(k-1)*50/100]
+	p99 = w[(k-1)*99/100]
+	return p50, p99, sum, n
+}
+
+// write renders the exposition. Runner-level counters (fresh runs, cache
+// hits) ride along so a scrape can compute the cache hit ratio and — as
+// the CI smoke test does — prove that coalesced submissions cost one
+// fresh simulation.
+func (m *metricsState) write(w io.Writer, r *experiments.Runner, queueDepth, queueCap int) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("atacd_jobs_submitted_total", "Parsed job submissions.", m.submitted.Load())
+	counter("atacd_jobs_coalesced_total", "Submissions folded onto an existing identical job.", m.coalesced.Load())
+	counter("atacd_jobs_rejected_total", "Submissions rejected because the queue was full.", m.rejected.Load())
+	counter("atacd_jobs_done_total", "Jobs completed successfully.", m.done.Load())
+	counter("atacd_jobs_failed_total", "Jobs that terminally failed.", m.failed.Load())
+	gauge("atacd_jobs_inflight", "Jobs currently executing.", int(m.inflight.Load()))
+	gauge("atacd_queue_depth", "Jobs waiting for a worker.", queueDepth)
+	gauge("atacd_queue_capacity", "Bounded queue capacity.", queueCap)
+	gauge("atacd_sse_subscribers", "Open event-stream connections.", int(m.sseSubs.Load()))
+
+	fresh, hits := r.FreshRuns(), r.CacheHits()
+	counter("atacd_runner_fresh_runs_total", "Simulations actually executed by the campaign engine.", fresh)
+	counter("atacd_runner_cache_hits_total", "Runs recalled from the persistent cache.", hits)
+	counter("atacd_runner_recalled_failures_total", "Terminal failures replayed from the journal.", r.RecalledFailures())
+	ratio := 0.0
+	if fresh+hits > 0 {
+		ratio = float64(hits) / float64(fresh+hits)
+	}
+	fmt.Fprintf(w, "# HELP atacd_cache_hit_ratio Cache hits over cache hits plus fresh runs.\n# TYPE atacd_cache_hit_ratio gauge\natacd_cache_hit_ratio %g\n", ratio)
+
+	p50, p99, sum, n := m.quantiles()
+	fmt.Fprintf(w, "# HELP atacd_job_duration_seconds Job wall-clock duration (window of last %d jobs).\n# TYPE atacd_job_duration_seconds summary\n", latWindow)
+	fmt.Fprintf(w, "atacd_job_duration_seconds{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(w, "atacd_job_duration_seconds{quantile=\"0.99\"} %g\n", p99)
+	fmt.Fprintf(w, "atacd_job_duration_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "atacd_job_duration_seconds_count %d\n", n)
+}

@@ -1,0 +1,437 @@
+// Package serve turns the campaign engine into a simulation-as-a-service
+// daemon: an HTTP/JSON API over experiments.Runner that inherits its
+// worker pool, singleflight dedup, persistent cache, journal, retries and
+// deadlines, and adds what a long-lived service needs — a bounded job
+// queue with admission control, cross-request coalescing on the run hash,
+// live progress streaming (Server-Sent Events fed by the epoch metrics
+// layer), Prometheus-style /metrics, and graceful drain on SIGTERM via
+// the campaign's two-stage shutdown machinery.
+//
+// API:
+//
+//	POST /v1/jobs              submit a JobSpec; 202 new, 200 coalesced,
+//	                           429+Retry-After queue full, 503 draining
+//	GET  /v1/jobs              list job statuses
+//	GET  /v1/jobs/{id}         one job's status
+//	GET  /v1/jobs/{id}/result  the completed system.Result (202 while
+//	                           pending, 500 if the run failed)
+//	GET  /v1/jobs/{id}/events  SSE: replayed + live RunEvents
+//	GET  /healthz              daemon health, version, cache schema
+//	GET  /metrics              Prometheus text exposition
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/system"
+	"repro/internal/version"
+	"repro/internal/workload"
+)
+
+// Options sizes the daemon.
+type Options struct {
+	// QueueDepth bounds how many submitted jobs may wait for a worker;
+	// beyond it submissions are rejected with 429. Zero means 64.
+	QueueDepth int
+	// Workers is how many jobs execute concurrently. Zero means the
+	// Runner's job default (REPRO_JOBS env, else GOMAXPROCS).
+	Workers int
+	// RetryAfter is the hint returned with 429 responses. Zero means 5s.
+	RetryAfter time.Duration
+}
+
+// Server is the daemon: a job registry and bounded queue in front of one
+// experiments.Runner. Create with New, serve Handler(), stop with Drain
+// then Shutdown.
+type Server struct {
+	runner *experiments.Runner
+	opt    Options
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	jobs   map[string]*Job // by short ID
+	byHash map[string]*Job // same jobs, by full run hash
+	queue  chan *Job
+	closed bool // queue closed (Shutdown)
+
+	draining atomic.Bool
+	drainCh  chan struct{}
+	workers  sync.WaitGroup
+	baseCtx  context.Context
+
+	met metricsState
+
+	// execute is the simulation seam: Runner.RunContext in production,
+	// a stub in queue/admission tests.
+	execute func(ctx context.Context, cfg config.Config, bench string) (system.Result, error)
+
+	// benches is the set of valid application benchmark names, resolved
+	// once; synth: pseudo-benchmarks are validated structurally instead.
+	benches map[string]bool
+}
+
+// New builds a Server on the Runner and wires the Runner's Events hook to
+// the per-job fan-out. The Runner should already carry its cache, journal
+// and retry policy; New additionally sets Events (and leaves EpochCycles
+// to the caller — atacd sets it so fresh runs stream epoch progress).
+func New(r *experiments.Runner, opt Options, logf func(format string, args ...any)) *Server {
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = 64
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = experiments.DefaultJobs()
+	}
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = 5 * time.Second
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Server{
+		runner:  r,
+		opt:     opt,
+		logf:    logf,
+		jobs:    make(map[string]*Job),
+		byHash:  make(map[string]*Job),
+		queue:   make(chan *Job, opt.QueueDepth),
+		drainCh: make(chan struct{}),
+		baseCtx: context.Background(),
+		benches: make(map[string]bool),
+	}
+	s.execute = r.RunContext
+	r.Events = s.routeEvent
+	for _, spec := range workload.ExtendedCatalog(16, 1, 1) {
+		s.benches[spec.Name] = true
+	}
+	for i := 0; i < opt.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// SetBaseContext sets the context under which jobs execute (atacd passes
+// the campaign's hard-cancellation context so a second SIGTERM aborts
+// in-flight simulations at the kernel's next poll).
+func (s *Server) SetBaseContext(ctx context.Context) { s.baseCtx = ctx }
+
+// routeEvent delivers a Runner event to the job owning its run hash.
+// Events for runs not submitted through the API (none, in practice) are
+// dropped.
+func (s *Server) routeEvent(ev experiments.RunEvent) {
+	s.mu.Lock()
+	j := s.byHash[ev.Hash]
+	s.mu.Unlock()
+	if j != nil {
+		j.deliver(ev)
+	}
+}
+
+// worker executes queued jobs until the queue is closed by Shutdown.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.met.inflight.Add(1)
+		j.start()
+		start := time.Now()
+		res, err := s.execute(s.baseCtx, j.Cfg, j.Spec.Bench)
+		s.met.observe(time.Since(start))
+		j.finish(res, err)
+		if err != nil {
+			s.met.failed.Add(1)
+			s.logf("job %s (%s): %v", j.ID, j.Spec.Bench, err)
+		} else {
+			s.met.done.Add(1)
+		}
+		s.met.inflight.Add(^uint64(0))
+	}
+}
+
+// Drain stops admitting new jobs: submissions return 503 and /healthz
+// flips to draining. Idempotent; already-queued jobs still run (under a
+// quiesced Runner, queued fresh work fails fast with ErrInterrupted while
+// in-flight simulations complete and journal normally).
+func (s *Server) Drain() {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+	}
+}
+
+// Draining returns a channel closed when Drain is called.
+func (s *Server) Draining() <-chan struct{} { return s.drainCh }
+
+// Shutdown drains (if not already draining), closes the queue, and waits
+// for workers to finish the jobs they hold — or for ctx, whichever first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// resolve validates a JobSpec and derives its config and run identity.
+// Unspecified geometry fields take the daemon's defaults (-cores, -seed)
+// before hashing, so "whatever the daemon defaults to" and the explicit
+// equivalent are the same job.
+func (s *Server) resolve(spec JobSpec) (config.Config, string, error) {
+	if spec.Bench == "" {
+		return config.Config{}, "", errors.New("missing bench")
+	}
+	if _, ok := experiments.ParseSynthBench(spec.Bench); !ok && !s.benches[spec.Bench] {
+		return config.Config{}, "", fmt.Errorf("unknown benchmark %q", spec.Bench)
+	}
+	if spec.Cores == 0 {
+		spec.Cores = s.runner.Opt.Cores
+	}
+	if spec.Seed == 0 {
+		spec.Seed = s.runner.Opt.Seed
+	}
+	cfg, err := experiments.BuildConfig(spec.Geometry)
+	if err != nil {
+		return config.Config{}, "", err
+	}
+	return cfg, s.runner.RunHash(cfg, spec.Bench), nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{"bad request body: " + err.Error()})
+		return
+	}
+	cfg, hash, err := s.resolve(spec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	s.met.submitted.Add(1)
+
+	s.mu.Lock()
+	if j, ok := s.byHash[hash]; ok {
+		// Identical spec already known — whatever its state, this request
+		// coalesces onto it and never costs a second simulation.
+		j.mu.Lock()
+		j.coalesced++
+		j.mu.Unlock()
+		s.mu.Unlock()
+		s.met.coalesced.Add(1)
+		writeJSON(w, http.StatusOK, j.Status())
+		return
+	}
+	if s.draining.Load() || s.closed {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{"draining: not admitting new jobs"})
+		return
+	}
+	j := &Job{
+		ID:      hash[:16],
+		Hash:    hash,
+		Spec:    spec,
+		Cfg:     cfg,
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	// Register before enqueueing: a worker may start the job the moment
+	// it hits the queue, and routeEvent must already find it by hash.
+	s.jobs[j.ID] = j
+	s.byHash[hash] = j
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.ID)
+		delete(s.byHash, hash)
+		s.mu.Unlock()
+		s.met.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opt.RetryAfter/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests,
+			apiError{fmt.Sprintf("queue full (%d jobs waiting); retry later", s.opt.QueueDepth)})
+		return
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.Status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	if res, ok := j.Result(); ok {
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	if j.State() == StateFailed {
+		writeJSON(w, http.StatusInternalServerError, j.Status())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// handleEvents streams the job's RunEvents as Server-Sent Events: the
+// full log so far is replayed, then live events follow until the job
+// reaches a terminal state (or the client goes away). Event names are
+// the run phases; payloads are the JSON RunEvents.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{"streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := j.subscribe()
+	defer cancel()
+	s.met.sseSubs.Add(1)
+	defer s.met.sseSubs.Add(^uint64(0))
+
+	emit := func(ev experiments.RunEvent) {
+		data, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Phase, data)
+		fl.Flush()
+	}
+	for _, ev := range replay {
+		emit(ev)
+	}
+	if live == nil { // already terminal: replay was the whole story
+		fmt.Fprintf(w, "event: end\ndata: {\"state\":%q}\n\n", j.State())
+		fl.Flush()
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				fmt.Fprintf(w, "event: end\ndata: {\"state\":%q}\n\n", j.State())
+				fl.Flush()
+				return
+			}
+			emit(ev)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status      string `json:"status"` // ok | draining
+	Version     string `json:"version"`
+	CacheSchema int    `json:"cache_schema"`
+	Jobs        int    `json:"jobs"`
+	QueueDepth  int    `json:"queue_depth"`
+	QueueCap    int    `json:"queue_capacity"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	depth := len(s.queue)
+	s.mu.Unlock()
+	h := Health{
+		Status:      "ok",
+		Version:     version.String(),
+		CacheSchema: version.CacheSchema,
+		Jobs:        n,
+		QueueDepth:  depth,
+		QueueCap:    s.opt.QueueDepth,
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, s.runner, len(s.queue), s.opt.QueueDepth)
+}
+
+func configString(cfg config.Config) string {
+	return fmt.Sprintf("%v/%v%d/c%d", cfg.Network.Kind, cfg.Coherence.Kind,
+		cfg.Coherence.Sharers, cfg.Cores)
+}

@@ -83,6 +83,28 @@ type Result struct {
 	// ATAC-only link statistics (Table V).
 	LinkUtilization  float64
 	UnicastsPerBcast float64
+
+	// Synth is set only by network-only synthetic-traffic runs (the
+	// campaign engine's Fig-3-style path): latency statistics for the
+	// measurement window. Application runs leave it nil.
+	Synth *SynthStats `json:",omitempty"`
+}
+
+// SynthStats summarizes one network-only synthetic-traffic measurement
+// window: the driven pattern, offered load, and the delivery-latency
+// distribution. It rides inside Result so synthetic runs share the
+// campaign engine's memo, persistent cache, and journal unchanged.
+type SynthStats struct {
+	Pattern    string
+	Load       float64 // offered flits/cycle/core
+	BcastFrac  float64
+	Injected   uint64
+	Delivered  uint64
+	MeanLat    float64
+	P50Lat     uint64
+	P95Lat     uint64
+	P99Lat     uint64
+	MaxLat     uint64
 }
 
 // IPC returns average retired instructions per core-cycle.

@@ -1,0 +1,49 @@
+// Package version is the single source of build and schema identity for
+// every binary in the repository: the git revision of the working tree
+// and the persistent result-cache schema stamp. It sits below every other
+// internal package (it imports only the standard library), so the cache,
+// the provenance manifest, the serving daemon's /healthz endpoint and the
+// -version flag of each command all agree on what "this build" means.
+package version
+
+import (
+	"fmt"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// CacheSchema stamps every persisted result-cache entry. Bump it whenever
+// the simulator's observable behavior changes (timing model, coherence
+// protocol, workload generation, Result layout): a mismatched stamp makes
+// every old entry a miss, so stale results can never leak into figures or
+// served job results.
+//
+// History: 1 initial; 2 system.Result gained the Synth section for
+// network-only synthetic-traffic runs.
+const CacheSchema = 2
+
+// GitDescribe returns `git describe --always --dirty --tags` for the
+// working tree, or "" when git or the repository is unavailable.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Revision returns the best available build identity: the git describe
+// string when the binary runs inside the repository, else "dev".
+func Revision() string {
+	if v := GitDescribe(); v != "" {
+		return v
+	}
+	return "dev"
+}
+
+// String renders the full version line the -version flags and the daemon
+// /healthz endpoint report: revision, cache schema, and Go runtime.
+func String() string {
+	return fmt.Sprintf("%s (cache schema %d, %s)", Revision(), CacheSchema, runtime.Version())
+}

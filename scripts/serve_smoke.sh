@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving daemon (atacd + atacctl).
+#
+# Checks the contracts the serving layer promises:
+#
+#   1. a job submitted over the API produces exactly the result a direct
+#      atacsim invocation of the same spec produces (cycles and retired
+#      instructions match);
+#   2. progress streams over SSE while the job runs, ending in a "done"
+#      phase;
+#   3. a resubmission of the identical spec coalesces: the /metrics
+#      fresh-run counter stays at 1 and the result bodies are
+#      byte-identical;
+#   4. after a SIGTERM drain, a restarted daemon pointed at the same
+#      cache serves the run from the persistent cache (fresh runs 0,
+#      cache hits >= 1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cores=16
+bench=radix
+seed=42
+addr=127.0.0.1:18473
+base=http://$addr
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+    wait 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/atacd" ./cmd/atacd
+go build -o "$workdir/atacctl" ./cmd/atacctl
+go build -o "$workdir/atacsim" ./cmd/atacsim
+
+start_daemon() {
+    "$workdir/atacd" -addr "$addr" -cores "$cores" -seed "$seed" \
+        -cache-dir "$workdir/cache" -jobs 2 -grace 30s \
+        >>"$workdir/atacd.log" 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 1 50); do
+        curl -fsS "$base/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/atacd.log"; echo "FAIL: daemon died"; exit 1; }
+        sleep 0.2
+    done
+    cat "$workdir/atacd.log"
+    echo "FAIL: daemon did not come up on $addr"
+    exit 1
+}
+
+metric() { # metric <name> -- prints the value from /metrics
+    curl -fsS "$base/metrics" | awk -v m="$1" '$1 == m { print $2 }'
+}
+
+echo "== start daemon"
+start_daemon
+"$workdir/atacctl" -addr "$base" health
+
+echo "== reference run (direct atacsim)"
+"$workdir/atacsim" -bench "$bench" -cores "$cores" -seed "$seed" > "$workdir/ref.txt"
+ref_cycles=$(awk '/^completion time/ { print $3 }' "$workdir/ref.txt")
+ref_instr=$(awk '/^instructions/ { print $2 }' "$workdir/ref.txt")
+echo "   reference: $ref_cycles cycles, $ref_instr instructions"
+
+echo "== submit via API, streaming progress"
+"$workdir/atacctl" -addr "$base" submit -bench "$bench" -cores "$cores" -seed "$seed" -wait \
+    > "$workdir/result1.json" 2> "$workdir/stream.log"
+grep -q '^done' "$workdir/stream.log" || { cat "$workdir/stream.log"; echo "FAIL: no done event in SSE stream"; exit 1; }
+grep -q '^epoch' "$workdir/stream.log" || { cat "$workdir/stream.log"; echo "FAIL: no live epoch progress in SSE stream"; exit 1; }
+job_cycles=$(grep -o '"Cycles": *[0-9]*' "$workdir/result1.json" | head -1 | grep -o '[0-9]*')
+job_instr=$(grep -o '"Instructions": *[0-9]*' "$workdir/result1.json" | head -1 | grep -o '[0-9]*')
+echo "   served:    $job_cycles cycles, $job_instr instructions"
+[ "$job_cycles" = "$ref_cycles" ] || { echo "FAIL: served cycles $job_cycles != atacsim $ref_cycles"; exit 1; }
+[ "$job_instr" = "$ref_instr" ] || { echo "FAIL: served instructions $job_instr != atacsim $ref_instr"; exit 1; }
+
+echo "== resubmit: must coalesce onto the cached run"
+"$workdir/atacctl" -addr "$base" submit -bench "$bench" -cores "$cores" -seed "$seed" -wait \
+    > "$workdir/result2.json" 2>/dev/null
+cmp -s "$workdir/result1.json" "$workdir/result2.json" || { echo "FAIL: result bodies differ across submissions"; exit 1; }
+fresh=$(metric atacd_runner_fresh_runs_total)
+[ "$fresh" = "1" ] || { echo "FAIL: fresh runs = $fresh after resubmit, want 1"; exit 1; }
+
+echo "== drain (SIGTERM) and restart against the same cache"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "FAIL: daemon exited non-zero on drain"; exit 1; }
+daemon_pid=""
+grep -q "drained" "$workdir/atacd.log" || { cat "$workdir/atacd.log"; echo "FAIL: no drain in daemon log"; exit 1; }
+
+start_daemon
+"$workdir/atacctl" -addr "$base" submit -bench "$bench" -cores "$cores" -seed "$seed" -wait \
+    > "$workdir/result3.json" 2>/dev/null
+fresh=$(metric atacd_runner_fresh_runs_total)
+hits=$(metric atacd_runner_cache_hits_total)
+[ "$fresh" = "0" ] || { echo "FAIL: restarted daemon re-simulated (fresh=$fresh)"; exit 1; }
+[ "${hits:-0}" -ge 1 ] || { echo "FAIL: restarted daemon took no cache hit"; exit 1; }
+cmp -s "$workdir/result1.json" "$workdir/result3.json" || { echo "FAIL: cached result differs from original"; exit 1; }
+
+echo "PASS: serve smoke (result parity, SSE, coalescing, drain+restart cache recall)"
