@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check figures bench fuzz resume-smoke serve-smoke clean
+.PHONY: build test check figures bench fuzz resume-smoke serve-smoke chaos-smoke clean
 
 # Per-target budget for `make fuzz` (go test -fuzztime syntax).
 FUZZTIME ?= 10s
@@ -44,6 +44,14 @@ resume-smoke:
 # check a restarted daemon serves the run from the persistent cache.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Crash-only contract of the serving stack: SIGKILL atacd at seeded random
+# points mid-campaign, restart it, and require that every atacctl client
+# rides across on its own retries, the resumed campaign completes with
+# zero duplicate simulations (journal-verified), and the served results
+# match a direct atacsim run. CHAOS_SEED / CHAOS_KILLS tune the schedule.
+chaos-smoke:
+	bash scripts/chaos_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	atacctl [-addr http://localhost:8347] <command> [flags]
+//	atacctl [-addr http://localhost:8347] [-retries N] <command> [flags]
 //
 //	submit  -bench radix -cores 16 [-net atac+] [-wait]   submit a job
 //	status  [-id ID]                                      one job, or all
@@ -13,24 +13,45 @@
 // submit -wait is the one-shot form: submit, stream progress to stderr,
 // print the result JSON to stdout — the curlable equivalent of running
 // atacsim remotely.
+//
+// The client is resilient by default (serve.Client): transient transport
+// failures — a daemon being SIGKILLed and restarted mid-request, a proxy
+// hiccup, a drain window — are retried with capped exponential backoff
+// and deterministic jitter; submissions are idempotent (the run hash is
+// the job identity, so a re-submit coalesces); and the SSE watch stream
+// reconnects with Last-Event-ID, so a daemon restart mid--wait is
+// invisible. 429 responses honor the server's Retry-After hint.
+//
+// Exit codes:
+//
+//	0  success
+//	1  transport or usage-independent error (after all retries)
+//	2  usage error
+//	3  the job itself terminally failed (the daemon is healthy)
+//	5  the daemon's queue stayed full through every retry (shed load)
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"os"
 	"strings"
-	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/serve"
 	"repro/internal/version"
+)
+
+// Process exit codes (see the command comment).
+const (
+	exitOK        = 0
+	exitErr       = 1
+	exitUsage     = 2
+	exitJobFailed = 3
+	exitQueueFull = 5
 )
 
 func main() {
@@ -40,75 +61,63 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: atacctl [-addr URL] {submit|status|watch|result|health} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: atacctl [-addr URL] [-retries N] {submit|status|watch|result|health} [flags]")
 	flag.PrintDefaults()
 }
 
 func run() int {
 	addr := flag.String("addr", "http://localhost:8347", "atacd base URL")
+	retries := flag.Int("retries", 8, "transient-failure retries per request (-1 disables)")
+	quiet := flag.Bool("q", false, "suppress retry/reconnect narration")
 	showVer := flag.Bool("version", false, "print the build version and exit")
 	flag.Usage = usage
 	flag.Parse()
 	if *showVer {
 		fmt.Println(version.String())
-		return 0
+		return exitOK
 	}
 	if flag.NArg() < 1 {
 		usage()
-		return 2
+		return exitUsage
 	}
-	c := &client{base: strings.TrimRight(*addr, "/")}
+	c := &serve.Client{
+		Base:    strings.TrimRight(*addr, "/"),
+		Retries: *retries,
+		Logf:    log.Printf,
+	}
+	if *quiet {
+		c.Logf = nil
+	}
 	var err error
 	switch cmd := flag.Arg(0); cmd {
 	case "submit":
-		err = c.submit(flag.Args()[1:])
+		err = submit(c, flag.Args()[1:])
 	case "status":
-		err = c.status(flag.Args()[1:])
+		err = status(c, flag.Args()[1:])
 	case "watch":
-		err = c.watch(flag.Args()[1:])
+		err = watch(c, flag.Args()[1:])
 	case "result":
-		err = c.result(flag.Args()[1:])
+		err = result(c, flag.Args()[1:])
 	case "health":
-		err = c.health()
+		err = health(c)
 	default:
 		log.Printf("unknown command %q", cmd)
 		usage()
-		return 2
+		return exitUsage
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, serve.ErrQueueFull):
 		log.Print(err)
-		return 1
+		return exitQueueFull
+	case errors.Is(err, serve.ErrJobFailed):
+		log.Print(err)
+		return exitJobFailed
+	default:
+		log.Print(err)
+		return exitErr
 	}
-	return 0
-}
-
-type client struct{ base string }
-
-// apiErr extracts the server's error message from a non-2xx response.
-func apiErr(resp *http.Response, body []byte) error {
-	var e struct {
-		Error string `json:"error"`
-	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("%s: %s", resp.Status, e.Error)
-	}
-	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
-}
-
-func (c *client) getJSON(path string, out any) error {
-	resp, err := http.Get(c.base + path)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 300 {
-		return apiErr(resp, body)
-	}
-	return json.Unmarshal(body, out)
 }
 
 func printJSON(v any) {
@@ -116,7 +125,7 @@ func printJSON(v any) {
 	fmt.Println(string(out))
 }
 
-func (c *client) submit(args []string) error {
+func submit(c *serve.Client, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	var (
 		bench   = fs.String("bench", "radix", "benchmark name, or a synth:... pseudo-benchmark")
@@ -137,27 +146,8 @@ func (c *client) submit(args []string) error {
 			FlitBits: *flit, RThres: *rthres, Seed: *seed,
 		},
 	}
-	body, err := json.Marshal(spec)
+	st, err := c.Submit(spec)
 	if err != nil {
-		return err
-	}
-	resp, err := http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 300 {
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			return fmt.Errorf("%w (Retry-After: %ss)", apiErr(resp, raw), ra)
-		}
-		return apiErr(resp, raw)
-	}
-	var st serve.JobStatus
-	if err := json.Unmarshal(raw, &st); err != nil {
 		return err
 	}
 	if !*wait {
@@ -165,70 +155,58 @@ func (c *client) submit(args []string) error {
 		return nil
 	}
 	fmt.Fprintf(os.Stderr, "job %s (%s on %s): %s\n", st.ID, st.Bench, st.Config, st.State)
-	if err := c.stream(st.ID, os.Stderr); err != nil {
+	// The watch stream survives daemon restarts (Last-Event-ID
+	// reconnection); if it still dies, fall through to the result poll,
+	// which retries independently — the job is durable server-side.
+	if _, err := c.Watch(st.ID, os.Stderr); err != nil && !serve.IsTransient(err) {
 		return err
 	}
-	return c.fetchResult(st.ID, true)
+	body, err := c.Result(st.ID, true)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(body)
+	return err
 }
 
-func (c *client) status(args []string) error {
+func status(c *serve.Client, args []string) error {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	id := fs.String("id", "", "job ID (empty: list all jobs)")
 	fs.Parse(args)
 	if *id == "" {
-		var all []serve.JobStatus
-		if err := c.getJSON("/v1/jobs", &all); err != nil {
+		all, err := c.List()
+		if err != nil {
 			return err
 		}
 		printJSON(all)
 		return nil
 	}
-	var st serve.JobStatus
-	if err := c.getJSON("/v1/jobs/"+*id, &st); err != nil {
+	st, err := c.Status(*id)
+	if err != nil {
 		return err
 	}
 	printJSON(st)
 	return nil
 }
 
-func (c *client) watch(args []string) error {
+func watch(c *serve.Client, args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	id := fs.String("id", "", "job ID")
 	fs.Parse(args)
 	if *id == "" {
 		return fmt.Errorf("watch: missing -id")
 	}
-	return c.stream(*id, os.Stdout)
-}
-
-// stream follows the job's SSE feed, writing one line per event, until
-// the server ends the stream (job terminal) or the connection drops.
-func (c *client) stream(id string, w io.Writer) error {
-	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/events")
+	state, err := c.Watch(*id, os.Stdout)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		body, _ := io.ReadAll(resp.Body)
-		return apiErr(resp, body)
+	if state == serve.StateFailed {
+		return fmt.Errorf("%w (see stream for details)", serve.ErrJobFailed)
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	var event string
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			event = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			fmt.Fprintf(w, "%-12s %s\n", event, strings.TrimPrefix(line, "data: "))
-		}
-	}
-	return sc.Err()
+	return nil
 }
 
-func (c *client) result(args []string) error {
+func result(c *serve.Client, args []string) error {
 	fs := flag.NewFlagSet("result", flag.ExitOnError)
 	id := fs.String("id", "", "job ID")
 	wait := fs.Bool("wait", false, "poll until the job completes")
@@ -236,49 +214,18 @@ func (c *client) result(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("result: missing -id")
 	}
-	return c.fetchResult(*id, *wait)
-}
-
-// fetchResult prints the completed result JSON verbatim (so two clients
-// fetching the same job can diff bytes). With wait, 202 responses poll.
-func (c *client) fetchResult(id string, wait bool) error {
-	for {
-		resp, err := http.Get(c.base + "/v1/jobs/" + id + "/result")
-		if err != nil {
-			return err
-		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		switch {
-		case resp.StatusCode == http.StatusOK:
-			os.Stdout.Write(body)
-			return nil
-		case resp.StatusCode == http.StatusAccepted && wait:
-			time.Sleep(200 * time.Millisecond)
-		default:
-			return apiErr(resp, body)
-		}
-	}
-}
-
-func (c *client) health() error {
-	// A draining daemon answers 503 with a valid Health body; show it
-	// rather than erroring.
-	resp, err := http.Get(c.base + "/healthz")
+	body, err := c.Result(*id, *wait)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+func health(c *serve.Client) error {
+	h, _, err := c.Health()
 	if err != nil {
 		return err
-	}
-	var h serve.Health
-	if err := json.Unmarshal(body, &h); err != nil {
-		return apiErr(resp, body)
 	}
 	printJSON(h)
 	return nil

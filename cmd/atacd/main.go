@@ -16,6 +16,14 @@
 // -grace window expiring — cancels them at the kernel's next poll. A
 // restarted daemon pointed at the same cache serves the drained runs'
 // results without re-simulating.
+//
+// The daemon is also crash-only: every accepted job is persisted to a
+// durable ledger (jobs.jsonl next to the campaign journal) before the
+// 202 response, and startup replays the ledger, re-enqueueing everything
+// the previous process owed an answer for. SIGKILL at any instant
+// therefore converges to the same bytes — the cache and journal guarantee
+// zero duplicate simulations on resume — and atacctl clients ride across
+// the restart with retries and SSE reconnection.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/experiments"
@@ -56,6 +65,9 @@ func run() int {
 		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none)")
 		retries    = flag.Int("retries", 2, "extra attempts for transiently failed runs (panics, deadlines)")
 		grace      = flag.Duration("grace", 30*time.Second, "drain window after SIGINT/SIGTERM before in-flight runs are cancelled")
+		storePath  = flag.String("store", "", "durable job ledger path (default: jobs.jsonl next to the cache; requires a cache unless set)")
+		noStore    = flag.Bool("no-store", false, "disable the durable job store (jobs do not survive a crash)")
+		reqTimeout = flag.Duration("request-timeout", 15*time.Second, "per-request deadline for non-streaming HTTP endpoints")
 		showVer    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -106,7 +118,39 @@ func run() int {
 		log.Printf("cache: %s", r.Cache.Dir())
 	}
 
-	srv := serve.New(r, serve.Options{QueueDepth: *depth, Workers: r.Jobs}, log.Printf)
+	// The durable job store: accepted jobs are persisted before the 202
+	// and replayed on startup, so SIGKILL loses nothing. Without a cache
+	// (or with -no-store) the daemon still runs, just non-durably.
+	var store *serve.JobStore
+	if !*noStore {
+		path := *storePath
+		if path == "" && r.Cache != nil {
+			path = filepath.Join(r.Cache.Dir(), serve.StoreFileName)
+		}
+		if path == "" {
+			log.Print("warning: no cache and no -store: jobs will not survive a crash")
+		} else {
+			st, err := serve.OpenJobStore(path)
+			if err != nil {
+				log.Print(err)
+				return experiments.ExitFatal
+			}
+			store = st
+			defer func() {
+				if err := st.Close(); err != nil {
+					log.Printf("warning: job store close: %v", err)
+				}
+			}()
+			log.Printf("job store: %s (%d pending)", path, st.Pending())
+		}
+	}
+
+	srv := serve.New(r, serve.Options{
+		QueueDepth:     *depth,
+		Workers:        r.Jobs,
+		RequestTimeout: *reqTimeout,
+		Store:          store,
+	}, log.Printf)
 	ctx, stopSignals := r.InstallSignalHandlerHook(*grace, log.Printf, func(stage string) {
 		if stage == "drain" {
 			srv.Drain()
@@ -115,7 +159,10 @@ func run() int {
 	defer stopSignals()
 	srv.SetBaseContext(ctx)
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// ReadHeaderTimeout guards against peers that open connections and
+	// never speak; handler-level timeouts (serve.Options.RequestTimeout)
+	// bound everything after the headers.
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("%s listening on %s", version.String(), *addr)

@@ -145,7 +145,7 @@ func (c *Cache) quarantine(path, reason string) {
 // Quarantined reports how many entries this Cache has quarantined.
 func (c *Cache) Quarantined() uint64 { return c.quarantined.Load() }
 
-// Put stores res under key via fsync-and-rename (atomicWriteFile, shared
+// Put stores res under key via fsync-and-rename (AtomicWriteFile, shared
 // with the journal and the manifest writer). Errors are returned so
 // callers can warn, but a failed Put only costs a future re-simulation —
 // it is never fatal.
@@ -154,7 +154,7 @@ func (c *Cache) Put(key string, res system.Result) error {
 	if err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}
-	if err := atomicWriteFile(c.path(key), data, 0o644); err != nil {
+	if err := AtomicWriteFile(c.path(key), data, 0o644); err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}
 	if c.MaxBytes > 0 {

@@ -435,7 +435,7 @@ func (r *Runner) execute(ctx context.Context, k string, cfg config.Config, bench
 				shortHash(hash), bench, configLabel(cfg), ErrInterrupted, err)
 		}
 		if attempt < attempts && transientFailure(err) {
-			d := retryBackoff(k, attempt, r.backoffBase, r.backoffCap)
+			d := RetryBackoff(k, attempt, r.backoffBase, r.backoffCap)
 			r.progress(cfg, bench, fmt.Sprintf("attempt %d/%d failed (%v); retrying in %v",
 				attempt, attempts, err, d.Round(time.Millisecond)))
 			select {

@@ -200,7 +200,7 @@ func (j *Journal) Compact() error {
 		buf.Write(data)
 		buf.WriteByte('\n')
 	}
-	if err := atomicWriteFile(j.path, buf.Bytes(), 0o644); err != nil {
+	if err := AtomicWriteFile(j.path, buf.Bytes(), 0o644); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	// Reopen the append handle on the new file (the rename orphaned the
@@ -234,9 +234,12 @@ func (j *Journal) Close() error {
 	return err
 }
 
-// atomicWriteFile writes data at path via a sibling temp file, fsync, and
-// rename, so a reader (or a crash) can never observe a torn file.
-func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
+// AtomicWriteFile writes data at path via a sibling temp file, fsync, and
+// rename, so a reader (or a crash) can never observe a torn file. It is
+// the one write discipline every durable artifact in the repository uses:
+// the result cache, the journal and job-store compactions, and the
+// provenance manifest.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {

@@ -132,10 +132,10 @@ func TestJournalCompact(t *testing.T) {
 
 func TestAtomicWriteFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
-	if err := atomicWriteFile(path, []byte("v1"), 0o644); err != nil {
+	if err := AtomicWriteFile(path, []byte("v1"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := atomicWriteFile(path, []byte("v2"), 0o644); err != nil {
+	if err := AtomicWriteFile(path, []byte("v2"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -105,5 +105,5 @@ func WriteManifest(path string, p Provenance) error {
 	if err != nil {
 		return err
 	}
-	return atomicWriteFile(path, append(data, '\n'), 0o644)
+	return AtomicWriteFile(path, append(data, '\n'), 0o644)
 }

@@ -59,12 +59,13 @@ const (
 	defaultBackoffCap  = 5 * time.Second
 )
 
-// retryBackoff returns the pause before re-attempting a run: exponential
-// in the attempt number, capped, with deterministic jitter in [d/2, d]
-// seeded from the run key and attempt — so a retrying campaign is
-// reproducible, yet simultaneous retries of different runs do not
-// stampede in phase.
-func retryBackoff(key string, attempt int, base, cap time.Duration) time.Duration {
+// RetryBackoff returns the pause before re-attempting an operation:
+// exponential in the attempt number, capped, with deterministic jitter in
+// [d/2, d] seeded from the key and attempt — so a retrying campaign (or a
+// reconnecting atacctl client, which keys on the request path) is
+// reproducible, yet simultaneous retries of different keys do not
+// stampede in phase. Non-positive base or cap take the campaign defaults.
+func RetryBackoff(key string, attempt int, base, cap time.Duration) time.Duration {
 	if base <= 0 {
 		base = defaultBackoffBase
 	}

@@ -1,0 +1,404 @@
+// Resilient client for the atacd daemon — the library behind atacctl.
+//
+// The serving stack is crash-only: the daemon may be SIGKILLed and
+// restarted at any instant, and the client's job is to make that
+// invisible. Three properties do the work:
+//
+//   - every request retries transient transport failures (connection
+//     refused/reset, 502/503/504) with capped exponential backoff and
+//     deterministic jitter — the same experiments.RetryBackoff policy the
+//     campaign engine uses, keyed on the request so retry schedules are
+//     reproducible yet uncorrelated across concurrent clients;
+//   - submission is idempotent by construction: the run hash is the job
+//     identity, so re-POSTing the same spec after a torn response (or
+//     into a freshly restarted daemon) coalesces onto the same job;
+//   - the SSE watch tracks event ids and reconnects with Last-Event-ID,
+//     so a stream torn by a daemon restart resumes where it left off.
+//
+// 429 (queue full) is not a transport failure: the client honors the
+// server's Retry-After hint and, if the queue never opens up, surfaces
+// the distinct ErrQueueFull so callers (atacctl) can exit with a code
+// that means "shed load", not "investigate".
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Sentinel errors callers branch on (atacctl maps them to distinct exit
+// codes).
+var (
+	// ErrQueueFull means the daemon's admission queue stayed full through
+	// every allowed retry.
+	ErrQueueFull = errors.New("queue full after retries")
+	// ErrJobFailed means the job itself terminally failed — the transport
+	// worked fine.
+	ErrJobFailed = errors.New("job failed")
+)
+
+// transientError wraps failures a retry could plausibly fix: connection
+// trouble and 5xx responses from a daemon that is draining, restarting,
+// or briefly unable to persist.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// IsTransient reports whether err is a transport-level failure the client
+// classifies as retryable.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// Client talks to one atacd base URL with retries, backoff, and SSE
+// reconnection. The zero value plus Base is usable.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://localhost:8347".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Retries caps transient-failure re-attempts per operation. Zero
+	// means 8; negative disables retrying.
+	Retries int
+	// BackoffBase and BackoffCap shape the retry pauses (see
+	// experiments.RetryBackoff). Zero takes the campaign defaults
+	// (100ms doubling to a 5s cap).
+	BackoffBase, BackoffCap time.Duration
+	// Logf, if non-nil, narrates retries and reconnections.
+	Logf func(format string, args ...any)
+
+	// sleep is the test seam for pauses; nil means time.Sleep.
+	sleep func(time.Duration)
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	if c.Retries < 0 {
+		return 0
+	}
+	return 8
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *Client) doSleep(d time.Duration) {
+	if c.sleep != nil {
+		c.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// pause sleeps the deterministic backoff for one retry of the keyed
+// operation.
+func (c *Client) pause(key string, attempt int) {
+	d := experiments.RetryBackoff(key, attempt, c.BackoffBase, c.BackoffCap)
+	c.logf("retrying %s in %v (attempt %d)", key, d.Round(time.Millisecond), attempt+1)
+	c.doSleep(d)
+}
+
+// apiErr extracts the server's error message from a non-2xx response.
+func apiErr(status string, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", status, strings.TrimSpace(string(body)))
+}
+
+// transientStatus reports whether an HTTP status signals a condition a
+// retry could outlast: a proxy hiccup, a draining daemon about to be
+// replaced, or a daemon that briefly cannot persist work.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// get performs one GET with transient-failure retries, returning the
+// final response body and status code.
+func (c *Client) get(path string) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http().Get(c.Base + path)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && !transientStatus(resp.StatusCode) {
+				return resp.StatusCode, body, nil
+			}
+			if rerr != nil {
+				lastErr = &transientError{rerr}
+			} else {
+				lastErr = &transientError{apiErr(resp.Status, body)}
+			}
+		} else {
+			lastErr = &transientError{err}
+		}
+		if attempt >= c.retries() {
+			return 0, nil, fmt.Errorf("GET %s: %w", path, lastErr)
+		}
+		c.pause("GET "+path, attempt+1)
+	}
+}
+
+// getJSON is get plus a 2xx check and decode.
+func (c *Client) getJSON(path string, out any) error {
+	code, body, err := c.get(path)
+	if err != nil {
+		return err
+	}
+	if code >= 300 {
+		return apiErr(fmt.Sprintf("%d %s", code, http.StatusText(code)), body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Submit posts a job spec. Transient transport failures re-submit — safe
+// because the run hash makes submission idempotent: a retry lands on the
+// job the torn request created (202 the first time, 200 coalesced after).
+// A full queue honors Retry-After and re-submits; if it never drains, the
+// returned error wraps ErrQueueFull.
+func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http().Post(c.Base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = &transientError{err}
+		} else {
+			raw, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch {
+			case rerr != nil:
+				lastErr = &transientError{rerr}
+			case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
+				var st JobStatus
+				if err := json.Unmarshal(raw, &st); err != nil {
+					return JobStatus{}, err
+				}
+				return st, nil
+			case resp.StatusCode == http.StatusTooManyRequests:
+				lastErr = fmt.Errorf("%w: %v", ErrQueueFull, apiErr(resp.Status, raw))
+				if attempt < c.retries() {
+					c.waitRetryAfter(resp.Header.Get("Retry-After"), attempt+1)
+					continue
+				}
+			case transientStatus(resp.StatusCode):
+				lastErr = &transientError{apiErr(resp.Status, raw)}
+			default:
+				return JobStatus{}, apiErr(resp.Status, raw) // 400s: final
+			}
+		}
+		if attempt >= c.retries() {
+			return JobStatus{}, fmt.Errorf("submit: %w", lastErr)
+		}
+		if IsTransient(lastErr) {
+			c.pause("POST /v1/jobs", attempt+1)
+		}
+	}
+}
+
+// waitRetryAfter sleeps the server's Retry-After hint (seconds), clamped
+// to [1s, 30s]; an unparsable hint falls back to the deterministic
+// backoff schedule.
+func (c *Client) waitRetryAfter(header string, attempt int) {
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
+		d := time.Duration(secs) * time.Second
+		if d < time.Second {
+			d = time.Second
+		}
+		if d > 30*time.Second {
+			d = 30 * time.Second
+		}
+		c.logf("queue full; honoring Retry-After: sleeping %v (attempt %d)", d, attempt+1)
+		c.doSleep(d)
+		return
+	}
+	c.pause("retry-after", attempt)
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.getJSON("/v1/jobs/"+id, &st)
+	return st, err
+}
+
+// List fetches every job's status.
+func (c *Client) List() ([]JobStatus, error) {
+	var all []JobStatus
+	err := c.getJSON("/v1/jobs", &all)
+	return all, err
+}
+
+// Health fetches /healthz. A draining or store-unwritable daemon answers
+// 503 with a valid body; the body and status code are both returned so
+// callers can show it rather than erroring.
+func (c *Client) Health() (Health, int, error) {
+	code, body, err := c.get("/healthz")
+	if err != nil {
+		return Health{}, 0, err
+	}
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		return Health{}, code, apiErr(fmt.Sprintf("%d %s", code, http.StatusText(code)), body)
+	}
+	return h, code, nil
+}
+
+// Result fetches the completed result JSON verbatim (so two clients
+// fetching the same job can diff bytes). With wait, 202 responses poll
+// until the job settles. A terminally failed job returns an error
+// wrapping ErrJobFailed.
+func (c *Client) Result(id string, wait bool) ([]byte, error) {
+	path := "/v1/jobs/" + id + "/result"
+	for {
+		code, body, err := c.get(path)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case code == http.StatusOK:
+			return body, nil
+		case code == http.StatusAccepted && wait:
+			c.doSleep(200 * time.Millisecond)
+		case code == http.StatusInternalServerError:
+			var st JobStatus
+			if json.Unmarshal(body, &st) == nil && st.State == StateFailed {
+				return nil, fmt.Errorf("%w: %s", ErrJobFailed, st.Error)
+			}
+			return nil, apiErr(fmt.Sprintf("%d %s", code, http.StatusText(code)), body)
+		default:
+			return nil, apiErr(fmt.Sprintf("%d %s", code, http.StatusText(code)), body)
+		}
+	}
+}
+
+// Watch follows the job's SSE feed, writing one line per event to w,
+// until the job reaches a terminal state; the final state is returned.
+// A torn stream — daemon restart, slow-consumer eviction, proxy timeout —
+// reconnects with Last-Event-ID, so the caller sees one continuous
+// stream across any number of server lives. Receiving events counts as
+// progress and resets the retry budget; only consecutive dead
+// connections exhaust it.
+func (c *Client) Watch(id string, w io.Writer) (string, error) {
+	lastID := -1
+	attempt := 0
+	for {
+		state, gotAny, err := c.streamOnce(id, &lastID, w)
+		if state != "" {
+			return state, nil
+		}
+		if err != nil && !IsTransient(err) {
+			return "", err
+		}
+		if gotAny {
+			attempt = 0
+		}
+		attempt++
+		if attempt > c.retries() {
+			return "", fmt.Errorf("watch %s: stream did not recover: %w", id, err)
+		}
+		c.pause("watch "+id, attempt)
+	}
+}
+
+// streamOnce runs a single SSE connection. It updates *lastID as events
+// arrive (ids restart after a daemon restart; the latest received id is
+// authoritative) and reports whether any event arrived. A terminal "end"
+// event returns the job's final state; everything else returns "" and an
+// error describing the disconnect.
+func (c *Client) streamOnce(id string, lastID *int, w io.Writer) (string, bool, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return "", false, err
+	}
+	if *lastID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(*lastID))
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", false, &transientError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		body, _ := io.ReadAll(resp.Body)
+		err := apiErr(resp.Status, body)
+		if transientStatus(resp.StatusCode) {
+			return "", false, &transientError{err}
+		}
+		return "", false, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var event string
+	gotAny := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			if n, err := strconv.Atoi(strings.TrimPrefix(line, "id: ")); err == nil {
+				*lastID = n
+			}
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "end":
+				var end struct {
+					State string `json:"state"`
+				}
+				if json.Unmarshal([]byte(data), &end) == nil && end.State != "" {
+					return end.State, true, nil
+				}
+				return StateDone, true, nil
+			case "evicted":
+				// The server cut us off for stalling; reconnect and let
+				// Last-Event-ID replay what the bounded buffer dropped.
+				return "", gotAny, &transientError{errors.New("evicted by server; reconnecting")}
+			default:
+				gotAny = true
+				fmt.Fprintf(w, "%-12s %s\n", event, data)
+			}
+		}
+	}
+	err = sc.Err()
+	if err == nil {
+		err = errors.New("stream ended without a terminal event")
+	}
+	return "", gotAny, &transientError{err}
+}

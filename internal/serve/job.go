@@ -18,6 +18,17 @@ const (
 	StateFailed  = "failed"
 )
 
+// Per-subscriber SSE bounds. Each subscriber owns a buffer of subBuffer
+// events; when it overflows, the oldest buffered event is dropped (the
+// client sees the gap in the SSE ids and can replay via Last-Event-ID).
+// A subscriber that accumulates subEvictDrops drops without ever draining
+// is evicted — its channel is closed and the connection torn down — so a
+// stalled peer can never pin memory or block the simulation's event path.
+const (
+	subBuffer     = 64
+	subEvictDrops = 256
+)
+
 // JobSpec is the request body of POST /v1/jobs: the benchmark (an
 // application name, or a "synth:..." pseudo-benchmark for network-only
 // runs) plus the machine geometry, resolved through the same
@@ -26,6 +37,20 @@ const (
 type JobSpec struct {
 	Bench string `json:"bench"`
 	experiments.Geometry
+}
+
+// seqEvent is one run event with its position in the job's event log —
+// the SSE id, which lets a reconnecting client resume via Last-Event-ID.
+type seqEvent struct {
+	Seq int
+	Ev  experiments.RunEvent
+}
+
+// subscriber is one live SSE consumer: a bounded buffer plus a drop
+// count. Fields are guarded by the owning Job's mutex.
+type subscriber struct {
+	ch      chan seqEvent
+	dropped int
 }
 
 // Job is one submitted simulation. Identity is the run hash — the same
@@ -39,8 +64,10 @@ type Job struct {
 
 	mu        sync.Mutex
 	state     string
+	resumed   bool      // re-enqueued from the durable job store at startup
+	onEvict   func(int) // server's eviction counter; called under mu
 	events    []experiments.RunEvent
-	subs      map[chan experiments.RunEvent]struct{}
+	subs      map[*subscriber]struct{}
 	result    *system.Result
 	errText   string
 	coalesced uint64
@@ -56,6 +83,7 @@ type JobStatus struct {
 	State     string `json:"state"`
 	Bench     string `json:"bench"`
 	Config    string `json:"config"`
+	Resumed   bool   `json:"resumed,omitempty"`
 	Coalesced uint64 `json:"coalesced"`
 	Events    int    `json:"events"`
 	Created   string `json:"created"`
@@ -81,6 +109,7 @@ func (j *Job) Status() JobStatus {
 		Hash:      j.Hash,
 		State:     j.state,
 		Bench:     j.Spec.Bench,
+		Resumed:   j.resumed,
 		Coalesced: j.coalesced,
 		Events:    len(j.events),
 		Created:   rfc3339(j.created),
@@ -96,42 +125,78 @@ func (j *Job) Status() JobStatus {
 }
 
 // deliver appends one run event and fans it out to live subscribers.
-// Subscriber channels are buffered; a subscriber that cannot keep up
-// drops events rather than stalling the simulation goroutine (SSE
-// clients replay the full log on reconnect).
+// Every send is non-blocking: a full subscriber drops its oldest buffered
+// event to make room (the SSE id sequence exposes the gap, and the client
+// replays it via Last-Event-ID on reconnect), and a subscriber that keeps
+// overflowing is evicted outright. A stalled consumer therefore costs the
+// simulation goroutine nothing — routeEvent can never block here.
 func (j *Job) deliver(ev experiments.RunEvent) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	seq := len(j.events)
 	j.events = append(j.events, ev)
-	for ch := range j.subs {
+	var evicted int
+	for sub := range j.subs {
 		select {
-		case ch <- ev:
+		case sub.ch <- seqEvent{seq, ev}:
+			continue
 		default:
 		}
+		// Buffer full: drop the oldest event, then retry once. The second
+		// send can only fail if the consumer raced a drain in between, in
+		// which case the event is simply dropped too.
+		select {
+		case <-sub.ch:
+		default:
+		}
+		sub.dropped++
+		select {
+		case sub.ch <- seqEvent{seq, ev}:
+		default:
+			sub.dropped++
+		}
+		if sub.dropped >= subEvictDrops {
+			delete(j.subs, sub)
+			close(sub.ch)
+			evicted++
+		}
+	}
+	if evicted > 0 && j.onEvict != nil {
+		j.onEvict(evicted)
 	}
 }
 
-// subscribe returns the event log so far plus a live channel for what
-// follows. The channel is closed when the job reaches a terminal state;
-// cancel detaches early.
-func (j *Job) subscribe() (replay []experiments.RunEvent, ch chan experiments.RunEvent, cancel func()) {
+// subscribe returns the event log from offset onward plus a live channel
+// for what follows. The channel is closed when the job reaches a terminal
+// state (or the subscriber is evicted for stalling); cancel detaches
+// early. An offset beyond the log yields an empty replay.
+func (j *Job) subscribe(offset int) (replay []seqEvent, ch chan seqEvent, cancel func()) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	replay = append([]experiments.RunEvent(nil), j.events...)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(j.events) {
+		offset = len(j.events)
+	}
+	replay = make([]seqEvent, 0, len(j.events)-offset)
+	for i := offset; i < len(j.events); i++ {
+		replay = append(replay, seqEvent{i, j.events[i]})
+	}
 	if j.state == StateDone || j.state == StateFailed {
 		return replay, nil, func() {}
 	}
-	ch = make(chan experiments.RunEvent, 64)
+	sub := &subscriber{ch: make(chan seqEvent, subBuffer)}
 	if j.subs == nil {
-		j.subs = make(map[chan experiments.RunEvent]struct{})
+		j.subs = make(map[*subscriber]struct{})
 	}
-	j.subs[ch] = struct{}{}
-	return replay, ch, func() {
+	j.subs[sub] = struct{}{}
+	return replay, sub.ch, func() {
 		j.mu.Lock()
 		defer j.mu.Unlock()
-		if _, ok := j.subs[ch]; ok {
-			delete(j.subs, ch)
-			close(ch)
+		if _, ok := j.subs[sub]; ok {
+			delete(j.subs, sub)
+			close(sub.ch)
 		}
 	}
 }
@@ -158,9 +223,9 @@ func (j *Job) finish(res system.Result, err error) {
 		j.state = StateDone
 		j.result = &res
 	}
-	for ch := range j.subs {
-		delete(j.subs, ch)
-		close(ch)
+	for sub := range j.subs {
+		delete(j.subs, sub)
+		close(sub.ch)
 	}
 }
 

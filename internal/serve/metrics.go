@@ -21,13 +21,18 @@ const latWindow = 1024
 // metricsState aggregates the daemon's counters and the job-latency
 // window. All fields are concurrency-safe.
 type metricsState struct {
-	submitted atomic.Uint64 // every POST /v1/jobs that parsed
-	coalesced atomic.Uint64 // submits folded onto an existing job
-	rejected  atomic.Uint64 // 429s: queue full
-	done      atomic.Uint64
-	failed    atomic.Uint64
-	inflight  atomic.Uint64
-	sseSubs   atomic.Uint64
+	submitted   atomic.Uint64 // every POST /v1/jobs that parsed
+	coalesced   atomic.Uint64 // submits folded onto an existing job
+	rejected    atomic.Uint64 // 429s: queue full
+	done        atomic.Uint64
+	failed      atomic.Uint64
+	inflight    atomic.Uint64
+	sseSubs     atomic.Uint64
+	sseEvicted  atomic.Uint64 // stalled SSE subscribers evicted
+	resumed     atomic.Uint64 // jobs re-enqueued from the ledger at startup
+	orphaned    atomic.Uint64 // ledger jobs whose identity no longer resolves
+	panics      atomic.Uint64 // panics recovered in HTTP handlers
+	storeErrors atomic.Uint64 // job-store appends that failed a submission
 
 	latMu  sync.Mutex
 	lats   [latWindow]float64 // seconds, ring buffer
@@ -70,7 +75,7 @@ func (m *metricsState) quantiles() (p50, p99, sum float64, n uint64) {
 // hits) ride along so a scrape can compute the cache hit ratio and — as
 // the CI smoke test does — prove that coalesced submissions cost one
 // fresh simulation.
-func (m *metricsState) write(w io.Writer, r *experiments.Runner, queueDepth, queueCap int) {
+func (m *metricsState) write(w io.Writer, r *experiments.Runner, store *JobStore, queueDepth, queueCap int) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -86,6 +91,19 @@ func (m *metricsState) write(w io.Writer, r *experiments.Runner, queueDepth, que
 	gauge("atacd_queue_depth", "Jobs waiting for a worker.", queueDepth)
 	gauge("atacd_queue_capacity", "Bounded queue capacity.", queueCap)
 	gauge("atacd_sse_subscribers", "Open event-stream connections.", int(m.sseSubs.Load()))
+	counter("atacd_sse_evicted_total", "Stalled event-stream subscribers evicted.", m.sseEvicted.Load())
+	counter("atacd_jobs_resumed_total", "Jobs re-enqueued from the durable job store at startup.", m.resumed.Load())
+	counter("atacd_jobs_orphaned_total", "Stored jobs whose identity no longer resolves.", m.orphaned.Load())
+	counter("atacd_http_panics_total", "Panics recovered in HTTP handlers.", m.panics.Load())
+	counter("atacd_store_errors_total", "Job-store appends that refused a submission.", m.storeErrors.Load())
+	if store != nil {
+		writable := 0
+		if store.Writable() {
+			writable = 1
+		}
+		gauge("atacd_store_writable", "Whether the job store can take an append (1) or not (0).", writable)
+		gauge("atacd_store_pending", "Jobs accepted but not yet terminally settled in the store.", store.Pending())
+	}
 
 	fresh, hits := r.FreshRuns(), r.CacheHits()
 	counter("atacd_runner_fresh_runs_total", "Simulations actually executed by the campaign engine.", fresh)

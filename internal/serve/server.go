@@ -7,16 +7,27 @@
 // layer), Prometheus-style /metrics, and graceful drain on SIGTERM via
 // the campaign's two-stage shutdown machinery.
 //
+// The daemon is crash-only (store.go): accepted jobs are persisted to a
+// JSONL ledger before the 202 response, startup replays the ledger and
+// re-enqueues everything unsettled, and the campaign cache + journal
+// guarantee the replay costs zero duplicate simulations. HTTP handlers
+// are panic-isolated and (except the SSE stream) bounded by a per-request
+// timeout, and SSE subscribers are evicted rather than ever back-pressuring
+// the simulation's event path.
+//
 // API:
 //
 //	POST /v1/jobs              submit a JobSpec; 202 new, 200 coalesced,
 //	                           429+Retry-After queue full, 503 draining
+//	                           or job store unwritable
 //	GET  /v1/jobs              list job statuses
 //	GET  /v1/jobs/{id}         one job's status
 //	GET  /v1/jobs/{id}/result  the completed system.Result (202 while
 //	                           pending, 500 if the run failed)
-//	GET  /v1/jobs/{id}/events  SSE: replayed + live RunEvents
-//	GET  /healthz              daemon health, version, cache schema
+//	GET  /v1/jobs/{id}/events  SSE: replayed + live RunEvents, with ids;
+//	                           honors Last-Event-ID on reconnect
+//	GET  /healthz              daemon health, version, cache schema,
+//	                           job-store state (503 when unwritable)
 //	GET  /metrics              Prometheus text exposition
 package serve
 
@@ -27,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -49,6 +61,14 @@ type Options struct {
 	Workers int
 	// RetryAfter is the hint returned with 429 responses. Zero means 5s.
 	RetryAfter time.Duration
+	// RequestTimeout bounds every non-streaming HTTP request. Zero means
+	// 15s; negative disables the bound (tests).
+	RequestTimeout time.Duration
+	// Store, if non-nil, is the durable job ledger: accepted jobs are
+	// persisted before the 202 response and replayed (re-enqueued) on
+	// startup, making the daemon survivable under SIGKILL. Nil serves
+	// non-durably.
+	Store *JobStore
 }
 
 // Server is the daemon: a job registry and bounded queue in front of one
@@ -68,12 +88,13 @@ type Server struct {
 	draining atomic.Bool
 	drainCh  chan struct{}
 	workers  sync.WaitGroup
+	resumer  sync.WaitGroup
 	baseCtx  context.Context
 
 	met metricsState
 
 	// execute is the simulation seam: Runner.RunContext in production,
-	// a stub in queue/admission tests.
+	// a stub in queue/admission/chaos tests.
 	execute func(ctx context.Context, cfg config.Config, bench string) (system.Result, error)
 
 	// benches is the set of valid application benchmark names, resolved
@@ -81,11 +102,21 @@ type Server struct {
 	benches map[string]bool
 }
 
-// New builds a Server on the Runner and wires the Runner's Events hook to
-// the per-job fan-out. The Runner should already carry its cache, journal
-// and retry policy; New additionally sets Events (and leaves EpochCycles
-// to the caller — atacd sets it so fresh runs stream epoch progress).
+// New builds a Server on the Runner, wires the Runner's Events hook to
+// the per-job fan-out, and — when Options.Store is set — replays the job
+// ledger, re-enqueueing every job the previous process owed an answer
+// for. The Runner should already carry its cache, journal and retry
+// policy; New additionally sets Events (and leaves EpochCycles to the
+// caller — atacd sets it so fresh runs stream epoch progress).
 func New(r *experiments.Runner, opt Options, logf func(format string, args ...any)) *Server {
+	s := newServer(r, opt, logf)
+	s.resume()
+	return s
+}
+
+// newServer is New without the ledger replay (chaos tests stub execute
+// between construction and resume).
+func newServer(r *experiments.Runner, opt Options, logf func(format string, args ...any)) *Server {
 	if opt.QueueDepth <= 0 {
 		opt.QueueDepth = 64
 	}
@@ -94,6 +125,9 @@ func New(r *experiments.Runner, opt Options, logf func(format string, args ...an
 	}
 	if opt.RetryAfter <= 0 {
 		opt.RetryAfter = 5 * time.Second
+	}
+	if opt.RequestTimeout == 0 {
+		opt.RequestTimeout = 15 * time.Second
 	}
 	if logf == nil {
 		logf = log.Printf
@@ -126,6 +160,82 @@ func New(r *experiments.Runner, opt Options, logf func(format string, args ...an
 // in-flight simulations at the kernel's next poll).
 func (s *Server) SetBaseContext(ctx context.Context) { s.baseCtx = ctx }
 
+// resume replays the durable job ledger: every job that is not terminally
+// settled — and every settled one whose result a lingering client may
+// still ask for — is re-registered and re-enqueued. Re-running settled
+// work is free: done runs answer from the persistent cache and failed
+// runs are recalled from the campaign journal, so a SIGKILL at any
+// instant converges to the same bytes with zero duplicate simulations.
+//
+// Registration is synchronous (a client reconnecting the moment the
+// listener opens must find its job), but enqueueing happens on a
+// background goroutine with blocking sends: a ledger larger than the
+// queue simply feeds the workers as they drain. Jobs whose stored spec no
+// longer resolves to its stored identity — a schema bump or changed
+// campaign options — are orphaned: settled terminally in the ledger and
+// registered as failed so clients get an answer instead of a 404.
+func (s *Server) resume() {
+	if s.opt.Store == nil {
+		return
+	}
+	var pending []*Job
+	for _, e := range s.opt.Store.Entries() {
+		if e.Status == StoreOrphaned || e.Status == StoreRejected {
+			continue
+		}
+		cfg, hash, spec, err := s.resolve(e.Spec)
+		if err != nil || hash != e.Hash {
+			if err == nil {
+				err = fmt.Errorf("stored identity %s resolves to %s (schema or campaign options changed)",
+					shortID(e.Hash), shortID(hash))
+			}
+			s.met.orphaned.Add(1)
+			s.opt.Store.Settle(e.ID, e.Hash, StoreOrphaned, err.Error())
+			j := &Job{ID: e.ID, Hash: e.Hash, Spec: e.Spec, state: StateFailed,
+				resumed: true, errText: "orphaned: " + err.Error(),
+				created: time.Now(), finished: time.Now()}
+			j.onEvict = s.noteEvicted
+			s.mu.Lock()
+			s.jobs[j.ID] = j
+			s.byHash[j.Hash] = j
+			s.mu.Unlock()
+			s.logf("resume: orphaned job %s (%s): %v", e.ID, e.Spec.Bench, err)
+			continue
+		}
+		j := &Job{ID: e.ID, Hash: hash, Spec: spec, Cfg: cfg,
+			state: StateQueued, resumed: true, created: time.Now()}
+		j.onEvict = s.noteEvicted
+		s.mu.Lock()
+		s.jobs[j.ID] = j
+		s.byHash[hash] = j
+		s.mu.Unlock()
+		s.met.resumed.Add(1)
+		pending = append(pending, j)
+	}
+	if len(pending) == 0 {
+		return
+	}
+	s.logf("resume: re-enqueueing %d job(s) from %s", len(pending), s.opt.Store.Path())
+	s.resumer.Add(1)
+	go func() {
+		defer s.resumer.Done()
+		for _, j := range pending {
+			select {
+			case s.queue <- j:
+			case <-s.drainCh:
+				// Draining: the job stays accepted in the ledger and the
+				// next startup resumes it. Crash-only means never racing a
+				// shutdown to finish bookkeeping.
+				return
+			}
+		}
+	}()
+}
+
+// noteEvicted counts SSE subscribers evicted for stalling (called from
+// Job.deliver under the job's mutex).
+func (s *Server) noteEvicted(n int) { s.met.sseEvicted.Add(uint64(n)) }
+
 // routeEvent delivers a Runner event to the job owning its run hash.
 // Events for runs not submitted through the API (none, in practice) are
 // dropped.
@@ -150,9 +260,11 @@ func (s *Server) worker() {
 		j.finish(res, err)
 		if err != nil {
 			s.met.failed.Add(1)
+			s.opt.Store.Settle(j.ID, j.Hash, StoreFailed, err.Error())
 			s.logf("job %s (%s): %v", j.ID, j.Spec.Bench, err)
 		} else {
 			s.met.done.Add(1)
+			s.opt.Store.Settle(j.ID, j.Hash, StoreDone, "")
 		}
 		s.met.inflight.Add(^uint64(0))
 	}
@@ -175,6 +287,7 @@ func (s *Server) Draining() <-chan struct{} { return s.drainCh }
 // for workers to finish the jobs they hold — or for ctx, whichever first.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.Drain()
+	s.resumer.Wait() // unblocked by drainCh; must not race the queue close
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -194,17 +307,52 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Handler returns the daemon's HTTP routes.
+// Handler returns the daemon's HTTP routes, each panic-isolated and —
+// except the long-lived SSE stream — bounded by the per-request timeout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.Handle("POST /v1/jobs", s.timed(s.handleSubmit))
+	mux.Handle("GET /v1/jobs", s.timed(s.handleList))
+	mux.Handle("GET /v1/jobs/{id}", s.timed(s.handleStatus))
+	mux.Handle("GET /v1/jobs/{id}/result", s.timed(s.handleResult))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	mux.Handle("GET /healthz", s.timed(s.handleHealthz))
+	mux.Handle("GET /metrics", s.timed(s.handleMetrics))
+	return s.recovered(mux)
+}
+
+// timed bounds one JSON endpoint with the per-request timeout. The
+// standard TimeoutHandler both cancels the request context and guards the
+// ResponseWriter after expiry, which is exactly the protection a
+// misbehaving (slow-reading) peer calls for.
+func (s *Server) timed(h http.HandlerFunc) http.Handler {
+	if s.opt.RequestTimeout < 0 {
+		return h
+	}
+	return http.TimeoutHandler(h, s.opt.RequestTimeout, `{"error":"request timed out"}`)
+}
+
+// recovered panic-isolates the HTTP surface, mirroring the campaign's
+// worker isolation: a panicking handler logs its stack, counts on
+// /metrics, and answers 500 — it never takes the daemon down with it.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler { // deliberate aborts pass through
+				panic(p)
+			}
+			s.met.panics.Add(1)
+			s.logf("panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			// Best effort: if the handler already wrote, this is a no-op
+			// beyond a log line from net/http.
+			writeJSON(w, http.StatusInternalServerError, apiError{"internal error"})
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -219,16 +367,26 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// resolve validates a JobSpec and derives its config and run identity.
-// Unspecified geometry fields take the daemon's defaults (-cores, -seed)
-// before hashing, so "whatever the daemon defaults to" and the explicit
-// equivalent are the same job.
-func (s *Server) resolve(spec JobSpec) (config.Config, string, error) {
+// shortID abbreviates a run hash to the API's job-ID length.
+func shortID(hash string) string {
+	if len(hash) > 16 {
+		return hash[:16]
+	}
+	return hash
+}
+
+// resolve validates a JobSpec and derives its config and run identity,
+// returning the *resolved* spec — unspecified geometry fields replaced by
+// the daemon's defaults (-cores, -seed) before hashing, so "whatever the
+// daemon defaults to" and the explicit equivalent are the same job, and
+// so the job store persists an identity that survives a restart with
+// different defaults.
+func (s *Server) resolve(spec JobSpec) (config.Config, string, JobSpec, error) {
 	if spec.Bench == "" {
-		return config.Config{}, "", errors.New("missing bench")
+		return config.Config{}, "", spec, errors.New("missing bench")
 	}
 	if _, ok := experiments.ParseSynthBench(spec.Bench); !ok && !s.benches[spec.Bench] {
-		return config.Config{}, "", fmt.Errorf("unknown benchmark %q", spec.Bench)
+		return config.Config{}, "", spec, fmt.Errorf("unknown benchmark %q", spec.Bench)
 	}
 	if spec.Cores == 0 {
 		spec.Cores = s.runner.Opt.Cores
@@ -238,9 +396,9 @@ func (s *Server) resolve(spec JobSpec) (config.Config, string, error) {
 	}
 	cfg, err := experiments.BuildConfig(spec.Geometry)
 	if err != nil {
-		return config.Config{}, "", err
+		return config.Config{}, "", spec, err
 	}
-	return cfg, s.runner.RunHash(cfg, spec.Bench), nil
+	return cfg, s.runner.RunHash(cfg, spec.Bench), spec, nil
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -249,7 +407,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{"bad request body: " + err.Error()})
 		return
 	}
-	cfg, hash, err := s.resolve(spec)
+	cfg, hash, spec, err := s.resolve(spec)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
 		return
@@ -259,7 +417,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if j, ok := s.byHash[hash]; ok {
 		// Identical spec already known — whatever its state, this request
-		// coalesces onto it and never costs a second simulation.
+		// coalesces onto it and never costs a second simulation. This is
+		// also what makes client re-submits after a transport error (or a
+		// daemon restart) idempotent: the run hash is the request identity.
 		j.mu.Lock()
 		j.coalesced++
 		j.mu.Unlock()
@@ -274,12 +434,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := &Job{
-		ID:      hash[:16],
+		ID:      shortID(hash),
 		Hash:    hash,
 		Spec:    spec,
 		Cfg:     cfg,
 		state:   StateQueued,
 		created: time.Now(),
+		onEvict: s.noteEvicted,
+	}
+	// Durability before admission: the job must be on disk before any
+	// response promises it. An unwritable ledger refuses work — /healthz
+	// flips 503 in parallel so load balancers stop routing here.
+	if err := s.opt.Store.Accept(j.ID, hash, spec); err != nil {
+		s.mu.Unlock()
+		s.met.storeErrors.Add(1)
+		s.logf("job store: %v", err)
+		writeJSON(w, http.StatusServiceUnavailable, apiError{"job store unwritable: " + err.Error()})
+		return
 	}
 	// Register before enqueueing: a worker may start the job the moment
 	// it hits the queue, and routeEvent must already find it by hash.
@@ -291,6 +462,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		delete(s.jobs, j.ID)
 		delete(s.byHash, hash)
 		s.mu.Unlock()
+		s.opt.Store.Settle(j.ID, hash, StoreRejected, "queue full")
 		s.met.rejected.Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.opt.RetryAfter/time.Second)))
 		writeJSON(w, http.StatusTooManyRequests,
@@ -344,9 +516,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams the job's RunEvents as Server-Sent Events: the
-// full log so far is replayed, then live events follow until the job
-// reaches a terminal state (or the client goes away). Event names are
-// the run phases; payloads are the JSON RunEvents.
+// log so far is replayed, then live events follow until the job reaches a
+// terminal state (or the client goes away, or it stalls long enough to be
+// evicted). Every event carries an SSE id — its index in the job's event
+// log — and the handler honors the standard Last-Event-ID header, so a
+// reconnecting client (atacctl watch after a daemon restart) resumes
+// exactly where its previous connection tore.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
@@ -358,22 +533,28 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotImplemented, apiError{"streaming unsupported"})
 		return
 	}
+	offset := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if last, err := strconv.Atoi(v); err == nil && last >= 0 {
+			offset = last + 1
+		}
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	replay, live, cancel := j.subscribe()
+	replay, live, cancel := j.subscribe(offset)
 	defer cancel()
 	s.met.sseSubs.Add(1)
 	defer s.met.sseSubs.Add(^uint64(0))
 
-	emit := func(ev experiments.RunEvent) {
-		data, _ := json.Marshal(ev)
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Phase, data)
+	emit := func(se seqEvent) {
+		data, _ := json.Marshal(se.Ev)
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", se.Seq, se.Ev.Phase, data)
 		fl.Flush()
 	}
-	for _, ev := range replay {
-		emit(ev)
+	for _, se := range replay {
+		emit(se)
 	}
 	if live == nil { // already terminal: replay was the whole story
 		fmt.Fprintf(w, "event: end\ndata: {\"state\":%q}\n\n", j.State())
@@ -382,13 +563,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	for {
 		select {
-		case ev, ok := <-live:
+		case se, ok := <-live:
 			if !ok {
-				fmt.Fprintf(w, "event: end\ndata: {\"state\":%q}\n\n", j.State())
+				if st := j.State(); st == StateDone || st == StateFailed {
+					fmt.Fprintf(w, "event: end\ndata: {\"state\":%q}\n\n", st)
+				} else {
+					// Evicted for stalling: tell the client to reconnect
+					// (with Last-Event-ID) rather than pretending the job
+					// ended.
+					fmt.Fprint(w, "event: evicted\ndata: {}\n\n")
+				}
 				fl.Flush()
 				return
 			}
-			emit(ev)
+			emit(se)
 		case <-r.Context().Done():
 			return
 		}
@@ -397,12 +585,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 // Health is the /healthz body.
 type Health struct {
-	Status      string `json:"status"` // ok | draining
-	Version     string `json:"version"`
-	CacheSchema int    `json:"cache_schema"`
-	Jobs        int    `json:"jobs"`
-	QueueDepth  int    `json:"queue_depth"`
-	QueueCap    int    `json:"queue_capacity"`
+	Status      string       `json:"status"` // ok | draining | store-unwritable
+	Version     string       `json:"version"`
+	CacheSchema int          `json:"cache_schema"`
+	Jobs        int          `json:"jobs"`
+	QueueDepth  int          `json:"queue_depth"`
+	QueueCap    int          `json:"queue_capacity"`
+	Store       *StoreHealth `json:"store,omitempty"`
+}
+
+// StoreHealth is the job ledger's slice of /healthz: where it lives,
+// whether it can take an append right now, and the resume bookkeeping a
+// fleet operator watches after rolling restarts.
+type StoreHealth struct {
+	Path     string `json:"path"`
+	Writable bool   `json:"writable"`
+	Pending  int    `json:"pending"`  // accepted, not yet terminally settled
+	Resumed  int    `json:"resumed"`  // re-enqueued from the ledger at startup
+	Orphaned int    `json:"orphaned"` // stored identity no longer resolves
+	LastErr  string `json:"last_error,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -419,6 +620,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		QueueCap:    s.opt.QueueDepth,
 	}
 	code := http.StatusOK
+	if st := s.opt.Store; st != nil {
+		sh := &StoreHealth{
+			Path:     st.Path(),
+			Writable: st.Writable(),
+			Pending:  st.Pending(),
+			Resumed:  int(s.met.resumed.Load()),
+			Orphaned: int(s.met.orphaned.Load()),
+		}
+		if err := st.LastErr(); err != nil {
+			sh.LastErr = err.Error()
+		}
+		h.Store = sh
+		if !sh.Writable {
+			// A daemon that cannot persist work must not be routed new
+			// work: accepting a job it could lose breaks the crash-only
+			// contract.
+			h.Status = "store-unwritable"
+			code = http.StatusServiceUnavailable
+		}
+	}
 	if s.draining.Load() {
 		h.Status = "draining"
 		code = http.StatusServiceUnavailable
@@ -428,7 +649,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.runner, len(s.queue), s.opt.QueueDepth)
+	s.met.write(w, s.runner, s.opt.Store, len(s.queue), s.opt.QueueDepth)
 }
 
 func configString(cfg config.Config) string {

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Chaos smoke test of the crash-only serving stack (atacd + atacctl).
+#
+# A small campaign is submitted through the daemon while the daemon is
+# SIGKILLed — no drain, no cleanup — at seeded random points and
+# restarted each time. The crash-only contract requires:
+#
+#   1. every client (atacctl submit -wait) rides across the kills on its
+#      own retries and SSE reconnection, and exits 0;
+#   2. the restarted daemon resumes the jobs the dead one owed answers
+#      for, and the campaign completes;
+#   3. zero duplicate simulations, verified from the run journal: each
+#      run hash has at most one "done" record across all daemon lives
+#      (cache recalls write no journal records, so a duplicate line is a
+#      duplicate simulation);
+#   4. the served results match a direct atacsim run of the same spec.
+#
+# Seeded: CHAOS_SEED (default 42) fixes the kill schedule; CHAOS_KILLS
+# (default 2) is how many times the daemon dies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cores=16
+seed=42
+addr=127.0.0.1:18477
+base=http://$addr
+chaos_seed=${CHAOS_SEED:-42}
+kills=${CHAOS_KILLS:-2}
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+    wait 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/atacd" ./cmd/atacd
+go build -o "$workdir/atacctl" ./cmd/atacctl
+go build -o "$workdir/atacsim" ./cmd/atacsim
+
+start_daemon() {
+    "$workdir/atacd" -addr "$addr" -cores "$cores" -seed "$seed" \
+        -cache-dir "$workdir/cache" -jobs 2 -grace 30s \
+        >>"$workdir/atacd.log" 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 1 50); do
+        curl -fsS "$base/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$daemon_pid" 2>/dev/null || { cat "$workdir/atacd.log"; echo "FAIL: daemon died on startup"; exit 1; }
+        sleep 0.2
+    done
+    cat "$workdir/atacd.log"
+    echo "FAIL: daemon did not come up on $addr"
+    exit 1
+}
+
+echo "== reference run (direct atacsim)"
+"$workdir/atacsim" -bench radix -cores "$cores" -seed "$seed" > "$workdir/ref.txt"
+ref_cycles=$(awk '/^completion time/ { print $3 }' "$workdir/ref.txt")
+ref_instr=$(awk '/^instructions/ { print $2 }' "$workdir/ref.txt")
+echo "   reference: $ref_cycles cycles, $ref_instr instructions"
+
+echo "== start daemon (seed=$chaos_seed kills=$kills)"
+start_daemon
+
+echo "== submit campaign (3 clients, -wait, riding restarts on retries)"
+client_pids=()
+i=0
+for bench in radix fft water; do
+    i=$((i+1))
+    "$workdir/atacctl" -addr "$base" -retries 12 \
+        submit -bench "$bench" -cores "$cores" -seed "$seed" -wait \
+        > "$workdir/result$i.json" 2> "$workdir/client$i.log" &
+    client_pids+=($!)
+done
+
+for k in $(seq 1 "$kills"); do
+    # Seeded random kill point: somewhere inside the campaign's runtime.
+    delay=$(awk -v s="$((chaos_seed + k))" 'BEGIN { srand(s); printf "%.2f", 0.15 + rand() * 0.9 }')
+    sleep "$delay"
+    echo "== SIGKILL $k/$kills after ${delay}s"
+    kill -9 "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    daemon_pid=""
+    start_daemon
+done
+
+echo "== wait for clients"
+fail=0
+for i in 1 2 3; do
+    if ! wait "${client_pids[$((i-1))]}"; then
+        echo "FAIL: client $i exited non-zero"
+        sed 's/^/   client'"$i"': /' "$workdir/client$i.log"
+        fail=1
+    fi
+done
+[ "$fail" = 0 ] || { echo "-- daemon log:"; cat "$workdir/atacd.log"; exit 1; }
+
+echo "== served results are complete and radix matches atacsim"
+for i in 1 2 3; do
+    grep -q '"Finished": *true' "$workdir/result$i.json" \
+        || { echo "FAIL: result $i incomplete"; cat "$workdir/result$i.json"; exit 1; }
+done
+job_cycles=$(grep -o '"Cycles": *[0-9]*' "$workdir/result1.json" | head -1 | grep -o '[0-9]*')
+job_instr=$(grep -o '"Instructions": *[0-9]*' "$workdir/result1.json" | head -1 | grep -o '[0-9]*')
+echo "   served:    $job_cycles cycles, $job_instr instructions"
+[ "$job_cycles" = "$ref_cycles" ] || { echo "FAIL: served cycles $job_cycles != atacsim $ref_cycles"; exit 1; }
+[ "$job_instr" = "$ref_instr" ] || { echo "FAIL: served instructions $job_instr != atacsim $ref_instr"; exit 1; }
+
+echo "== journal-verified zero duplicate simulations"
+# Raw line count, BEFORE the final daemon shutdown: a clean Close compacts
+# the journal to one line per run and would hide duplicates. Every fresh
+# simulation appends exactly one "done" record; cache recalls append none.
+journal="$workdir/cache/journal.jsonl"
+[ -f "$journal" ] || { echo "FAIL: no journal at $journal"; exit 1; }
+dups=$(grep '"status":"done"' "$journal" | grep -o '"hash":"[0-9a-f]*"' \
+    | sort | uniq -c | awk '$1 > 1' || true)
+if [ -n "$dups" ]; then
+    echo "FAIL: duplicate simulations in the journal:"
+    echo "$dups"
+    exit 1
+fi
+done_lines=$(grep -c '"status":"done"' "$journal")
+echo "   $done_lines simulations journaled across all daemon lives, no hash twice"
+
+echo "== daemon settled: nothing pending in the job store"
+# Clients exit the moment their job reports done; the worker's ledger
+# settle (and the resumed jobs' cache recalls) may land moments later.
+settled=0
+for _ in $(seq 1 25); do
+    health=$(curl -fsS "$base/healthz")
+    if echo "$health" | grep -q '"pending": *0'; then settled=1; break; fi
+    sleep 0.2
+done
+[ "$settled" = 1 ] || { echo "FAIL: store still pending: $health"; exit 1; }
+echo "$health" | grep -q '"writable": *true' || { echo "FAIL: store not writable: $health"; exit 1; }
+grep -q 'resume: re-enqueueing' "$workdir/atacd.log" \
+    || { echo "FAIL: no resume in the daemon log (kill landed outside the campaign?)"; cat "$workdir/atacd.log"; exit 1; }
+
+echo "PASS: chaos smoke ($kills SIGKILLs, clients survived, zero duplicate sims, result parity)"
