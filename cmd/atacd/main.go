@@ -56,6 +56,7 @@ func run() int {
 		scale    = flag.Int("scale", 1, "workload scale factor (part of every run's identity)")
 		seed     = flag.Int64("seed", 42, "default simulation seed")
 		jobsN    = flag.Int("jobs", 0, "max concurrent simulations (0: REPRO_JOBS env, else GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "parallel PDES shards per simulation (0: REPRO_SHARDS env, else 1 = serial; results and cache entries are identical either way)")
 		depth    = flag.Int("queue-depth", 64, "bounded job queue length; beyond it submits get 429")
 		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (default: REPRO_CACHE env, else the user cache dir)")
 		noCache  = flag.Bool("no-cache", false, "disable the persistent result cache")
@@ -79,6 +80,7 @@ func run() int {
 
 	r := experiments.NewRunner(experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed})
 	r.Jobs = *jobsN
+	r.Shards = *shards
 	r.Retries = *retries
 	r.RunTimeout = *runTimeout
 	r.RecallFailures = true

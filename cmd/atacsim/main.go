@@ -44,6 +44,7 @@ func main() {
 		flit    = flag.Int("flit", 64, "flit width in bits")
 		rthres  = flag.Int("rthres", 0, "distance routing threshold (0 = auto)")
 		seed    = flag.Int64("seed", 42, "simulation seed")
+		shards  = flag.Int("shards", 0, "parallel PDES shards, one per cluster-row slab (0: REPRO_SHARDS env, else 1 = serial; results are bit-identical either way)")
 		heat    = flag.Bool("heatmap", false, "print the mesh congestion heatmap")
 		traceN  = flag.Int("trace", 0, "dump the last N protocol events after the run")
 		cfgPath = flag.String("config", "", "load the system configuration from this JSON file (overrides the geometry flags)")
@@ -129,9 +130,30 @@ func main() {
 		go func() { log.Println(http.ListenAndServe(*pprofAddr, nil)) }()
 	}
 
-	sys, err := system.New(cfg)
+	nsh := *shards
+	if nsh <= 0 {
+		nsh = experiments.DefaultShards()
+	}
+	if nsh > 1 && (*traceN > 0 || *traceOut != "") {
+		// The protocol trace ring records the coherence layer's global event
+		// order from concurrent shard goroutines without synchronization;
+		// only the serial kernel can feed it coherently.
+		log.Println("protocol tracing forces serial execution; ignoring -shards")
+		nsh = 1
+	}
+	sys, err := system.NewSharded(cfg, nsh)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if nsh > 1 && sys.Shards != nsh {
+		if cfg.Fault.Enabled {
+			// The injector draws from one global RNG stream whose draw order
+			// no conservative window schedule can reproduce.
+			log.Println("fault injection forces serial execution; ignoring -shards")
+		} else {
+			log.Printf("using %d shards (%d requested; shards must divide the %d cluster rows)",
+				sys.Shards, nsh, cfg.MeshDim()/cfg.ClusterDim)
+		}
 	}
 	spec, err := system.WorkloadFor(cfg, *bench, *scale)
 	if err != nil {
@@ -147,7 +169,7 @@ func main() {
 	}
 	var col *metrics.Collector
 	if *metricsDir != "" || *traceOut != "" {
-		col = metrics.New(sys.K, sim.Time(*epochN))
+		col = metrics.New(sys.Clock(), sim.Time(*epochN))
 		sys.AttachMetrics(col)
 	}
 	// SIGINT/SIGTERM (and -run-timeout) cancel the simulation cooperatively

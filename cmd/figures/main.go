@@ -52,6 +52,7 @@ func run() int {
 		format   = flag.String("format", "text", "output format: text, csv, json")
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
 		jobsN    = flag.Int("jobs", 0, "max concurrent simulations (0: REPRO_JOBS env, else GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "parallel PDES shards per simulation (0: REPRO_SHARDS env, else 1 = serial; results and cache entries are identical either way)")
 		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (default: REPRO_CACHE env, else the user cache dir)")
 		noCache  = flag.Bool("no-cache", false, "disable the persistent result cache")
 		cacheMax = flag.Int64("cache-max-bytes", 0, "bound the on-disk cache, evicting least-recently-used entries (0 = unbounded)")
@@ -84,6 +85,7 @@ func run() int {
 	o := experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed}
 	r := experiments.NewRunner(o)
 	r.Jobs = *jobsN
+	r.Shards = *shards
 	r.Cache = openCache(*cacheDir, *noCache, *clear)
 	if r.Cache != nil {
 		r.Cache.MaxBytes = *cacheMax

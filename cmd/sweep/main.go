@@ -37,6 +37,7 @@ import (
 // sweepOpts carries the campaign-engine knobs of a system sweep.
 type sweepOpts struct {
 	jobs       int
+	shards     int
 	cacheDir   string
 	noCache    bool
 	runTimeout time.Duration
@@ -60,6 +61,7 @@ func run() int {
 		pattern  = flag.String("pattern", "uniform", "traffic pattern (load sweeps): "+strings.Join(traffic.Patterns(), ", "))
 		seed     = flag.Int64("seed", 42, "seed")
 		jobsN    = flag.Int("jobs", 0, "max concurrent simulations (0: REPRO_JOBS env, else GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "parallel PDES shards per simulation (0: REPRO_SHARDS env, else 1 = serial; load sweeps are synthetic and always serial)")
 		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (default: REPRO_CACHE env, else disabled)")
 		noCache  = flag.Bool("no-cache", false, "disable the persistent result cache")
 
@@ -89,7 +91,7 @@ func run() int {
 		return sweepLoad(*pattern, *cores, vals, *seed)
 	case "flit", "rthres", "sharers":
 		return sweepSystem(*param, *bench, *net, *cores, vals, *seed, sweepOpts{
-			jobs: *jobsN, cacheDir: *cacheDir, noCache: *noCache,
+			jobs: *jobsN, shards: *shards, cacheDir: *cacheDir, noCache: *noCache,
 			runTimeout: *runTimeout, retries: *retries, grace: *grace,
 		})
 	default:
@@ -149,6 +151,7 @@ func sweepSystem(param, bench, net string, cores int, vals []int, seed int64, o 
 
 	r := experiments.NewRunner(experiments.Options{Cores: cores, Scale: 1, Seed: seed})
 	r.Jobs = o.jobs
+	r.Shards = o.shards
 	r.Retries = o.retries
 	r.RunTimeout = o.runTimeout
 	r.RecallFailures = true

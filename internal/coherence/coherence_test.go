@@ -111,7 +111,7 @@ func TestWriteInvalidatesSharers(t *testing.T) {
 	// ACKwise4 with 16 sharers: the sharer list must have overflowed,
 	// so the write triggers a broadcast invalidation.
 	do(k, s, 5, OpStore, 0x2000, 99)
-	if s.stats.InvBroadcasts == 0 {
+	if s.Stats().InvBroadcasts == 0 {
 		t.Error("expected a broadcast invalidation after sharer overflow")
 	}
 	for c := 0; c < 16; c++ {
@@ -127,13 +127,13 @@ func TestUnicastInvalidationUnderK(t *testing.T) {
 	for _, c := range []int{1, 2, 3} {
 		do(k, s, c, OpLoad, 0x3000, 0)
 	}
-	pre := s.stats.InvBroadcasts
+	pre := s.Stats().InvBroadcasts
 	do(k, s, 8, OpStore, 0x3000, 7)
-	if s.stats.InvBroadcasts != pre {
+	if s.Stats().InvBroadcasts != pre {
 		t.Error("unexpected broadcast for under-K sharers")
 	}
-	if s.stats.InvUnicasts != 3 {
-		t.Errorf("InvUnicasts = %d, want 3", s.stats.InvUnicasts)
+	if s.Stats().InvUnicasts != 3 {
+		t.Errorf("InvUnicasts = %d, want 3", s.Stats().InvUnicasts)
 	}
 }
 
@@ -141,8 +141,8 @@ func TestUpgradeFastPath(t *testing.T) {
 	k, s := fixture(t, nil)
 	do(k, s, 4, OpLoad, 0x4000, 0)
 	do(k, s, 4, OpStore, 0x4000, 5)
-	if s.stats.UpgradeFastPath != 1 {
-		t.Errorf("UpgradeFastPath = %d, want 1", s.stats.UpgradeFastPath)
+	if s.Stats().UpgradeFastPath != 1 {
+		t.Errorf("UpgradeFastPath = %d, want 1", s.Stats().UpgradeFastPath)
 	}
 }
 
@@ -216,7 +216,7 @@ func TestEvictionPressure(t *testing.T) {
 			t.Fatalf("word %d = %d, want %d", i, got, i+1)
 		}
 	}
-	if s.stats.EvictionsM == 0 {
+	if s.Stats().EvictionsM == 0 {
 		t.Error("expected dirty evictions under pressure")
 	}
 	if !s.Quiesced() {
@@ -233,7 +233,7 @@ func TestSharedEvictionNotifiesACKwise(t *testing.T) {
 	for i := uint64(0); i < 64; i++ {
 		do(k, s, 0, OpLoad, 0x20000+i*512, 0) // distinct lines, same set region
 	}
-	if s.stats.EvictionsS == 0 {
+	if s.Stats().EvictionsS == 0 {
 		t.Error("ACKwise must notify shared evictions")
 	}
 }
@@ -247,8 +247,8 @@ func TestDirKBSilentEvictions(t *testing.T) {
 	for i := uint64(0); i < 64; i++ {
 		do(k, s, 0, OpLoad, 0x20000+i*512, 0)
 	}
-	if s.stats.EvictionsS != 0 {
-		t.Errorf("DirkB must evict shared lines silently, saw %d EvictS", s.stats.EvictionsS)
+	if s.Stats().EvictionsS != 0 {
+		t.Errorf("DirkB must evict shared lines silently, saw %d EvictS", s.Stats().EvictionsS)
 	}
 	// Re-reading after silent eviction must still work (stale directory
 	// list tolerated).
@@ -264,9 +264,9 @@ func TestDirKBBroadcastAcksFromAll(t *testing.T) {
 	for c := 0; c < 16; c++ {
 		do(k, s, c, OpLoad, 0x7000, 0)
 	}
-	pre := s.stats.AcksCollected
+	pre := s.Stats().AcksCollected
 	do(k, s, 0, OpStore, 0x7000, 1)
-	acks := s.stats.AcksCollected - pre
+	acks := s.Stats().AcksCollected - pre
 	if acks != 16 {
 		t.Errorf("DirkB collected %d acks, want 16 (all cores)", acks)
 	}
@@ -277,9 +277,9 @@ func TestACKwiseBroadcastAcksFromSharersOnly(t *testing.T) {
 	for c := 0; c < 8; c++ {
 		do(k, s, c, OpLoad, 0x8000, 0)
 	}
-	pre := s.stats.AcksCollected
+	pre := s.Stats().AcksCollected
 	do(k, s, 0, OpStore, 0x8000, 1)
-	acks := s.stats.AcksCollected - pre
+	acks := s.Stats().AcksCollected - pre
 	// 8 sharers (including the writer, which also acks the broadcast).
 	if acks != 8 {
 		t.Errorf("ACKwise collected %d acks, want 8 (actual sharers)", acks)
@@ -455,7 +455,7 @@ func TestDeterminism(t *testing.T) {
 			k.Schedule(sim.Time(c%4), func() { step(30) })
 		}
 		k.RunAll()
-		return s.stats.DirAccesses, s.stats.InvBroadcasts, k.Now()
+		return s.Stats().DirAccesses, s.Stats().InvBroadcasts, k.Now()
 	}
 	a1, b1, t1 := run()
 	a2, b2, t2 := run()

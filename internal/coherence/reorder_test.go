@@ -160,9 +160,9 @@ func TestReorderUnicastGatedBehindBroadcast(t *testing.T) {
 	// Fabricate the gating scenario directly: core 10 has seen no
 	// broadcasts; hand it a unicast with seq 1.
 	ctrl := s.ctrls[10]
-	before := s.stats.ReorderBufferedUni
+	before := s.Stats().ReorderBufferedUni
 	ctrl.handleUnicast(&Msg{Type: MsgInv, Line: 0x1000, From: 0, Slice: 0, Seq: 1})
-	if s.stats.ReorderBufferedUni != before+1 {
+	if s.Stats().ReorderBufferedUni != before+1 {
 		t.Fatal("unicast with unseen seq not buffered")
 	}
 	if len(ctrl.uniBuf[0]) != 1 {
@@ -196,7 +196,7 @@ func TestReorderBcastDroppedAfterGrant(t *testing.T) {
 	if len(ctrl.bcastBuf[0x1000]) != 1 {
 		t.Fatal("broadcast not buffered behind pending ShReq")
 	}
-	if s.stats.ReorderBufferedBcast != 1 {
+	if s.Stats().ReorderBufferedBcast != 1 {
 		t.Fatal("buffer statistic not counted")
 	}
 	// lastSeq advanced at arrival (release gating is arrival-ordered).
@@ -378,7 +378,8 @@ func TestStringersCoverage(t *testing.T) {
 		t.Error("msg string empty")
 	}
 	var sys System
-	sys.stats.DirAccesses = 3
+	sys.stats = make([]Stats, 1)
+	sys.Stats().DirAccesses = 3
 	if sys.Stats().DirAccesses != 3 {
 		t.Error("Stats accessor")
 	}

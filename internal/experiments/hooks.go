@@ -74,17 +74,19 @@ func (r *Runner) RunHash(cfg config.Config, bench string) string {
 // built explicitly so a metrics collector can be attached, and each
 // closed epoch fans out as a PhaseEpoch event. Chunked kernel execution
 // is provably non-perturbing (see system.runKernel), so results are
-// bit-identical to the unobserved path.
+// bit-identical to the unobserved path. Sharding composes: epochs are
+// sampled at engine barriers (no shard is running while the collector
+// reads), and the collector stamps time from the engine's global clock.
 func (r *Runner) runObserved(ctx context.Context, cfg config.Config, bench string) (system.Result, error) {
 	spec, err := system.WorkloadFor(cfg, bench, r.Opt.Scale)
 	if err != nil {
 		return system.Result{}, err
 	}
-	sys, err := system.New(cfg)
+	sys, err := system.NewSharded(cfg, r.shards())
 	if err != nil {
 		return system.Result{}, err
 	}
-	col := metrics.New(sys.K, r.EpochCycles)
+	col := metrics.New(sys.Clock(), r.EpochCycles)
 	sys.AttachMetrics(col)
 	hash := r.RunHash(cfg, bench)
 	label := configLabel(cfg)

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 )
 
 // HistBuckets is the fixed bucket count of Histogram. Buckets are
@@ -22,7 +23,12 @@ type Histogram struct {
 	Counts [HistBuckets]uint64
 }
 
-// Observe records one value. Safe (and free) on a nil receiver.
+// Observe records one value. Safe (and free) on a nil receiver. The
+// increment is atomic so one histogram can be fed from every shard of a
+// partitioned simulation concurrently; counts are exact because addition
+// commutes. Readers (collector epochs, report quantiles) run at window
+// barriers or after the run, where the engine's synchronization orders
+// all increments before the read.
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
@@ -31,7 +37,7 @@ func (h *Histogram) Observe(v uint64) {
 	if b >= HistBuckets {
 		b = HistBuckets - 1
 	}
-	h.Counts[b]++
+	atomic.AddUint64(&h.Counts[b], 1)
 }
 
 // Total returns the number of recorded observations.

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/config"
 	"repro/internal/fault"
@@ -30,10 +31,15 @@ type Atac struct {
 	enet    *Mesh
 	hubs    []*hub
 	deliver DeliverFunc
-	stats   Stats
+	d       *sim.Domain
+	stats   []Stats // one block per shard; Stats() merges
+	snap    Stats
 	// pendingTX[cluster] counts messages committed to that cluster's
 	// optical channel but not yet transmitted (the token counter the
-	// adaptive routing policy consults).
+	// adaptive routing policy consults). Sharding keeps this unsynchro-
+	// nized: shards are unions of whole clusters, so a cluster's cores,
+	// its hub, and therefore every reader and writer of its counter live
+	// on one shard.
 	pendingTX []int
 
 	// Per-pair FIFO restoration for adaptive routing: once the path of a
@@ -41,19 +47,24 @@ type Atac struct {
 	// same-pair ordering assumption must be enforced at the receiving
 	// NIC (a small reorder CAM in hardware). Unused (nil) for the
 	// oblivious policies, whose fixed paths are FIFO by construction.
-	pairNext map[pairKey]uint64
-	pairWant map[pairKey]uint64
-	pairHeld map[pairKey]map[uint64]*Message
+	// pairNext is consulted at the sender (indexed by the source's
+	// shard); pairWant/pairHeld at the receiving NIC (indexed by the
+	// destination's shard) — each map is touched by exactly one shard.
+	pairFIFO bool
+	pairNext []map[pairKey]uint64
+	pairWant []map[pairKey]uint64
+	pairHeld []map[pairKey]map[uint64]*Message
 
-	// outstanding counts in-flight optical/receive-net jobs (test hook).
-	outstanding int
+	// outstanding counts in-flight optical/receive-net jobs per shard
+	// (test hook; Drained sums).
+	outstanding []int
 
 	inj *fault.Injector    // nil = perfect interconnect
 	lat *metrics.Histogram // nil = latency histogram disabled
 }
 
 // NewAtac builds the fabric from a validated config with an optical
-// network kind.
+// network kind, on a single kernel (a one-shard domain).
 func NewAtac(k *sim.Kernel, cfg *config.Config) *Atac {
 	if !cfg.Network.Kind.IsOptical() {
 		panic(fmt.Sprintf("noc: NewAtac called for %v", cfg.Network.Kind))
@@ -69,18 +80,58 @@ func NewAtac(k *sim.Kernel, cfg *config.Config) *Atac {
 	// where channel degradation reroutes optical unicasts onto the ENet
 	// mid-run (optical retransmission itself is stop-and-wait and cannot
 	// reorder, but the optical->electrical switch can).
-	if cfg.Network.Routing == config.AdaptiveRouting || cfg.Fault.Enabled {
-		a.pairNext = make(map[pairKey]uint64)
-		a.pairWant = make(map[pairKey]uint64)
-		a.pairHeld = make(map[pairKey]map[uint64]*Message)
-	}
+	a.pairFIFO = cfg.Network.Routing == config.AdaptiveRouting || cfg.Fault.Enabled
 	a.hubs = make([]*hub, cfg.Clusters())
 	for i := range a.hubs {
 		h := &hub{a: a, cluster: i}
 		h.rxFree = make([]sim.Time, n.StarNetsPerCl)
 		a.hubs[i] = h
 	}
+	a.Partition(sim.SerialDomain(k, cfg.MeshDim()*cfg.MeshDim()))
 	return a
+}
+
+// Partition (re)binds the fabric onto a shard domain: the ENet mesh is
+// partitioned tile by tile, each hub joins the shard owning its cluster's
+// cores, and the statistics / FIFO-restoration / outstanding state is
+// split per shard. The domain must keep every cluster within one shard
+// (the system layer's cluster-row slabs do); hub->hub optical deliveries
+// are the only cross-shard edges and must be no faster than the
+// engine's lookahead, which Partition validates.
+func (a *Atac) Partition(d *sim.Domain) {
+	a.d = d
+	a.K = d.ShardK(0)
+	a.enet.Partition(d)
+	a.stats = make([]Stats, d.NumShards())
+	a.outstanding = make([]int, d.NumShards())
+	if a.pairFIFO {
+		a.pairNext = make([]map[pairKey]uint64, d.NumShards())
+		a.pairWant = make([]map[pairKey]uint64, d.NumShards())
+		a.pairHeld = make([]map[pairKey]map[uint64]*Message, d.NumShards())
+		for i := 0; i < d.NumShards(); i++ {
+			a.pairNext[i] = make(map[pairKey]uint64)
+			a.pairWant[i] = make(map[pairKey]uint64)
+			a.pairHeld[i] = make(map[pairKey]map[uint64]*Message)
+		}
+	}
+	for _, h := range a.hubs {
+		hubCore := a.Cfg.HubCore(h.cluster)
+		h.k = d.K(hubCore)
+		h.sh = d.Shard(hubCore)
+		h.st = &a.stats[h.sh]
+		for _, c := range h.clusterBaseCores() {
+			if d.Shard(c) != h.sh {
+				panic(fmt.Sprintf("noc: cluster %d split across shards (core %d on %d, hub on %d)",
+					h.cluster, c, d.Shard(c), h.sh))
+			}
+		}
+	}
+	if sh := d.Sharded(); sh != nil && d.NumShards() > 1 {
+		minHop := sim.Time(a.Cfg.Network.SelectDataLag + 1 + a.Cfg.Network.ONetLinkDelay)
+		if minHop < sh.Lookahead() {
+			panic(fmt.Sprintf("noc: ONet hub-to-hub latency %d below engine lookahead %d", minHop, sh.Lookahead()))
+		}
+	}
 }
 
 // SetDeliver implements Network.
@@ -96,16 +147,30 @@ func (a *Atac) SetFaults(inj *fault.Injector) {
 }
 
 // Stats implements Network; ENet flit counters are folded in on read.
+// With one shard the live block is returned (counters keep moving through
+// the pointer); with several, a merged snapshot — valid at window barriers
+// and after the run, where the engine orders all shard writes before us.
 func (a *Atac) Stats() *Stats {
 	ms := a.enet.Stats()
-	a.stats.MeshLinkFlits = ms.MeshLinkFlits
-	a.stats.MeshRouterFlits = ms.MeshRouterFlits
-	a.stats.MeshFlitErrors = ms.MeshFlitErrors
-	a.stats.MeshNacks = ms.MeshNacks
-	a.stats.MeshRetxFlits = ms.MeshRetxFlits
-	a.stats.MeshRetriesExhausted = ms.MeshRetriesExhausted
-	return &a.stats
+	s := &a.stats[0]
+	if len(a.stats) > 1 {
+		a.snap = Stats{}
+		for i := range a.stats {
+			a.snap.MergeFrom(&a.stats[i])
+		}
+		s = &a.snap
+	}
+	s.MeshLinkFlits = ms.MeshLinkFlits
+	s.MeshRouterFlits = ms.MeshRouterFlits
+	s.MeshFlitErrors = ms.MeshFlitErrors
+	s.MeshNacks = ms.MeshNacks
+	s.MeshRetxFlits = ms.MeshRetxFlits
+	s.MeshRetriesExhausted = ms.MeshRetriesExhausted
+	return s
 }
+
+// statsAt returns the statistics block of the shard owning core c.
+func (a *Atac) statsAt(c int) *Stats { return &a.stats[a.d.Shard(c)] }
 
 // DegradedClusters lists the clusters whose optical channel has been
 // declared degraded (observability hook).
@@ -139,8 +204,13 @@ func (a *Atac) BusyCycles() uint64 {
 
 // Drained reports whether no traffic remains anywhere in the fabric.
 func (a *Atac) Drained() bool {
-	if !a.enet.Drained() || a.outstanding != 0 {
+	if !a.enet.Drained() {
 		return false
+	}
+	for _, o := range a.outstanding {
+		if o != 0 {
+			return false
+		}
 	}
 	for _, h := range a.hubs {
 		if h.txBusy || len(h.txq) > 0 {
@@ -150,24 +220,29 @@ func (a *Atac) Drained() bool {
 	return true
 }
 
-// Send implements Network.
+// Send implements Network. It runs on the shard owning m.Src (senders
+// inject from their own tile's events), so the source-side bookkeeping —
+// statistics, pair sequencing, the pendingTX token — is shard-local.
 func (a *Atac) Send(m *Message) {
-	m.Inject = a.K.Now()
+	sk := a.d.K(m.Src)
+	st := a.statsAt(m.Src)
+	m.Inject = sk.Now()
 	n := FlitsFor(m.Bits, a.Cfg.Network.FlitBits)
-	a.stats.InjectedFlits += uint64(n)
+	st.InjectedFlits += uint64(n)
 	if m.Dst == BroadcastDst {
-		a.stats.BroadcastSent++
+		st.BroadcastSent++
 		a.sendViaHub(m)
 		return
 	}
-	a.stats.UnicastSent++
-	if a.pairNext != nil {
+	st.UnicastSent++
+	if a.pairFIFO {
+		next := a.pairNext[a.d.Shard(m.Src)]
 		k := pairKey{m.Src, m.Dst}
-		m.pairSeq = a.pairNext[k] + 1 // 1-based; 0 means unsequenced
-		a.pairNext[k] = m.pairSeq
+		m.pairSeq = next[k] + 1 // 1-based; 0 means unsequenced
+		next[k] = m.pairSeq
 	}
 	if m.Dst == m.Src {
-		a.K.Schedule(1, func() { a.deliverCore(m.Dst, m) })
+		sk.Schedule(1, func() { a.deliverCore(m.Dst, m) })
 		return
 	}
 	srcCl, dstCl := a.Cfg.ClusterOf(m.Src), a.Cfg.ClusterOf(m.Dst)
@@ -195,8 +270,8 @@ func (a *Atac) Send(m *Message) {
 	// FIFO the coherence protocol's sequence numbers assume.
 	if useONet && a.hubs[srcCl].degraded {
 		useONet = false
-		a.stats.ReroutedMsgs++
-		a.stats.ReroutedFlits += uint64(n)
+		st.ReroutedMsgs++
+		st.ReroutedFlits += uint64(n)
 	}
 	if useONet {
 		a.sendViaHub(m)
@@ -206,13 +281,15 @@ func (a *Atac) Send(m *Message) {
 }
 
 // sendViaHub routes m over the ENet to its cluster hub (unless the source
-// core hosts the hub) and enqueues it for optical transmission.
+// core hosts the hub) and enqueues it for optical transmission. The hub
+// shares the source core's shard (clusters are never split), so the direct
+// enqueue and the pendingTX increment stay shard-local.
 func (a *Atac) sendViaHub(m *Message) {
 	cl := a.Cfg.ClusterOf(m.Src)
 	a.pendingTX[cl]++
 	hubCore := a.Cfg.HubCore(cl)
 	if m.Src == hubCore {
-		a.K.Schedule(1, func() { a.hubs[cl].enqueueTX(m) })
+		a.d.K(m.Src).Schedule(1, func() { a.hubs[cl].enqueueTX(m) })
 		return
 	}
 	wrap := &Message{Src: m.Src, Dst: hubCore, Bits: m.Bits, Payload: m, viaHub: true, Inject: m.Inject}
@@ -230,31 +307,36 @@ func (a *Atac) enetDeliver(dst int, m *Message) {
 	a.deliverCore(dst, m)
 }
 
+// deliverCore runs on the shard owning dst (every path that reaches it —
+// self-delivery, ENet ejection, hub receive fan-out — executes there), so
+// the reorder CAM state is indexed by dst's shard without synchronization.
 func (a *Atac) deliverCore(dst int, m *Message) {
 	// Restore per-pair FIFO order under adaptive routing.
-	if a.pairWant != nil && m.pairSeq != 0 {
+	if a.pairFIFO && m.pairSeq != 0 {
+		sh := a.d.Shard(dst)
+		pairWant, pairHeld := a.pairWant[sh], a.pairHeld[sh]
 		k := pairKey{m.Src, m.Dst}
-		want := a.pairWant[k] + 1
+		want := pairWant[k] + 1
 		if m.pairSeq != want {
-			held := a.pairHeld[k]
+			held := pairHeld[k]
 			if held == nil {
 				held = make(map[uint64]*Message)
-				a.pairHeld[k] = held
+				pairHeld[k] = held
 			}
 			held[m.pairSeq] = m
 			return
 		}
-		a.pairWant[k] = want
+		pairWant[k] = want
 		a.deliverNow(dst, m)
 		// Drain any consecutively held successors.
 		for {
-			held := a.pairHeld[k]
-			next, ok := held[a.pairWant[k]+1]
+			held := pairHeld[k]
+			next, ok := held[pairWant[k]+1]
 			if !ok {
 				return
 			}
-			delete(held, a.pairWant[k]+1)
-			a.pairWant[k]++
+			delete(held, pairWant[k]+1)
+			pairWant[k]++
 			a.deliverNow(dst, next)
 		}
 	}
@@ -264,15 +346,17 @@ func (a *Atac) deliverCore(dst int, m *Message) {
 type pairKey struct{ src, dst int }
 
 func (a *Atac) deliverNow(dst int, m *Message) {
-	a.stats.Delivered++
+	st := a.statsAt(dst)
+	now := a.d.K(dst).Now()
+	st.Delivered++
 	if m.IsBroadcast() {
-		a.stats.BroadcastRecv++
+		st.BroadcastRecv++
 	} else {
-		a.stats.UnicastRecv++
+		st.UnicastRecv++
 	}
-	a.stats.RecordLatency(a.K.Now() - m.Inject)
-	a.stats.RecordClassLatency(m.Class, a.K.Now()-m.Inject)
-	a.lat.Observe(uint64(a.K.Now() - m.Inject))
+	st.RecordLatency(now - m.Inject)
+	st.RecordClassLatency(m.Class, now-m.Inject)
+	a.lat.Observe(uint64(now - m.Inject))
 	if a.deliver != nil {
 		a.deliver(dst, m)
 	}
@@ -284,12 +368,18 @@ func (a *Atac) deliverNow(dst int, m *Message) {
 type hub struct {
 	a       *Atac
 	cluster int
+	k       *sim.Kernel // kernel of the shard owning this cluster
+	sh      int
+	st      *Stats // that shard's statistics block
 
 	txq    []*Message
 	txBusy bool
 
 	// rxFree[i] is the time receive network i is next available.
 	rxFree []sim.Time
+	// rxStage collects optical arrivals per arrival cycle; drainRX books
+	// them in canonical (sender-cluster) order — see scheduleRX.
+	rxStage map[sim.Time][]rxJob
 	// rxLastDone enforces in-order delivery completion across the
 	// parallel receive networks: the coherence protocol's sequence-number
 	// scheme assumes broadcasts and unicasts each stay FIFO among
@@ -310,7 +400,7 @@ type hub struct {
 
 func (h *hub) enqueueTX(m *Message) {
 	n := FlitsFor(m.Bits, h.a.Cfg.Network.FlitBits)
-	h.a.stats.HubFlits += uint64(n)
+	h.st.HubFlits += uint64(n)
 	h.txq = append(h.txq, m)
 	if !h.txBusy {
 		h.startTX()
@@ -356,12 +446,12 @@ func (h *hub) transmit(m *Message, retxTo []int) {
 		per := sim.Time(lag + n)
 		busy = per * sim.Time(len(retxTo))
 		h.busyCycles += uint64(busy)
-		h.a.stats.SelectEvents += uint64(len(retxTo))
-		h.a.stats.ONetUniPkts += uint64(len(retxTo))
-		h.a.stats.ONetUniFlits += uint64(len(retxTo) * n)
-		h.a.stats.LaserUniCycles += uint64(len(retxTo) * n)
-		h.a.stats.OpticalRetxPkts += uint64(len(retxTo))
-		h.a.stats.OpticalRetxFlits += uint64(len(retxTo) * n)
+		h.st.SelectEvents += uint64(len(retxTo))
+		h.st.ONetUniPkts += uint64(len(retxTo))
+		h.st.ONetUniFlits += uint64(len(retxTo) * n)
+		h.st.LaserUniCycles += uint64(len(retxTo) * n)
+		h.st.OpticalRetxPkts += uint64(len(retxTo))
+		h.st.OpticalRetxFlits += uint64(len(retxTo) * n)
 		for i, cl := range retxTo {
 			rx := h.a.hubs[cl]
 			arrive := sim.Time(i)*per + sim.Time(lag+1+oDelay)
@@ -369,7 +459,7 @@ func (h *hub) transmit(m *Message, retxTo []int) {
 				failed = append(failed, cl)
 				continue
 			}
-			rx.scheduleRX(h.a.K.Now()+arrive, m, n)
+			h.sendRX(rx, h.k.Now()+arrive, m, n)
 		}
 	case m.Dst == BroadcastDst && cfg.Network.BcastAsUnicast:
 		// Section V-D ablation: no native broadcast support on the
@@ -377,10 +467,10 @@ func (h *hub) transmit(m *Message, retxTo []int) {
 		// transmission per hub, each with its own select notification;
 		// receiving hubs still fan the copy out to their whole cluster.
 		hubs := len(h.a.hubs)
-		h.a.stats.SelectEvents += uint64(hubs)
-		h.a.stats.ONetUniPkts += uint64(hubs)
-		h.a.stats.ONetUniFlits += uint64(hubs * n)
-		h.a.stats.LaserUniCycles += uint64(hubs * n)
+		h.st.SelectEvents += uint64(hubs)
+		h.st.ONetUniPkts += uint64(hubs)
+		h.st.ONetUniFlits += uint64(hubs * n)
+		h.st.LaserUniCycles += uint64(hubs * n)
 		h.uniSinceLast = 0
 		per := sim.Time(lag + n)
 		busy = per * sim.Time(hubs)
@@ -394,13 +484,13 @@ func (h *hub) transmit(m *Message, retxTo []int) {
 				failed = append(failed, rx.cluster)
 				continue
 			}
-			rx.scheduleRX(h.a.K.Now()+arrive, m, n)
+			h.sendRX(rx, h.k.Now()+arrive, m, n)
 		}
 	case m.Dst == BroadcastDst:
-		h.a.stats.SelectEvents++
-		h.a.stats.ONetBcastPkts++
-		h.a.stats.ONetBcastFlits += uint64(n)
-		h.a.stats.LaserBcastCycles += uint64(n)
+		h.st.SelectEvents++
+		h.st.ONetBcastPkts++
+		h.st.ONetBcastFlits += uint64(n)
+		h.st.LaserBcastCycles += uint64(n)
 		h.uniSinceLast = 0
 		busy = sim.Time(lag + n)
 		h.busyCycles += uint64(busy)
@@ -415,13 +505,13 @@ func (h *hub) transmit(m *Message, retxTo []int) {
 				failed = append(failed, rx.cluster)
 				continue
 			}
-			rx.scheduleRX(h.a.K.Now()+arrive, m, n)
+			h.sendRX(rx, h.k.Now()+arrive, m, n)
 		}
 	default:
-		h.a.stats.SelectEvents++
-		h.a.stats.ONetUniPkts++
-		h.a.stats.ONetUniFlits += uint64(n)
-		h.a.stats.LaserUniCycles += uint64(n)
+		h.st.SelectEvents++
+		h.st.ONetUniPkts++
+		h.st.ONetUniFlits += uint64(n)
+		h.st.LaserUniCycles += uint64(n)
 		h.uniSinceLast++
 		busy = sim.Time(lag + n)
 		h.busyCycles += uint64(busy)
@@ -429,16 +519,16 @@ func (h *hub) transmit(m *Message, retxTo []int) {
 		if h.corrupted(rx, n, forced) {
 			failed = append(failed, rx.cluster)
 		} else {
-			rx.scheduleRX(h.a.K.Now()+sim.Time(lag+1+oDelay), m, n)
+			h.sendRX(rx, h.k.Now()+sim.Time(lag+1+oDelay), m, n)
 		}
 	}
 
-	h.a.K.Schedule(busy, func() {
+	h.k.Schedule(busy, func() {
 		if len(failed) > 0 {
 			// NACKed receivers remain: hold the channel through the
 			// backoff and retransmit to the failed subset only.
 			m.retx++
-			h.a.K.Schedule(h.a.inj.Backoff(int(m.retx)), func() {
+			h.k.Schedule(h.a.inj.Backoff(int(m.retx)), func() {
 				h.transmit(m, failed)
 			})
 			return
@@ -449,6 +539,20 @@ func (h *hub) transmit(m *Message, retxTo []int) {
 			h.startTX()
 		}
 	})
+}
+
+// sendRX books an optical arrival on the receiving hub at absolute time
+// 'at'. A same-shard receiver is booked directly; a remote one through a
+// cross-shard post, which is safe because 'at' (≥ SelectDataLag + 1 +
+// ONetLinkDelay ahead, validated at Partition time) lands beyond the
+// engine's current synchronization window.
+func (h *hub) sendRX(rx *hub, at sim.Time, m *Message, n int) {
+	if rx.sh == h.sh {
+		rx.scheduleRX(at, m, n, h.cluster)
+		return
+	}
+	cl := h.cluster
+	h.a.d.Post(h.sh, rx.sh, func() { rx.scheduleRX(at, m, n, cl) })
 }
 
 // corrupted draws the per-flit optical errors one receiving hub would see
@@ -466,16 +570,16 @@ func (h *hub) corrupted(rx *hub, n int, forced bool) bool {
 			errs++
 		}
 	}
-	h.a.stats.OpticalFlitErrors += uint64(errs)
+	h.st.OpticalFlitErrors += uint64(errs)
 	h.observe(n, errs)
 	if errs == 0 {
 		return false
 	}
 	if forced {
-		h.a.stats.OpticalRetriesExhausted++
+		h.st.OpticalRetriesExhausted++
 		return false
 	}
-	h.a.stats.OpticalNacks++
+	h.st.OpticalNacks++
 	return true
 }
 
@@ -495,25 +599,59 @@ func (h *hub) observe(flits, errs int) {
 	}
 	if float64(h.winErrs)/float64(h.winFlits) > inj.DegradeThreshold() {
 		h.degraded = true
-		h.a.stats.DegradedChannels++
+		h.st.DegradedChannels++
 	}
 	h.winFlits, h.winErrs = 0, 0
 }
 
-// scheduleRX books the message onto this cluster's earliest-free receive
-// network once its head flit arrives at 'arrive'.
-func (h *hub) scheduleRX(arrive sim.Time, m *Message, n int) {
-	h.a.outstanding++
-	h.a.K.At(arrive, func() {
-		h.a.outstanding--
-		h.receive(m, n)
-	})
+// scheduleRX stages the message for receive-network booking once its head
+// flit arrives at 'arrive'. Runs (and schedules) on the receiving hub's
+// shard. Same-cycle arrivals from several sender hubs are collected and
+// drained in one event in sender-cluster order: the greedy earliest-free
+// receive-network assignment depends on processing order, and the order
+// same-cycle events execute in is the one schedule-order artifact a
+// partitioned engine cannot reproduce — a canonical drain makes it
+// irrelevant on both engines. Every booking strictly precedes its arrival
+// cycle (arrive ≥ now+2 locally, and cross-shard posts apply at the
+// barrier before the window containing 'arrive'), so the stage is always
+// complete when the drain runs.
+func (h *hub) scheduleRX(arrive sim.Time, m *Message, n int, from int) {
+	h.a.outstanding[h.sh]++
+	if h.rxStage == nil {
+		h.rxStage = make(map[sim.Time][]rxJob)
+	}
+	jobs := h.rxStage[arrive]
+	h.rxStage[arrive] = append(jobs, rxJob{from, m, n})
+	if len(jobs) == 0 {
+		h.k.At(arrive, func() { h.drainRX(arrive) })
+	}
+}
+
+// rxJob is one staged optical arrival: the sender hub's cluster (the
+// canonical drain key — a serializing sender lands at most one arrival per
+// receiving hub per cycle) and the message it carries.
+type rxJob struct {
+	srcCl int
+	m     *Message
+	n     int
+}
+
+// drainRX books every arrival staged for cycle 'at' in sender-cluster
+// order.
+func (h *hub) drainRX(at sim.Time) {
+	jobs := h.rxStage[at]
+	delete(h.rxStage, at)
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].srcCl < jobs[j].srcCl })
+	for _, j := range jobs {
+		h.a.outstanding[h.sh]--
+		h.receive(j.m, j.n)
+	}
 }
 
 // receive distributes an optical arrival over the receive network.
 func (h *hub) receive(m *Message, n int) {
 	cfg := h.a.Cfg
-	h.a.stats.HubFlits += uint64(n)
+	h.st.HubFlits += uint64(n)
 
 	// Pick the earliest-free receive network (FIFO service).
 	best := 0
@@ -523,7 +661,7 @@ func (h *hub) receive(m *Message, n int) {
 		}
 	}
 	start := h.rxFree[best]
-	if now := h.a.K.Now(); start < now {
+	if now := h.k.Now(); start < now {
 		start = now
 	}
 	h.rxFree[best] = start + sim.Time(n)
@@ -536,16 +674,16 @@ func (h *hub) receive(m *Message, n int) {
 	bcast := m.Dst == BroadcastDst
 	if cfg.Network.ReceiveNet == config.BNet {
 		// The fan-out tree always drives every core.
-		h.a.stats.BNetFlits += uint64(n)
+		h.st.BNetFlits += uint64(n)
 	} else if bcast {
-		h.a.stats.StarBcastFlits += uint64(n)
+		h.st.StarBcastFlits += uint64(n)
 	} else {
-		h.a.stats.StarUniFlits += uint64(n)
+		h.st.StarUniFlits += uint64(n)
 	}
 
-	h.a.outstanding++
-	h.a.K.At(done, func() {
-		h.a.outstanding--
+	h.a.outstanding[h.sh]++
+	h.k.At(done, func() {
+		h.a.outstanding[h.sh]--
 		if bcast {
 			base := h.clusterBaseCores()
 			for _, c := range base {

@@ -55,6 +55,18 @@ type flit struct {
 	idx   int // flit index within the worm
 	n     int // total flits in the worm
 
+	// vis is the first cycle the switch allocator may consider this flit
+	// (input-register staging): a flit landing off a link — or injected
+	// locally — at cycle c is arbitrable from c+1, never the same cycle.
+	// This kills every arrival/tick and Send/tick same-cycle ordering
+	// dependence the serial kernel's global FIFO used to resolve and a
+	// partitioned engine cannot reproduce — and is what real registered
+	// router pipelines do anyway. (Local injections must be staged too:
+	// although Send runs on the owning shard, whether the router's tick
+	// event lands before or after the Send in the same cycle's bucket
+	// depends on event push positions, which drift between engines.)
+	vis sim.Time
+
 	// Link-level retry state (fault injection). attempts counts failed
 	// crossings of the current hop; retryAt gates the flit until its
 	// backoff expires. Both reset when the flit advances a hop.
@@ -85,14 +97,17 @@ type Mesh struct {
 
 	routers []*router
 	deliver DeliverFunc
-	stats   Stats
-	wormSeq uint64
+	d       *sim.Domain
+	stats   []Stats // one block per shard; Stats() merges
+	snap    Stats   // last merged snapshot (Stats() return target)
+	wormSeq []uint64
 	inj     *fault.Injector    // nil = perfect links
 	lat     *metrics.Histogram // nil = latency histogram disabled
 }
 
-// NewMesh builds the mesh. It panics on a non-positive geometry: meshes
-// are constructed from validated configs.
+// NewMesh builds the mesh on a single kernel (a one-shard domain). It
+// panics on a non-positive geometry: meshes are constructed from
+// validated configs.
 func NewMesh(k *sim.Kernel, dim, flitBits, bufFlits, routerDelay, linkDelay int, multicast bool) *Mesh {
 	if dim <= 0 || flitBits <= 0 || bufFlits <= 0 || routerDelay <= 0 || linkDelay <= 0 {
 		panic(fmt.Sprintf("noc: bad mesh geometry dim=%d flit=%d buf=%d", dim, flitBits, bufFlits))
@@ -112,7 +127,30 @@ func NewMesh(k *sim.Kernel, dim, flitBits, bufFlits, routerDelay, linkDelay int,
 		}
 		m.routers[i] = r
 	}
+	m.Partition(sim.SerialDomain(k, dim*dim))
 	return m
+}
+
+// Partition (re)binds the mesh onto a shard domain mapping every tile to
+// its owning shard kernel: per-router kernels, per-shard statistics
+// blocks and worm-id counters. Must be called before the first Send;
+// NewMesh installs a serial one-shard domain, so only partitioned
+// systems call this explicitly. Cross-shard flit handoff and credit
+// return go through the domain's Post channel; everything else a router
+// touches is shard-local.
+func (m *Mesh) Partition(d *sim.Domain) {
+	if d.Tiles() != len(m.routers) {
+		panic(fmt.Sprintf("noc: domain maps %d tiles, mesh has %d routers", d.Tiles(), len(m.routers)))
+	}
+	m.d = d
+	m.K = d.ShardK(0)
+	m.stats = make([]Stats, d.NumShards())
+	m.wormSeq = make([]uint64, d.NumShards())
+	for _, r := range m.routers {
+		r.k = d.K(r.id)
+		r.sh = d.Shard(r.id)
+		r.st = &m.stats[r.sh]
+	}
 }
 
 // SetDeliver installs the ejection callback.
@@ -126,27 +164,42 @@ func (m *Mesh) SetDeliver(fn DeliverFunc) { m.deliver = fn }
 // injector leaves the mesh perfect.
 func (m *Mesh) SetFaults(inj *fault.Injector) { m.inj = inj }
 
-// Stats returns the live counters.
-func (m *Mesh) Stats() *Stats { return &m.stats }
+// Stats returns the counters. On a serial (one-shard) mesh this is the
+// live block, exactly as before sharding existed; on a partitioned mesh
+// it is a merged snapshot of the per-shard blocks, refreshed on every
+// call — read it at a barrier (between Run windows) for a consistent
+// view.
+func (m *Mesh) Stats() *Stats {
+	if len(m.stats) == 1 {
+		return &m.stats[0]
+	}
+	m.snap = m.stats[0]
+	for i := 1; i < len(m.stats); i++ {
+		m.snap.MergeFrom(&m.stats[i])
+	}
+	return &m.snap
+}
 
 // SetLatencyHist attaches a per-delivery latency histogram (nil disables
 // it again). The delivery path pays one nil check when unobserved.
 func (m *Mesh) SetLatencyHist(h *metrics.Histogram) { m.lat = h }
 
-// Send implements Network.
+// Send implements Network. It runs on the source tile's shard kernel —
+// senders (cores, directories, hubs) always inject from their own tile's
+// events, so everything Send touches is shard-local.
 func (m *Mesh) Send(msg *Message) {
+	src := m.routers[msg.Src]
 	if !m.Transport {
-		msg.Inject = m.K.Now()
+		msg.Inject = src.k.Now()
 	}
 	n := FlitsFor(msg.Bits, m.FlitBits)
 	if msg.Dst == BroadcastDst {
 		if !m.Transport {
-			m.stats.BroadcastSent++
-			m.stats.InjectedFlits += uint64(n)
+			src.st.BroadcastSent++
+			src.st.InjectedFlits += uint64(n)
 		}
-		src := m.routers[msg.Src]
 		// Local copy to the source core.
-		m.K.Schedule(1, func() { m.eject(msg.Src, msg) })
+		src.k.Schedule(1, func() { m.eject(msg.Src, msg) })
 		if m.Multicast {
 			src.spawnRowAndCols(msg, n)
 		} else {
@@ -166,14 +219,14 @@ func (m *Mesh) Send(msg *Message) {
 		return
 	}
 	if !m.Transport {
-		m.stats.UnicastSent++
-		m.stats.InjectedFlits += uint64(n)
+		src.st.UnicastSent++
+		src.st.InjectedFlits += uint64(n)
 	}
 	if msg.Dst == msg.Src {
-		m.K.Schedule(1, func() { m.eject(msg.Dst, msg) })
+		src.k.Schedule(1, func() { m.eject(msg.Dst, msg) })
 		return
 	}
-	m.routers[msg.Src].enqueueWorm(msg, phaseNone, n)
+	src.enqueueWorm(msg, phaseNone, n)
 }
 
 // RouterFlits returns the per-router forwarded-flit counts (row-major),
@@ -205,16 +258,18 @@ func (m *Mesh) Drained() bool {
 }
 
 func (m *Mesh) eject(dst int, msg *Message) {
+	r := m.routers[dst]
 	if !m.Transport {
-		m.stats.Delivered++
+		now := r.k.Now()
+		r.st.Delivered++
 		if msg.Dst == BroadcastDst || msg.origBcast {
-			m.stats.BroadcastRecv++
+			r.st.BroadcastRecv++
 		} else {
-			m.stats.UnicastRecv++
+			r.st.UnicastRecv++
 		}
-		m.stats.RecordLatency(m.K.Now() - msg.Inject)
-		m.stats.RecordClassLatency(msg.Class, m.K.Now()-msg.Inject)
-		m.lat.Observe(uint64(m.K.Now() - msg.Inject))
+		r.st.RecordLatency(now - msg.Inject)
+		r.st.RecordClassLatency(msg.Class, now-msg.Inject)
+		m.lat.Observe(uint64(now - msg.Inject))
 	}
 	if m.deliver != nil {
 		m.deliver(dst, msg)
@@ -230,6 +285,9 @@ func (m *Mesh) eject(dst int, msg *Message) {
 // (arriveFn), so a link crossing schedules no per-flit closure either.
 type router struct {
 	m      *Mesh
+	k      *sim.Kernel // owning shard's kernel (== m.K when serial)
+	st     *Stats      // owning shard's statistics block
+	sh     int         // owning shard
 	id     int
 	x, y   int
 	tickFn func()
@@ -245,7 +303,18 @@ type router struct {
 	arriveFn [4]func()
 
 	fwdFlits  uint64 // flits this router moved (heatmap observability)
-	outCredit [4]int
+	outCredit [4]int // credits spendable now (downstream buffer slots)
+	// credQ stages credits returning on each output's reverse wire: the
+	// downstream router frees a slot at cycle c, and the credit becomes
+	// spendable here at c + LinkDelay (registered credit return — the
+	// wire is symmetric). Entries are (free-cycle) stamps in
+	// nondecreasing order; drainCredits folds the mature ones into
+	// outCredit at the top of each tick. Same staging discipline as flit
+	// arrival: no same-cycle cross-tile visibility, so credit-return
+	// ordering inside a cycle cannot matter — serial and sharded engines
+	// agree bit for bit.
+	credQ     [4][]sim.Time
+	credHead  [4]int
 	outLock   [numPorts]uint64 // worm holding each output; 0 = free
 	lockedIn  [numPorts]int    // input the locked worm streams from
 	rr        [numPorts]int    // round-robin arbitration pointer
@@ -318,19 +387,27 @@ func (r *router) spawnCols(msg *Message, n int) {
 }
 
 // enqueueWorm constructs a worm's flits directly in the local injection
-// queue (no intermediate worm slice).
+// queue (no intermediate worm slice). Worm ids are drawn from the owning
+// shard's counter with a stride making them globally unique and nonzero
+// (shard s issues s+1, n+s+1, 2n+s+1, ...; the one-shard sequence is
+// exactly the old serial 1, 2, 3, ...). Ids are only compared for
+// equality, so the numbering scheme is unobservable.
 func (r *router) enqueueWorm(msg *Message, ph mcPhase, n int) {
-	r.m.wormSeq++
+	nsh := uint64(len(r.m.wormSeq))
+	id := r.m.wormSeq[r.sh]*nsh + uint64(r.sh) + 1
+	r.m.wormSeq[r.sh]++
 	q := r.in[portLocal]
+	vis := r.k.Now() + 1 // input-register staging, same as link arrival
 	for i := 0; i < n; i++ {
-		q = append(q, flit{msg: msg, worm: r.m.wormSeq, phase: ph, idx: i, n: n})
+		q = append(q, flit{msg: msg, worm: id, phase: ph, idx: i, n: n, vis: vis})
 	}
 	r.in[portLocal] = q
 	r.wake()
 }
 
 // linkArrive lands the oldest in-flight flit of inbound link p in its
-// input queue. It is the pre-allocated event target for link crossings.
+// input queue, stamped visible from the next cycle (input-register
+// staging). It is the pre-allocated event target for link crossings.
 func (r *router) linkArrive(p int) {
 	f := r.linkQ[p][r.linkHead[p]]
 	r.linkQ[p][r.linkHead[p]] = flit{}
@@ -339,13 +416,39 @@ func (r *router) linkArrive(p int) {
 		r.linkQ[p] = r.linkQ[p][:0]
 		r.linkHead[p] = 0
 	}
+	f.vis = r.k.Now() + 1
 	r.in[p] = append(r.in[p], f)
 	r.wake()
 }
 
-func (r *router) addCredit(out int) {
-	r.outCredit[out]++
-	r.wake()
+// pushCredit stages one returning credit for output out, freed downstream
+// at cycle freed. No wake: a router with flits waiting on credit re-arms
+// its own tick every cycle (the end-of-tick wake), and a router with no
+// queued flits has nothing a credit could move — so the old wake-on-
+// credit was behaviorally a no-op, and dropping it is what lets credits
+// cross shard boundaries without an event.
+func (r *router) pushCredit(out int, freed sim.Time) {
+	r.credQ[out] = append(r.credQ[out], freed)
+}
+
+// drainCredits folds credits that have completed the reverse-wire
+// crossing (freed + LinkDelay <= now) into the spendable pool.
+func (r *router) drainCredits(now sim.Time) {
+	ld := sim.Time(r.m.LinkDelay)
+	for out := 0; out < 4; out++ {
+		q := r.credQ[out]
+		h := r.credHead[out]
+		for h < len(q) && q[h]+ld <= now {
+			r.outCredit[out]++
+			h++
+		}
+		if h == len(q) {
+			r.credQ[out] = q[:0]
+			r.credHead[out] = 0
+		} else {
+			r.credHead[out] = h
+		}
+	}
 }
 
 func (r *router) wake() {
@@ -353,7 +456,7 @@ func (r *router) wake() {
 		return
 	}
 	r.scheduled = true
-	r.m.K.Schedule(sim.Time(r.m.RouterDelay), r.tickFn)
+	r.k.Schedule(sim.Time(r.m.RouterDelay), r.tickFn)
 }
 
 // route returns the output port for a head flit at this router.
@@ -399,13 +502,14 @@ func (r *router) route(f flit) int {
 // tick advances the router by one cycle: at most one flit per output port.
 func (r *router) tick() {
 	r.scheduled = false
-	now := r.m.K.Now()
+	now := r.k.Now()
+	r.drainCredits(now)
 	for out := 0; out < numPorts; out++ {
 		var inp = -1
 		if w := r.outLock[out]; w != 0 {
 			cand := r.lockedIn[out]
 			if !r.qempty(cand) {
-				if f := r.qfront(cand); f.worm == w && f.retryAt <= now {
+				if f := r.qfront(cand); f.worm == w && f.retryAt <= now && f.vis <= now {
 					inp = cand
 				}
 			}
@@ -417,7 +521,7 @@ func (r *router) tick() {
 					continue
 				}
 				f := r.qfront(p)
-				if !f.head() || f.retryAt > now {
+				if !f.head() || f.retryAt > now || f.vis > now {
 					continue
 				}
 				if r.route(*f) == out {
@@ -441,7 +545,7 @@ func (r *router) tick() {
 		// every worm, and therefore every message pair, in FIFO order —
 		// the coherence protocol's ordering assumptions are unaffected.
 		if out != portLocal && r.m.inj != nil && r.m.inj.MeshFlitError() {
-			st := &r.m.stats
+			st := r.st
 			st.MeshFlitErrors++
 			st.MeshNacks++
 			st.MeshLinkFlits++
@@ -469,12 +573,18 @@ func (r *router) tick() {
 			r.outLock[out] = 0
 		}
 		// Return a credit upstream for the buffer slot we freed. The
-		// return is applied synchronously: the upstream router can only
-		// spend it at its next tick, a cycle later, so the credit loop
-		// latency is preserved without an event per flit.
+		// credit is staged on the reverse wire (pushCredit) and becomes
+		// spendable upstream LinkDelay cycles after this tick — the same
+		// registered-return timing on both engines, crossing shard
+		// boundaries through the domain's Post channel when needed.
 		if inp < portLocal {
 			if up := r.neighbor(inp); up != nil {
-				up.addCredit(opposite(inp))
+				o := opposite(inp)
+				if up.sh == r.sh {
+					up.pushCredit(o, now)
+				} else {
+					r.m.d.Post(r.sh, up.sh, func() { up.pushCredit(o, now) })
+				}
 			}
 		}
 		// Multicast worms deliver a local copy and spawn column worms as
@@ -486,12 +596,24 @@ func (r *router) tick() {
 			r.ejectFlit(f, arrived)
 		} else {
 			r.outCredit[out]--
-			r.m.stats.MeshLinkFlits++
-			r.m.stats.MeshRouterFlits++
+			r.st.MeshLinkFlits++
+			r.st.MeshRouterFlits++
 			nbr := r.neighbor(out)
 			inPort := opposite(out)
-			nbr.linkQ[inPort] = append(nbr.linkQ[inPort], f)
-			r.m.K.Schedule(sim.Time(r.m.LinkDelay), nbr.arriveFn[inPort])
+			if nbr.sh == r.sh {
+				nbr.linkQ[inPort] = append(nbr.linkQ[inPort], f)
+				r.k.Schedule(sim.Time(r.m.LinkDelay), nbr.arriveFn[inPort])
+			} else {
+				// Cross-shard hop: hand the flit to the neighbour's
+				// shard at the barrier; it lands in the same staging
+				// queue with the same arrival cycle as a local hop.
+				fl := f
+				at := now + sim.Time(r.m.LinkDelay)
+				r.m.d.Post(r.sh, nbr.sh, func() {
+					nbr.linkQ[inPort] = append(nbr.linkQ[inPort], fl)
+					nbr.k.At(at, nbr.arriveFn[inPort])
+				})
+			}
 			if f.tail() && f.phase != phaseNone && arrived {
 				r.mcastTailSideEffects(f)
 			}
@@ -506,7 +628,7 @@ func (r *router) tick() {
 }
 
 func (r *router) ejectFlit(f flit, arrived bool) {
-	r.m.stats.MeshRouterFlits++
+	r.st.MeshRouterFlits++
 	if !f.tail() {
 		return
 	}

@@ -13,6 +13,8 @@
 package noc
 
 import (
+	"reflect"
+
 	"repro/internal/sim"
 )
 
@@ -133,6 +135,25 @@ type Stats struct {
 	ReroutedMsgs         uint64 // unicasts diverted to the ENet by degraded channels
 	ReroutedFlits        uint64
 	DegradedChannels     uint64 // optical channels currently degraded (gauge)
+}
+
+// MergeFrom folds o's counters into s — the per-shard statistics blocks
+// of a partitioned network merge through this on every Stats() read.
+// Every field is an additive event count except LatencyMax, which merges
+// by maximum. Reflection keeps the merge honest by construction: a new
+// counter field is additive without anyone remembering to extend a
+// hand-written merge (guarded by a test that the struct stays all-uint64).
+func (s *Stats) MergeFrom(o *Stats) {
+	maxLat := s.LatencyMax
+	if o.LatencyMax > maxLat {
+		maxLat = o.LatencyMax
+	}
+	sv := reflect.ValueOf(s).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		sv.Field(i).SetUint(sv.Field(i).Uint() + ov.Field(i).Uint())
+	}
+	s.LatencyMax = maxLat
 }
 
 // FaultEvents reports whether any resilience counter is nonzero (used by

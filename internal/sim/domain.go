@@ -1,0 +1,61 @@
+// Domain maps model entities (tiles) onto shard kernels, giving
+// components one handle for "which kernel do I schedule on" and "how do I
+// reach another tile's shard" that works identically for the serial and
+// sharded engines.
+package sim
+
+// Domain is the placement view handed to partitioned components: per-tile
+// kernel lookup, tile->shard mapping, and the cross-shard Post channel.
+// A serial domain (one shard, one kernel) makes every cross-shard branch
+// in component code statically dead: Shard(a) == Shard(b) for all tiles,
+// so partitioned components run the exact serial code path.
+type Domain struct {
+	kern []*Kernel
+	of   []int
+	sh   *Sharded // nil for a serial domain
+}
+
+// SerialDomain wraps a single kernel as a one-shard domain over tiles.
+func SerialDomain(k *Kernel, tiles int) *Domain {
+	return &Domain{kern: []*Kernel{k}, of: make([]int, tiles)}
+}
+
+// NewDomain builds a domain over the sharded engine; of[tile] names the
+// owning shard of each tile and must only use shard indices below
+// s.NumShards().
+func NewDomain(s *Sharded, of []int) *Domain {
+	d := &Domain{kern: make([]*Kernel, s.NumShards()), of: of, sh: s}
+	for i := range d.kern {
+		d.kern[i] = s.Shard(i)
+	}
+	return d
+}
+
+// NumShards returns the number of shards in the domain.
+func (d *Domain) NumShards() int { return len(d.kern) }
+
+// Tiles returns the number of tiles the domain maps.
+func (d *Domain) Tiles() int { return len(d.of) }
+
+// Shard returns the shard owning tile t.
+func (d *Domain) Shard(t int) int { return d.of[t] }
+
+// K returns the kernel owning tile t's events.
+func (d *Domain) K(t int) *Kernel { return d.kern[d.of[t]] }
+
+// ShardK returns shard s's kernel directly.
+func (d *Domain) ShardK(s int) *Kernel { return d.kern[s] }
+
+// Post delivers a cross-shard effect from shard src to shard dst at the
+// next window barrier. On a serial domain (or src == dst) the effect
+// applies immediately — there is no concurrency to defer around.
+func (d *Domain) Post(src, dst int, apply func()) {
+	if d.sh == nil || src == dst {
+		apply()
+		return
+	}
+	d.sh.Post(src, dst, apply)
+}
+
+// Sharded returns the underlying sharded engine, nil for serial domains.
+func (d *Domain) Sharded() *Sharded { return d.sh }

@@ -38,11 +38,13 @@ func (s *System) AttachMetrics(c *metrics.Collector) {
 		v[0], v[1] = float64(instr), float64(fin)
 	})
 
-	cs := s.Coh.Stats()
+	// The coherence counters are merged on read under sharding, so sample
+	// through the accessor each epoch rather than holding the pointer.
 	c.AddSource("coh", []string{
 		"l1d_reads", "l1d_writes", "l1d_misses", "l2_misses",
 		"dir_accesses", "inv_bcasts", "inv_unicasts", "acks", "mem_reads", "mem_writes",
 	}, func(v []float64) {
+		cs := s.Coh.Stats()
 		v[0] = float64(cs.L1DReads)
 		v[1] = float64(cs.L1DWrites)
 		v[2] = float64(cs.L1DMisses)
@@ -121,7 +123,7 @@ func (s *System) AttachMetrics(c *metrics.Collector) {
 		for _, core := range s.Core {
 			instr += core.Instructions
 		}
-		v[0] = f * peak * cores * float64(s.K.Now()) * 1e-9
+		v[0] = f * peak * cores * float64(s.eng.Now()) * 1e-9
 		v[1] = (1 - f) * peak * float64(instr) * 1e-9
 	})
 

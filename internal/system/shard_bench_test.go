@@ -1,0 +1,47 @@
+package system
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// BenchmarkSharded1024Core runs the paper-scale machine — config.Default:
+// 1024 cores on a 32x32 mesh, ATAC+, 8 cluster rows — end to end on radix
+// at 1, 2, 4 and 8 shards. One iteration is one complete benchmark run,
+// so ns/op is the wall-clock cost of a full paper-scale simulation at
+// that shard count; results are bit-identical across counts (the parity
+// tests pin this), so the counts are directly comparable. This is the
+// tractability benchmark behind BENCH_pr7.json: on a single-CPU host the
+// extra shards only measure synchronization overhead, and the parallel
+// speedup appears on multi-core hardware.
+func BenchmarkSharded1024Core(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale benchmark skipped in -short")
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := NewSharded(config.Default(), n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := s.Shards; got != n {
+					b.Fatalf("effective shards = %d, want %d", got, n)
+				}
+				spec, err := WorkloadFor(s.Cfg, "radix", 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run(spec, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Cycles == 0 {
+					b.Fatal("empty run")
+				}
+			}
+		})
+	}
+}

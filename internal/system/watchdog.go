@@ -36,13 +36,47 @@ type Watchdog struct {
 
 // startWatchdog arms the watchdog; interval and maxStalls must be
 // positive (the caller gates on the config).
+//
+// On a serial engine the watchdog is one self-rescheduling kernel event.
+// On a sharded engine the progress check must not run inside a shard's
+// events (it reads every shard's counters), so it is split: a heartbeat
+// event on shard 0 keeps simulated time — and with it the window barriers
+// — advancing through idle phases, while the check itself runs as a
+// barrier hook, where all shard workers are parked and cross-shard reads
+// are ordered.
 func startWatchdog(s *System, interval sim.Time, maxStalls int) *Watchdog {
 	w := &Watchdog{s: s, interval: interval, maxStalls: maxStalls}
+	if s.sh != nil {
+		var beat func()
+		beat = func() {
+			if !w.tripped {
+				s.K.Schedule(w.interval, beat)
+			}
+		}
+		s.K.Schedule(w.interval, beat)
+		next := w.interval
+		s.sh.AddBarrierHook(func(now sim.Time) {
+			if w.tripped || now < next {
+				return
+			}
+			next = now + w.interval
+			w.check()
+		})
+		return w
+	}
 	s.K.Schedule(interval, w.tick)
 	return w
 }
 
 func (w *Watchdog) tick() {
+	if !w.check() {
+		w.s.K.Schedule(w.interval, w.tick)
+	}
+}
+
+// check samples global progress and trips after maxStalls stagnant
+// windows, halting the engine. Reports whether the watchdog tripped.
+func (w *Watchdog) check() bool {
 	var instr uint64
 	for _, c := range w.s.Core {
 		instr += c.Instructions
@@ -54,16 +88,22 @@ func (w *Watchdog) tick() {
 		w.stalls = 0
 	}
 	w.lastInstr, w.lastDelivered = instr, delivered
-	if w.stalls >= w.maxStalls {
-		w.tripped = true
-		w.report = w.blockedReport()
-		// Halting the kernel from inside one of its own events: zero the
-		// event budget so Run stops at the next event boundary with every
-		// queued event preserved for post-mortem inspection.
-		w.s.K.SetEventBudget(0)
-		return
+	if w.stalls < w.maxStalls {
+		return false
 	}
-	w.s.K.Schedule(w.interval, w.tick)
+	w.tripped = true
+	w.report = w.blockedReport()
+	if w.s.sh != nil {
+		// The sharded engine stops at the next window barrier; every
+		// queued event survives for post-mortem inspection.
+		w.s.sh.Halt()
+		return true
+	}
+	// Halting the kernel from inside one of its own events: zero the
+	// event budget so Run stops at the next event boundary with every
+	// queued event preserved for post-mortem inspection.
+	w.s.K.SetEventBudget(0)
+	return true
 }
 
 // Tripped reports whether the watchdog detected a stall.
@@ -84,7 +124,7 @@ func (w *Watchdog) blockedReport() string {
 	var b strings.Builder
 	window := sim.Time(w.maxStalls) * w.interval
 	fmt.Fprintf(&b, "no progress for %d cycles (instr=%d, delivered=%d) at cycle %d; stuck cores:",
-		window, w.lastInstr, w.lastDelivered, w.s.K.Now())
+		window, w.lastInstr, w.lastDelivered, w.s.eng.Now())
 	stuck := 0
 	for _, c := range w.s.Core {
 		if c.Finished {

@@ -20,8 +20,12 @@ import (
 // served job results.
 //
 // History: 1 initial; 2 system.Result gained the Synth section for
-// network-only synthetic-traffic runs.
-const CacheSchema = 2
+// network-only synthetic-traffic runs; 3 the NoC moved to registered
+// input staging (flits injected or landing off a link become arbitrable
+// the next cycle) and canonical same-cycle ONet receive ordering — the
+// determinism model that makes sharded PDES runs bit-identical to
+// serial ones — shifting every timing-derived figure by about a percent.
+const CacheSchema = 3
 
 // GitDescribe returns `git describe --always --dirty --tags` for the
 // working tree, or "" when git or the repository is unavailable.
