@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check figures bench fuzz resume-smoke serve-smoke chaos-smoke clean
+.PHONY: build test check figures bench fuzz resume-smoke serve-smoke chaos-smoke techsweep-smoke clean
 
 # Per-target budget for `make fuzz` (go test -fuzztime syntax).
 FUZZTIME ?= 10s
@@ -52,6 +52,13 @@ serve-smoke:
 # match a direct atacsim run. CHAOS_SEED / CHAOS_KILLS tune the schedule.
 chaos-smoke:
 	bash scripts/chaos_smoke.sh
+
+# End-to-end smoke of the technology-scenario layer: the techsweep figure
+# (two scenarios, 16 cores) through the cached Runner — per-scenario rows
+# and manifest provenance, a fully-cached second pass with byte-identical
+# output, and quarantine of pre-scenario (schema 2/3) cache entries.
+techsweep-smoke:
+	bash scripts/techsweep_smoke.sh
 
 clean:
 	$(GO) clean ./...

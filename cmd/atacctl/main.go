@@ -135,6 +135,8 @@ func submit(c *serve.Client, args []string) error {
 		proto   = fs.String("coherence", "", "coherence protocol: ackwise, dirkb")
 		flit    = fs.Int("flit", 0, "flit width in bits (0 = default)")
 		rthres  = fs.Int("rthres", 0, "distance routing threshold (0 = auto)")
+		techN   = fs.String("tech", "", "electrical technology scenario (empty = daemon default)")
+		opticsN = fs.String("optics", "", "optical technology scenario (empty = daemon default)")
 		seed    = fs.Int64("seed", 0, "simulation seed (0 = daemon default)")
 		wait    = fs.Bool("wait", false, "stream progress to stderr and print the result JSON")
 	)
@@ -144,6 +146,7 @@ func submit(c *serve.Client, args []string) error {
 		Geometry: experiments.Geometry{
 			Net: *net, Cores: *cores, Sharers: *sharers, Coherence: *proto,
 			FlitBits: *flit, RThres: *rthres, Seed: *seed,
+			Tech: *techN, Optics: *opticsN,
 		},
 	}
 	st, err := c.Submit(spec)

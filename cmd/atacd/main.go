@@ -35,11 +35,14 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/photonics"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/tech"
 	"repro/internal/version"
 )
 
@@ -55,6 +58,8 @@ func run() int {
 		cores    = flag.Int("cores", 64, "default total cores for jobs that do not specify one")
 		scale    = flag.Int("scale", 1, "workload scale factor (part of every run's identity)")
 		seed     = flag.Int64("seed", 42, "default simulation seed")
+		techN    = flag.String("tech", "", "default electrical technology scenario for jobs that do not specify one: "+strings.Join(tech.Scenarios(), ", "))
+		opticsN  = flag.String("optics", "", "default optical technology scenario for jobs that do not specify one: "+strings.Join(photonics.Variants(), ", "))
 		jobsN    = flag.Int("jobs", 0, "max concurrent simulations (0: REPRO_JOBS env, else GOMAXPROCS)")
 		shards   = flag.Int("shards", 0, "parallel PDES shards per simulation (0: REPRO_SHARDS env, else 1 = serial; results and cache entries are identical either way)")
 		depth    = flag.Int("queue-depth", 64, "bounded job queue length; beyond it submits get 429")
@@ -77,8 +82,18 @@ func run() int {
 		fmt.Println(version.String())
 		return 0
 	}
+	// Fail on a scenario typo before binding the listen address.
+	if _, err := tech.ByName(*techN); err != nil {
+		log.Print(err)
+		return experiments.ExitFatal
+	}
+	if _, err := photonics.ByName(*opticsN); err != nil {
+		log.Print(err)
+		return experiments.ExitFatal
+	}
 
-	r := experiments.NewRunner(experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed})
+	r := experiments.NewRunner(experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed,
+		Tech: *techN, Optics: *opticsN})
 	r.Jobs = *jobsN
 	r.Shards = *shards
 	r.Retries = *retries

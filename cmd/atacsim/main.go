@@ -16,15 +16,18 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/photonics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/system"
+	"repro/internal/tech"
 	"repro/internal/trace"
 	"repro/internal/version"
 	"repro/internal/workload"
@@ -43,6 +46,8 @@ func main() {
 		proto   = flag.String("coherence", "ackwise", "coherence protocol: ackwise, dirkb")
 		flit    = flag.Int("flit", 64, "flit width in bits")
 		rthres  = flag.Int("rthres", 0, "distance routing threshold (0 = auto)")
+		techN   = flag.String("tech", "", "electrical technology scenario: "+strings.Join(tech.Scenarios(), ", ")+" (default 11nm)")
+		opticsN = flag.String("optics", "", "optical technology scenario: "+strings.Join(photonics.Variants(), ", ")+" (default baseline)")
 		seed    = flag.Int64("seed", 42, "simulation seed")
 		shards  = flag.Int("shards", 0, "parallel PDES shards, one per cluster-row slab (0: REPRO_SHARDS env, else 1 = serial; results are bit-identical either way)")
 		heat    = flag.Bool("heatmap", false, "print the mesh congestion heatmap")
@@ -92,6 +97,7 @@ func main() {
 		cfg, err = experiments.BuildConfig(experiments.Geometry{
 			Net: *net, Cores: *cores, Sharers: *sharers, Coherence: *proto,
 			FlitBits: *flit, RThres: *rthres, Seed: *seed,
+			Tech: *techN, Optics: *opticsN,
 		})
 	}
 	if err != nil {
@@ -201,6 +207,8 @@ func main() {
 
 	fmt.Printf("benchmark        %s on %v (%d cores, %v%d)\n",
 		res.Benchmark, cfg.Network.Kind, cfg.Cores, cfg.Coherence.Kind, cfg.Coherence.Sharers)
+	fmt.Printf("technology       %s electronics, %s optics\n",
+		tech.Canonical(cfg.Tech), photonics.Canonical(cfg.Optics))
 	fmt.Printf("completion time  %d cycles (%.3f ms at 1 GHz)\n", res.Cycles, float64(res.Cycles)*1e-6)
 	fmt.Printf("instructions     %d (IPC %.3f)\n", res.Instructions, res.IPC())
 	fmt.Printf("offered load     %.4f flits/cycle/core\n", res.OfferedLoad())

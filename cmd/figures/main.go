@@ -30,8 +30,10 @@ import (
 	"strconv"
 
 	"repro/internal/experiments"
+	"repro/internal/photonics"
 	"repro/internal/plot"
 	"repro/internal/report"
+	"repro/internal/tech"
 	"repro/internal/version"
 )
 
@@ -46,7 +48,10 @@ func run() int {
 		cores    = flag.Int("cores", 64, "total cores (paper: 1024)")
 		scale    = flag.Int("scale", 1, "workload scale factor")
 		seed     = flag.Int64("seed", 42, "simulation seed")
-		only     = flag.String("only", "", "comma-separated subset, e.g. 3,8,tablev")
+		techN    = flag.String("tech", "", "electrical technology scenario for every figure: "+strings.Join(tech.Scenarios(), ", ")+" (default 11nm)")
+		opticsN  = flag.String("optics", "", "optical technology scenario for every figure: "+strings.Join(photonics.Variants(), ", ")+" (default baseline)")
+		scenList = flag.String("scenarios", "", `techsweep scenario list, comma-separated "tech[/optics]" pairs (default: the built-in six-point sweep)`)
+		only     = flag.String("only", "", "comma-separated subset, e.g. 3,8,tablev,techsweep")
 		out      = flag.String("o", "", "also write results to this file")
 		svgDir   = flag.String("svg", "", "also render each figure as an SVG into this directory")
 		format   = flag.String("format", "text", "output format: text, csv, json")
@@ -82,7 +87,23 @@ func run() int {
 		log.Print(err)
 		return experiments.ExitFatal
 	}
-	o := experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed}
+	// Resolve the technology scenario before spending any simulation time:
+	// a typo should fail here, not after the first figure's runs.
+	if _, err := tech.ByName(*techN); err != nil {
+		log.Print(err)
+		return experiments.ExitFatal
+	}
+	if _, err := photonics.ByName(*opticsN); err != nil {
+		log.Print(err)
+		return experiments.ExitFatal
+	}
+	scens, err := experiments.ParseScenarios(*scenList)
+	if err != nil {
+		log.Print(err)
+		return experiments.ExitFatal
+	}
+	o := experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed,
+		Tech: *techN, Optics: *opticsN, Scenarios: scens}
 	r := experiments.NewRunner(o)
 	r.Jobs = *jobsN
 	r.Shards = *shards
@@ -135,7 +156,8 @@ func run() int {
 	}
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 
-	fmt.Fprintf(w, "ATAC+ evaluation campaign: %d cores, scale %d, seed %d\n\n", o.Cores, o.Scale, o.Seed)
+	fmt.Fprintf(w, "ATAC+ evaluation campaign: %d cores, scale %d, seed %d, %s electronics, %s optics\n\n",
+		o.Cores, o.Scale, o.Seed, tech.Canonical(o.Tech), photonics.Canonical(o.Optics))
 
 	type job struct {
 		id  string
@@ -158,6 +180,7 @@ func run() int {
 		{"16", r.Fig16},
 		{"17", r.Fig17},
 		{"tablev", r.TableV},
+		{"techsweep", r.TechSweep},
 		{"ablations", r.Ablations},
 		{"faults", func() (*experiments.Table, error) { return r.FaultSweep("radix") }},
 	}

@@ -29,7 +29,9 @@ import (
 	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/noc"
+	"repro/internal/photonics"
 	"repro/internal/sim"
+	"repro/internal/tech"
 	"repro/internal/traffic"
 	"repro/internal/version"
 )
@@ -59,6 +61,8 @@ func run() int {
 		net      = flag.String("net", "atac+", "network: pure, bcast, atac, atac+")
 		cores    = flag.Int("cores", 64, "total cores")
 		pattern  = flag.String("pattern", "uniform", "traffic pattern (load sweeps): "+strings.Join(traffic.Patterns(), ", "))
+		techN    = flag.String("tech", "", "electrical technology scenario: "+strings.Join(tech.Scenarios(), ", ")+" (default 11nm)")
+		opticsN  = flag.String("optics", "", "optical technology scenario: "+strings.Join(photonics.Variants(), ", ")+" (default baseline)")
 		seed     = flag.Int64("seed", 42, "seed")
 		jobsN    = flag.Int("jobs", 0, "max concurrent simulations (0: REPRO_JOBS env, else GOMAXPROCS)")
 		shards   = flag.Int("shards", 0, "parallel PDES shards per simulation (0: REPRO_SHARDS env, else 1 = serial; load sweeps are synthetic and always serial)")
@@ -86,11 +90,12 @@ func run() int {
 		return experiments.ExitFatal
 	}
 
+	g := experiments.Geometry{Net: *net, Cores: *cores, Seed: *seed, Tech: *techN, Optics: *opticsN}
 	switch *param {
 	case "load":
-		return sweepLoad(*pattern, *cores, vals, *seed)
+		return sweepLoad(*pattern, g, vals)
 	case "flit", "rthres", "sharers":
-		return sweepSystem(*param, *bench, *net, *cores, vals, *seed, sweepOpts{
+		return sweepSystem(*param, *bench, g, vals, sweepOpts{
 			jobs: *jobsN, shards: *shards, cacheDir: *cacheDir, noCache: *noCache,
 			runTimeout: *runTimeout, retries: *retries, grace: *grace,
 		})
@@ -116,18 +121,17 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func baseConfig(net string, cores int, seed int64) (config.Config, error) {
-	return experiments.BuildConfig(experiments.Geometry{Net: net, Cores: cores, Seed: seed})
-}
-
-func sweepSystem(param, bench, net string, cores int, vals []int, seed int64, o sweepOpts) int {
+func sweepSystem(param, bench string, g experiments.Geometry, vals []int, o sweepOpts) int {
 	// Build every swept configuration first, then hand the whole set to the
 	// campaign engine: points run concurrently (up to -jobs) and repeat
-	// invocations hit the persistent cache.
+	// invocations hit the persistent cache. Every point goes through
+	// experiments.BuildConfig, so the -tech/-optics scenario lands in the
+	// run keys (and energy models) exactly as it does in the other front
+	// ends.
 	cfgs := make([]config.Config, 0, len(vals))
 	specs := make([]experiments.RunSpec, 0, len(vals))
 	for _, v := range vals {
-		cfg, err := baseConfig(net, cores, seed)
+		cfg, err := experiments.BuildConfig(g)
 		if err != nil {
 			log.Print(err)
 			return experiments.ExitFatal
@@ -149,7 +153,8 @@ func sweepSystem(param, bench, net string, cores int, vals []int, seed int64, o 
 		specs = append(specs, experiments.RunSpec{Cfg: cfg, Bench: bench})
 	}
 
-	r := experiments.NewRunner(experiments.Options{Cores: cores, Scale: 1, Seed: seed})
+	r := experiments.NewRunner(experiments.Options{Cores: g.Cores, Scale: 1, Seed: g.Seed,
+		Tech: g.Tech, Optics: g.Optics})
 	r.Jobs = o.jobs
 	r.Shards = o.shards
 	r.Retries = o.retries
@@ -206,12 +211,14 @@ func sweepSystem(param, bench, net string, cores int, vals []int, seed int64, o 
 	return r.ExitCode()
 }
 
-func sweepLoad(pattern string, cores int, percents []int, seed int64) int {
-	cfg, err := baseConfig("atac+", cores, seed)
+func sweepLoad(pattern string, g experiments.Geometry, percents []int) int {
+	g.Net = "atac+"
+	cfg, err := experiments.BuildConfig(g)
 	if err != nil {
 		log.Print(err)
 		return experiments.ExitFatal
 	}
+	seed := g.Seed
 	p, err := traffic.ByName(pattern, cfg.MeshDim(), 0.001)
 	if err != nil {
 		log.Print(err)

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("16, 32,64 ,128")
@@ -26,7 +30,7 @@ func TestParseInts(t *testing.T) {
 
 func TestBaseConfig(t *testing.T) {
 	for _, net := range []string{"pure", "bcast", "atac", "atac+"} {
-		cfg, err := baseConfig(net, 64, 1)
+		cfg, err := experiments.BuildConfig(experiments.Geometry{Net: net, Cores: 64, Seed: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", net, err)
 		}
@@ -34,7 +38,15 @@ func TestBaseConfig(t *testing.T) {
 			t.Errorf("%s: slices mismatch", net)
 		}
 	}
-	if _, err := baseConfig("ring", 64, 1); err == nil {
+	if _, err := experiments.BuildConfig(experiments.Geometry{Net: "ring", Cores: 64, Seed: 1}); err == nil {
 		t.Error("unknown network accepted")
+	}
+	// The sweep front end threads -tech/-optics through the same Geometry.
+	cfg, err := experiments.BuildConfig(experiments.Geometry{Net: "atac+", Cores: 64, Seed: 1, Tech: " 7NM ", Optics: "optimistic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tech != "7nm" || cfg.Optics != "optimistic" {
+		t.Errorf("scenario not threaded: %s/%s", cfg.Tech, cfg.Optics)
 	}
 }

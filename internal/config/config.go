@@ -4,7 +4,12 @@
 // seeds) produce identical results.
 package config
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/photonics"
+	"repro/internal/tech"
+)
 
 // NetworkKind selects the on-chip interconnect architecture under study.
 type NetworkKind int
@@ -225,8 +230,8 @@ type Fault struct {
 	// the first DriftDuty cycles of every DriftPeriod-cycle window the
 	// effective optical BER is multiplied by DriftBERMult. DriftPeriod 0
 	// disables drift.
-	DriftPeriod int
-	DriftDuty   int
+	DriftPeriod  int
+	DriftDuty    int
 	DriftBERMult float64
 
 	// LaserDroopPerMCycle models laser power droop shrinking the SWMR
@@ -311,6 +316,18 @@ type Config struct {
 	Core       Core
 	Fault      Fault // fault injection + watchdog; zero value = disabled
 	Seed       int64 // base seed for all per-core PRNGs
+
+	// Tech and Optics select the device-technology scenario the energy
+	// and area models are evaluated under: an electrical node from the
+	// internal/tech registry ("11nm", "7nm", "5nm") and an optical
+	// variant from the internal/photonics registry ("baseline",
+	// "optimistic", "pessimistic"). Empty strings mean the paper's
+	// baseline, so a zero-valued pair reproduces the published numbers
+	// bit for bit. The scenario changes only the post-hoc power/area
+	// models, never cycle-level behavior, but it is part of the campaign
+	// run identity: every scenario is a distinct cacheable axis.
+	Tech   string
+	Optics string
 }
 
 // MeshDim returns the edge length of the global core mesh.
@@ -399,6 +416,12 @@ func (c *Config) Validate() error {
 		if (c.Network.Routing == DistanceRouting || c.Network.Routing == AdaptiveRouting) && c.Network.RThres < 1 {
 			return fmt.Errorf("config: %v routing needs RThres >= 1, got %d", c.Network.Routing, c.Network.RThres)
 		}
+	}
+	if _, err := tech.ByName(c.Tech); err != nil {
+		return fmt.Errorf("config: %v", err)
+	}
+	if _, err := photonics.ByName(c.Optics); err != nil {
+		return fmt.Errorf("config: %v", err)
 	}
 	return c.Fault.validate()
 }

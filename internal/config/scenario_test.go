@@ -1,0 +1,61 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableIV pins the ATAC+ flavor matrix to the paper's Table IV: each
+// flavor's name and its two capability bits (can the laser be power
+// gated; are the rings athermal). A drifted row here would silently
+// reshape Figs 7 and 8, so the whole matrix is asserted at once.
+func TestTableIV(t *testing.T) {
+	rows := []struct {
+		flavor     Flavor
+		name       string
+		laserGated bool
+		athermal   bool
+	}{
+		{FlavorDefault, "ATAC+", true, true},
+		{FlavorIdeal, "ATAC+(Ideal)", true, true},
+		{FlavorRingTuned, "ATAC+(RingTuned)", true, false},
+		{FlavorCons, "ATAC+(Cons)", false, false},
+	}
+	for _, r := range rows {
+		if got := r.flavor.String(); got != r.name {
+			t.Errorf("flavor %d name = %q, want %q", r.flavor, got, r.name)
+		}
+		if got := r.flavor.LaserGated(); got != r.laserGated {
+			t.Errorf("%s LaserGated = %v, want %v", r.name, got, r.laserGated)
+		}
+		if got := r.flavor.Athermal(); got != r.athermal {
+			t.Errorf("%s Athermal = %v, want %v", r.name, got, r.athermal)
+		}
+	}
+}
+
+// TestScenarioValidation: the Tech/Optics scenario fields accept every
+// registered name (any case, empty = baseline) and reject unknown ones
+// with an error that lists the valid set.
+func TestScenarioValidation(t *testing.T) {
+	for _, tc := range []struct{ tech, optics string }{
+		{"", ""}, {"11nm", "baseline"}, {"7nm", "optimistic"},
+		{"5nm", "pessimistic"}, {" 7NM ", " Optimistic "},
+	} {
+		c := Tiny()
+		c.Tech, c.Optics = tc.tech, tc.optics
+		if err := c.Validate(); err != nil {
+			t.Errorf("Tech=%q Optics=%q rejected: %v", tc.tech, tc.optics, err)
+		}
+	}
+	c := Tiny()
+	c.Tech = "3nm"
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "11nm") {
+		t.Errorf("unknown tech: err = %v, want mention of valid scenarios", err)
+	}
+	c = Tiny()
+	c.Optics = "magic"
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Errorf("unknown optics: err = %v, want mention of valid variants", err)
+	}
+}

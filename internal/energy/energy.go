@@ -39,9 +39,35 @@ type Models struct {
 	DieEdgeMM float64
 }
 
-// Build solves all models for cfg using default technology parameters.
+// Build solves all models for cfg under the technology scenario cfg
+// names: cfg.Tech selects the electrical node and cfg.Optics the optical
+// variant from the scenario registries, with empty fields meaning the
+// paper's baseline. Every binary that builds Models from a Config goes
+// through here, so a scenario selected in one tool can never be silently
+// ignored in another.
 func Build(cfg config.Config) (Models, error) {
-	return BuildWith(cfg, tech.Default11nm(), photonics.DefaultParams())
+	tp, pp, err := Scenario(cfg)
+	if err != nil {
+		return Models{}, err
+	}
+	return BuildWith(cfg, tp, pp)
+}
+
+// Scenario resolves cfg's named technology scenario (cfg.Tech,
+// cfg.Optics) to concrete parameter sets — the same resolution Build
+// applies. Sweeps that perturb one device knob start from here so the
+// perturbation composes with the selected scenario instead of silently
+// resetting it to the baseline.
+func Scenario(cfg config.Config) (tech.Params, photonics.Params, error) {
+	tp, err := tech.ByName(cfg.Tech)
+	if err != nil {
+		return tech.Params{}, photonics.Params{}, err
+	}
+	pp, err := photonics.ByName(cfg.Optics)
+	if err != nil {
+		return tech.Params{}, photonics.Params{}, err
+	}
+	return tp, pp, nil
 }
 
 // DefaultTech returns the default electrical technology (Table III).

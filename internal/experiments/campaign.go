@@ -37,8 +37,10 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/photonics"
 	"repro/internal/sim"
 	"repro/internal/system"
+	"repro/internal/tech"
 )
 
 // Runner memoizes and schedules benchmark runs for one campaign. All
@@ -311,12 +313,18 @@ func (r *Runner) Results() map[string]system.Result {
 }
 
 // key uniquely identifies a (config, benchmark) run within one campaign.
+// The technology scenario is part of the identity even though it only
+// affects the post-hoc energy models: each scenario is a first-class
+// campaign axis with its own ledger rows, manifest entries, and cache
+// files, so a techsweep is attributable per scenario. Names are
+// canonicalized so "7NM" and "7nm" share one run.
 func key(cfg config.Config, bench string) string {
-	k := fmt.Sprintf("%s|%v|%v|%v|rt%d|fl%d|k%d|%v|c%d|s%d|sn%d|lag%d|bau%v",
+	k := fmt.Sprintf("%s|%v|%v|%v|rt%d|fl%d|k%d|%v|c%d|s%d|sn%d|lag%d|bau%v|tech=%s|optics=%s",
 		bench, cfg.Network.Kind, cfg.Network.ReceiveNet, cfg.Network.Routing,
 		cfg.Network.RThres, cfg.Network.FlitBits, cfg.Coherence.Sharers,
 		cfg.Coherence.Kind, cfg.Cores, cfg.Seed,
-		cfg.Network.StarNetsPerCl, cfg.Network.SelectDataLag, cfg.Network.BcastAsUnicast)
+		cfg.Network.StarNetsPerCl, cfg.Network.SelectDataLag, cfg.Network.BcastAsUnicast,
+		tech.Canonical(cfg.Tech), photonics.Canonical(cfg.Optics))
 	if f := cfg.Fault; f.Enabled {
 		k += fmt.Sprintf("|F:m%g:o%g:dp%d:dd%d:dm%g:lr%g:thr%g:fs%d",
 			f.MeshBER, f.OpticalBER, f.DriftPeriod, f.DriftDuty, f.DriftBERMult,
@@ -644,8 +652,9 @@ func dedupSpecs(specs []RunSpec) []RunSpec {
 
 // FigureRuns returns the run-set figure id draws on, in the figure's own
 // serial execution order. IDs follow cmd/figures: "4".."17", "tablev",
-// "ablations", "faults" (the faults sweep's default benchmark). Figures
-// without Runner-backed runs ("3", "10") return nil.
+// "ablations", "faults" (the faults sweep's default benchmark), and
+// "techsweep" (one ATAC+ run per technology scenario per benchmark).
+// Figures without Runner-backed runs ("3", "10") return nil.
 func (r *Runner) FigureRuns(id string) []RunSpec {
 	var specs []RunSpec
 	add := func(cfg config.Config, bench string) {
@@ -736,6 +745,12 @@ func (r *Runner) FigureRuns(id string) []RunSpec {
 		}
 	case "faults":
 		specs = r.FaultRuns("radix")
+	case "techsweep":
+		for _, s := range r.techScenarios() {
+			for _, b := range r.apps() {
+				add(r.scenarioConfig(s), b)
+			}
+		}
 	}
 	return dedupSpecs(specs)
 }

@@ -20,8 +20,10 @@ import (
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/noc"
+	"repro/internal/photonics"
 	"repro/internal/sim"
 	"repro/internal/system"
+	"repro/internal/tech"
 	"repro/internal/traffic"
 )
 
@@ -37,6 +39,17 @@ type Options struct {
 	Scale   int // per-core workload scale factor
 	Seed    int64
 	Horizon sim.Time // per-run cycle cap (0 = unlimited)
+
+	// Tech and Optics name the campaign's default device-technology
+	// scenario (internal/tech and internal/photonics registries); empty
+	// means the paper's baseline. Every Config the campaign derives
+	// carries them, so they are part of each run's identity.
+	Tech   string
+	Optics string
+
+	// Scenarios, when non-empty, replaces the built-in scenario set of
+	// the techsweep figure (see DefaultTechScenarios).
+	Scenarios []TechScenario
 }
 
 // DefaultOptions returns the campaign scale: the paper's full 1024-core
@@ -61,6 +74,8 @@ func (o Options) Config(kind config.NetworkKind) config.Config {
 	cfg := config.Default().WithNetwork(kind)
 	cfg.Cores = o.Cores
 	cfg.Seed = o.Seed
+	cfg.Tech = tech.Canonical(o.Tech)
+	cfg.Optics = photonics.Canonical(o.Optics)
 	if o.Cores < 64 {
 		cfg.ClusterDim = 2 // keep >= 4 clusters at tiny scales
 	}
@@ -507,9 +522,12 @@ func (r *Runner) Fig9() (*Table, error) {
 			var cells []string
 			for _, loss := range losses {
 				cfg := r.Opt.Config(config.ATACPlus)
-				pp := energy.DefaultPhotonics()
+				tp, pp, err := energy.Scenario(cfg)
+				if err != nil {
+					return nil, err
+				}
 				pp.TotalWaveguideLossDB = loss
-				m, err := energy.BuildWith(cfg, energy.DefaultTech(), pp)
+				m, err := energy.BuildWith(cfg, tp, pp)
 				if err != nil {
 					return nil, err
 				}

@@ -15,6 +15,8 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/photonics"
+	"repro/internal/tech"
 	"repro/internal/version"
 )
 
@@ -26,6 +28,15 @@ type Provenance struct {
 	Scale     int      `json:"scale"`
 	Seed      int64    `json:"seed"`
 	Figures   []string `json:"figures"`
+
+	// Tech and Optics are the campaign's default technology scenario
+	// (canonical registry names); Scenarios lists the techsweep's
+	// scenario set when a techsweep was part of the campaign. Per-run
+	// scenario identity is already inside each run key (and therefore
+	// RunSetHash); these fields make it readable without parsing keys.
+	Tech      string   `json:"tech"`
+	Optics    string   `json:"optics"`
+	Scenarios []string `json:"scenarios,omitempty"`
 
 	// RunSetHash is a SHA-256 over the campaign options and the sorted,
 	// deduplicated run keys: two campaigns with the same hash simulated
@@ -73,13 +84,24 @@ func (r *Runner) Provenance(figures []string, wall time.Duration) Provenance {
 	for _, k := range keys {
 		fmt.Fprintln(h, k)
 	}
+	var scenarios []string
+	for _, id := range figures {
+		if id == "techsweep" {
+			for _, s := range r.techScenarios() {
+				scenarios = append(scenarios, s.Name())
+			}
+		}
+	}
 	return Provenance{
-		Tool:        "figures",
-		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
-		Cores:       r.Opt.Cores,
-		Scale:       r.Opt.Scale,
-		Seed:        r.Opt.Seed,
-		Figures:     figures,
+		Tool:             "figures",
+		CreatedAt:        time.Now().UTC().Format(time.RFC3339),
+		Cores:            r.Opt.Cores,
+		Scale:            r.Opt.Scale,
+		Seed:             r.Opt.Seed,
+		Figures:          figures,
+		Tech:             tech.Canonical(r.Opt.Tech),
+		Optics:           photonics.Canonical(r.Opt.Optics),
+		Scenarios:        scenarios,
 		RunSetHash:       hex.EncodeToString(h.Sum(nil)),
 		Runs:             len(specs),
 		FreshRuns:        r.FreshRuns(),

@@ -13,6 +13,8 @@ import (
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/photonics"
+	"repro/internal/tech"
 )
 
 // ParseNetworkKind maps the user-facing network names (pure, bcast, atac,
@@ -57,6 +59,12 @@ type Geometry struct {
 	FlitBits  int    `json:"flit,omitempty"`
 	RThres    int    `json:"rthres,omitempty"`
 	Seed      int64  `json:"seed,omitempty"`
+	// Tech and Optics name the device-technology scenario the energy
+	// models run under (internal/tech and internal/photonics registries).
+	// Empty means the paper's baseline ("11nm" electronics, "baseline"
+	// optics).
+	Tech   string `json:"tech,omitempty"`
+	Optics string `json:"optics,omitempty"`
 }
 
 // BuildConfig resolves a Geometry into a validated config.Config with the
@@ -76,6 +84,11 @@ func BuildConfig(g Geometry) (config.Config, error) {
 	cfg := config.Default().WithNetwork(kind)
 	cfg.Cores = cores
 	cfg.Seed = g.Seed
+	// Scenario names are canonicalized here so every front end stores the
+	// same strings in the config — and therefore produces the same run
+	// keys and cache entries — regardless of how the user spelled them.
+	cfg.Tech = tech.Canonical(g.Tech)
+	cfg.Optics = photonics.Canonical(g.Optics)
 	if cores < 64 {
 		cfg.ClusterDim = 2 // keep >= 4 clusters at tiny scales
 	}

@@ -70,3 +70,29 @@ func TestBuildConfigZeroGeometry(t *testing.T) {
 		t.Errorf("RThres = %d, want MeshDim/2 = 4 at 64 cores", cfg.Network.RThres)
 	}
 }
+
+// TestBuildConfigScenario: the shared resolution path canonicalizes and
+// validates the technology scenario, so every front end (atacsim, sweep,
+// the daemon) agrees on the stored names — and therefore the run keys.
+func TestBuildConfigScenario(t *testing.T) {
+	cfg, err := BuildConfig(Geometry{Tech: " 7NM ", Optics: " Optimistic "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tech != "7nm" || cfg.Optics != "optimistic" {
+		t.Errorf("scenario not canonicalized: %q/%q", cfg.Tech, cfg.Optics)
+	}
+	cfg, err = BuildConfig(Geometry{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tech != "11nm" || cfg.Optics != "baseline" {
+		t.Errorf("zero geometry scenario %q/%q, want baseline", cfg.Tech, cfg.Optics)
+	}
+	if _, err := BuildConfig(Geometry{Tech: "3nm"}); err == nil {
+		t.Error("unknown tech scenario accepted")
+	}
+	if _, err := BuildConfig(Geometry{Optics: "magic"}); err == nil {
+		t.Error("unknown optics scenario accepted")
+	}
+}

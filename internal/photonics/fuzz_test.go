@@ -1,0 +1,97 @@
+// Native fuzz target for the optical link budget. `go test` runs only the
+// seed corpus (cheap, deterministic); `go test -fuzz=FuzzLinkBudget`
+// explores randomized loss/sensitivity/fan-out parameter sets. The
+// property: whenever Solve accepts a parameter set, every derived power
+// is finite and non-negative, broadcast dominates unicast by exactly the
+// fan-out, and adding waveguide loss never lowers the laser power.
+package photonics
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzLinkBudget(f *testing.F) {
+	// Seeds: baseline, the named variants, an athermal low-loss point, a
+	// lossy near-infeasible point, and degenerate inputs the validator
+	// must reject (negative loss, zero sensitivity, zero responsivity).
+	f.Add(0.2, 0.0001, 1.0, 25.0, 0.30, 1.1, 20.0, uint8(64), uint8(64))
+	f.Add(0.1, 0.00005, 0.5, 10.0, 0.50, 1.2, 0.0, uint8(64), uint8(64))
+	f.Add(0.5, 0.001, 1.5, 50.0, 0.15, 0.8, 40.0, uint8(64), uint8(64))
+	f.Add(0.0, 0.0, 0.0, 25.0, 1.0, 1.1, 0.0, uint8(16), uint8(32))
+	f.Add(2.0, 0.01, 3.0, 100.0, 0.05, 0.2, 100.0, uint8(8), uint8(128))
+	f.Add(-0.2, 0.0001, 1.0, 25.0, 0.30, 1.1, 20.0, uint8(64), uint8(64))
+	f.Add(0.2, 0.0001, 1.0, 0.0, 0.30, 0.0, 20.0, uint8(64), uint8(64))
+	f.Fuzz(func(t *testing.T, wgLoss, through, drop, sensUW, eff, resp, tuneUW float64, hubsRaw, bitsRaw uint8) {
+		p := DefaultParams()
+		p.WaveguideLossDBCM = wgLoss
+		p.RingThroughDB = through
+		p.RingDropDB = drop
+		p.ReceiverSensUW = sensUW
+		p.LaserEfficiency = eff
+		p.ResponsivityAPerW = resp
+		p.TuningUWPerRing = tuneUW
+		g := NewGeometry(int(hubsRaw)%127+2, int(bitsRaw)%256+1)
+
+		l, err := Solve(p, g)
+		if err != nil {
+			// Rejection is the correct outcome for unphysical inputs; the
+			// property only constrains accepted budgets. But rejection must
+			// be deliberate: either validation failed or the nonlinearity
+			// limit tripped, never a silent NaN path.
+			if p.Validate() == nil && !math.IsNaN(wgLoss) {
+				// Accepted by validation, so the only legal error is the
+				// nonlinearity limit; re-solving with a generous limit must
+				// then succeed.
+				relaxed := p
+				relaxed.NonlinearityMW = math.MaxFloat64
+				if _, err2 := Solve(relaxed, g); err2 != nil {
+					t.Fatalf("valid params rejected even without nonlinearity limit: %v", err2)
+				}
+			}
+			return
+		}
+
+		for name, v := range map[string]float64{
+			"worst-case loss dB": l.WorstCaseLossDB,
+			"unicast optical W":  l.LaserOpticalUnicastW,
+			"bcast optical W":    l.LaserOpticalBroadcastW,
+			"unicast wall W":     l.LaserWallUnicastW,
+			"bcast wall W":       l.LaserWallBroadcastW,
+			"data link W":        l.DataLinkWallPowerW(true),
+			"select link W":      l.SelectLinkWallPowerW(),
+			"tuning W":           l.TuningPowerW(false),
+			"mod J/flit":         l.ModulatorEnergyJPerFlit(),
+			"select event J":     l.SelectEventEnergyJ(1e-9),
+			"area mm2":           l.AreaMM2(),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("%s = %v not finite non-negative (params %+v, geom %+v)", name, v, p, g)
+			}
+		}
+		if l.TuningPowerW(true) != 0 {
+			t.Fatalf("athermal tuning power %v != 0", l.TuningPowerW(true))
+		}
+		ratio := l.LaserOpticalBroadcastW / l.LaserOpticalUnicastW
+		if want := float64(g.Hubs - 1); math.Abs(ratio-want) > want*1e-9 {
+			t.Fatalf("broadcast/unicast = %v, want fan-out %v", ratio, want)
+		}
+
+		// Monotonicity: one extra dB of total waveguide loss must not
+		// lower any laser power (it raises it by exactly 10^(1/10) while
+		// still feasible, but >= is the property we pin).
+		worse := p
+		worse.TotalWaveguideLossDB = l.WorstCaseLossDB -
+			p.ModulatorInsDB - p.RingThroughDB*float64((g.Hubs-1)*2) -
+			p.RingDropDB - p.PhotodetectorDB + 1
+		if worse.TotalWaveguideLossDB > 0 {
+			if l2, err := Solve(worse, g); err == nil {
+				if l2.LaserWallBroadcastW < l.LaserWallBroadcastW ||
+					l2.LaserWallUnicastW < l.LaserWallUnicastW {
+					t.Fatalf("+1 dB waveguide loss lowered laser power: %v -> %v W",
+						l.LaserWallBroadcastW, l2.LaserWallBroadcastW)
+				}
+			}
+		}
+	})
+}

@@ -153,6 +153,9 @@ func Solve(p Params, g Geometry) (Link, error) {
 	if g.Hubs < 2 {
 		return Link{}, fmt.Errorf("photonics: need at least 2 hubs, got %d", g.Hubs)
 	}
+	if err := p.Validate(); err != nil {
+		return Link{}, err
+	}
 	// Worst-case path: modulator insertion, full loop propagation, the
 	// through loss of every other ring sharing the waveguide, the drop
 	// loss into the receiver, and the photodetector loss.
@@ -182,9 +185,6 @@ func Solve(p Params, g Geometry) (Link, error) {
 			bcast*1e3, p.NonlinearityMW)
 	}
 	eff := p.LaserEfficiency
-	if eff <= 0 {
-		return Link{}, fmt.Errorf("photonics: non-positive laser efficiency %v", eff)
-	}
 	return Link{
 		Params:                 p,
 		Geometry:               g,

@@ -1,0 +1,146 @@
+// Optical technology scenarios: the paper's Table II baseline plus an
+// optimistic and a pessimistic variant bracketing it. The variants move
+// the device knobs the nanophotonics literature identifies as the real
+// uncertainties — ring quality (through/drop loss), thermal tuning power
+// per ring versus athermal ring design, detector sensitivity, and laser
+// wall-plug efficiency — so a techsweep brackets the paper's single
+// published point instead of merely restating it.
+package photonics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Optimistic returns a variant where the open device problems of the
+// baseline are assumed solved: athermal rings (zero trailing tuning
+// power), halved ring drop loss and waveguide loss, a 10 µW receiver
+// (better sensitivity), a 50%-efficient laser and cheaper modulator and
+// receiver circuits. It stays well short of Ideal(): every loss remains
+// physical and nonzero.
+func (p Params) Optimistic() Params {
+	p.LaserEfficiency = 0.50
+	p.WaveguideLossDBCM = 0.1
+	p.RingThroughDB = 0.00005
+	p.RingDropDB = 0.5
+	p.ResponsivityAPerW = 1.2
+	p.ReceiverSensUW = 10
+	p.PhotodetectorDB = 0.05
+	p.ModulatorInsDB = 0.3
+	p.ModulatorEnergyFJ = 25
+	p.ReceiverEnergyFJ = 40
+	p.TuningUWPerRing = 0 // athermal ring design
+	return p
+}
+
+// Pessimistic returns a variant where fabrication lands worse than the
+// projections: a 15%-efficient laser, 0.5 dB/cm waveguides, lossier and
+// thermally needier rings, and a less sensitive receiver.
+func (p Params) Pessimistic() Params {
+	p.LaserEfficiency = 0.15
+	p.WaveguideLossDBCM = 0.5
+	p.RingThroughDB = 0.001
+	p.RingDropDB = 1.5
+	p.ResponsivityAPerW = 0.8
+	p.ReceiverSensUW = 50
+	p.PhotodetectorDB = 0.2
+	p.ModulatorInsDB = 1.0
+	p.ModulatorEnergyFJ = 60
+	p.ReceiverEnergyFJ = 90
+	p.TuningUWPerRing = 40
+	return p
+}
+
+// Baseline is the canonical name of the paper's Table II parameter set;
+// ByName("") resolves to it.
+const Baseline = "baseline"
+
+// registry maps canonical variant names to constructors so each lookup
+// is a fresh, mutation-safe value.
+var registry = map[string]func() Params{
+	"baseline":    DefaultParams,
+	"optimistic":  func() Params { return DefaultParams().Optimistic() },
+	"pessimistic": func() Params { return DefaultParams().Pessimistic() },
+}
+
+// Canonical normalizes a variant name: trimmed, lower-cased, "" mapped to
+// the baseline. It does not validate; pair it with ByName for user input.
+func Canonical(name string) string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return Baseline
+	}
+	return name
+}
+
+// ByName resolves an optical scenario name ("", "baseline", "optimistic",
+// "pessimistic"; case- and whitespace-insensitive) to its parameter set.
+// The flavor-driven Ideal() transform is not a named scenario: it stays an
+// ATAC+(Ideal) architecture flavor, applied on top of whichever variant is
+// selected.
+func ByName(name string) (Params, error) {
+	if f, ok := registry[Canonical(name)]; ok {
+		return f(), nil
+	}
+	return Params{}, fmt.Errorf("unknown optics scenario %q (have %s)",
+		name, strings.Join(Variants(), ", "))
+}
+
+// Variants lists the canonical optical scenario names, baseline first and
+// the rest sorted.
+func Variants() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		if n != Baseline {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return append([]string{Baseline}, names...)
+}
+
+// Validate rejects unphysical parameter sets before they reach the link
+// solver: negative losses would turn dB attenuation into amplification,
+// and non-positive sensitivity, responsivity, nonlinearity or efficiency
+// make the budget meaningless. Zero losses and zero tuning power are
+// legal (the Ideal flavor uses them).
+func (p Params) Validate() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"waveguide loss dB/cm", p.WaveguideLossDBCM},
+		{"ring through loss dB", p.RingThroughDB},
+		{"ring drop loss dB", p.RingDropDB},
+		{"photodetector loss dB", p.PhotodetectorDB},
+		{"modulator insertion loss dB", p.ModulatorInsDB},
+		{"total waveguide loss override dB", p.TotalWaveguideLossDB},
+		{"tuning power µW/ring", p.TuningUWPerRing},
+		{"waveguide loop cm", p.WaveguideLoopCM},
+		{"modulator energy fJ", p.ModulatorEnergyFJ},
+		{"receiver energy fJ", p.ReceiverEnergyFJ},
+	} {
+		if c.v < 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("photonics: %s = %v must be finite and non-negative", c.name, c.v)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"receiver sensitivity µW", p.ReceiverSensUW},
+		{"photodetector responsivity A/W", p.ResponsivityAPerW},
+		{"nonlinearity limit mW", p.NonlinearityMW},
+		{"laser efficiency", p.LaserEfficiency},
+	} {
+		if c.v <= 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("photonics: %s = %v must be finite and positive", c.name, c.v)
+		}
+	}
+	if p.LaserEfficiency > 1 {
+		return fmt.Errorf("photonics: laser efficiency %v exceeds 1 (wall-plug power below optical output)", p.LaserEfficiency)
+	}
+	return nil
+}

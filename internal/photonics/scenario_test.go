@@ -1,0 +1,192 @@
+package photonics
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTableII pins DefaultParams to the paper's Table II values (and the
+// Georgas et al. link-model constants the paper inherits) exactly, field
+// by field, so scenario refactors cannot drift the baseline.
+func TestTableII(t *testing.T) {
+	got := DefaultParams()
+	want := Params{
+		LaserEfficiency:   0.30,
+		WaveguidePitchUM:  4,
+		WaveguideLossDBCM: 0.2,
+		NonlinearityMW:    30,
+		RingThroughDB:     0.0001,
+		RingDropDB:        1.0,
+		RingAreaUM2:       100,
+		ResponsivityAPerW: 1.1,
+		ReceiverSensUW:    25,
+		PhotodetectorDB:   0.1,
+		ModulatorInsDB:    0.5,
+		ModulatorEnergyFJ: 40,
+		ReceiverEnergyFJ:  60,
+		TuningUWPerRing:   20,
+		WaveguideLoopCM:   8,
+	}
+	if got != want {
+		t.Errorf("DefaultParams drifted from Table II:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestVariantOrdering: the optimistic variant must be strictly cheaper
+// and the pessimistic variant strictly more expensive than baseline, in
+// optical loss, laser wall-plug power, and per-bit circuit energy.
+func TestVariantOrdering(t *testing.T) {
+	g := defaultGeom()
+	opt, err := Solve(DefaultParams().Optimistic(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Solve(DefaultParams(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pess, err := Solve(DefaultParams().Pessimistic(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(opt.WorstCaseLossDB < base.WorstCaseLossDB && base.WorstCaseLossDB < pess.WorstCaseLossDB) {
+		t.Errorf("loss not ordered: opt %v, base %v, pess %v dB",
+			opt.WorstCaseLossDB, base.WorstCaseLossDB, pess.WorstCaseLossDB)
+	}
+	if !(opt.LaserWallBroadcastW < base.LaserWallBroadcastW && base.LaserWallBroadcastW < pess.LaserWallBroadcastW) {
+		t.Errorf("laser power not ordered: opt %v, base %v, pess %v W",
+			opt.LaserWallBroadcastW, base.LaserWallBroadcastW, pess.LaserWallBroadcastW)
+	}
+	if !(opt.ModulatorEnergyJPerFlit() < base.ModulatorEnergyJPerFlit() &&
+		base.ModulatorEnergyJPerFlit() < pess.ModulatorEnergyJPerFlit()) {
+		t.Error("modulator circuit energy not ordered across variants")
+	}
+	// The optimistic variant is athermal by construction; pessimistic
+	// pays more per ring than baseline.
+	if opt.TuningPowerW(false) != 0 {
+		t.Errorf("optimistic tuning power = %v, want 0 (athermal)", opt.TuningPowerW(false))
+	}
+	if pess.TuningPowerW(false) <= base.TuningPowerW(false) {
+		t.Error("pessimistic tuning power not above baseline")
+	}
+	// All three variants must remain feasible at full 64-hub broadcast.
+	for _, l := range []Link{opt, base, pess} {
+		if !(l.LaserWallBroadcastW > 0) || math.IsInf(l.LaserWallBroadcastW, 0) {
+			t.Errorf("variant laser power %v not finite positive", l.LaserWallBroadcastW)
+		}
+	}
+}
+
+// TestReceiverSensitivityMonotonicity: laser power is strictly monotone
+// in receiver sensitivity — a needier detector costs laser power.
+func TestReceiverSensitivityMonotonicity(t *testing.T) {
+	prev := 0.0
+	for _, sens := range []float64{5, 10, 25, 50, 100} {
+		p := DefaultParams()
+		p.ReceiverSensUW = sens
+		l, err := Solve(p, defaultGeom())
+		if err != nil {
+			t.Fatalf("sens %v: %v", sens, err)
+		}
+		if l.LaserWallBroadcastW <= prev {
+			t.Fatalf("laser power not increasing at sensitivity %v µW", sens)
+		}
+		prev = l.LaserWallBroadcastW
+	}
+}
+
+// TestTuningPowerMonotoneInRings: total tuning power grows strictly with
+// the ring count (more hubs or wider links) and is exactly zero athermal.
+func TestTuningPowerMonotoneInRings(t *testing.T) {
+	prev := 0.0
+	for _, hubs := range []int{2, 4, 16, 64} {
+		l, err := Solve(DefaultParams(), NewGeometry(hubs, 64))
+		if err != nil {
+			t.Fatalf("hubs %d: %v", hubs, err)
+		}
+		if got := l.TuningPowerW(false); got <= prev {
+			t.Fatalf("tuning power %v at %d hubs not above %v", got, hubs, prev)
+		} else {
+			prev = got
+		}
+		if l.TuningPowerW(true) != 0 {
+			t.Fatalf("athermal tuning power nonzero at %d hubs", hubs)
+		}
+	}
+}
+
+// TestOpticsRegistry: determinism, normalization, baseline default,
+// rejection of unknown names, fixed ordering, and mutation isolation.
+func TestOpticsRegistry(t *testing.T) {
+	for _, name := range Variants() {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if b, _ := ByName(strings.ToUpper(" " + name + " ")); a != b {
+			t.Errorf("ByName(%q) not normalization-stable", name)
+		}
+	}
+	def, _ := ByName("")
+	if def != DefaultParams() {
+		t.Errorf(`ByName("") != DefaultParams()`)
+	}
+	if _, err := ByName("miraculous"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	want := []string{"baseline", "optimistic", "pessimistic"}
+	if got := Variants(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Variants() = %v, want %v", got, want)
+	}
+	p, _ := ByName("pessimistic")
+	p.LaserEfficiency = 0.99
+	if q, _ := ByName("pessimistic"); q.LaserEfficiency == 0.99 {
+		t.Error("registry returned a shared value: mutation leaked")
+	}
+}
+
+// TestValidateRejectsUnphysical: the edge cases the solver used to let
+// through — negative losses (dB gain out of nowhere), zero responsivity,
+// zero sensitivity, >100% lasers, NaN anywhere — are now errors.
+func TestValidateRejectsUnphysical(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"negative waveguide loss", func(p *Params) { p.WaveguideLossDBCM = -0.2 }},
+		{"negative ring drop", func(p *Params) { p.RingDropDB = -1 }},
+		{"negative through loss", func(p *Params) { p.RingThroughDB = -0.001 }},
+		{"negative modulator loss", func(p *Params) { p.ModulatorInsDB = -0.5 }},
+		{"negative total-loss override", func(p *Params) { p.TotalWaveguideLossDB = -1 }},
+		{"negative tuning", func(p *Params) { p.TuningUWPerRing = -20 }},
+		{"zero responsivity", func(p *Params) { p.ResponsivityAPerW = 0 }},
+		{"zero sensitivity", func(p *Params) { p.ReceiverSensUW = 0 }},
+		{"zero nonlinearity", func(p *Params) { p.NonlinearityMW = 0 }},
+		{"zero efficiency", func(p *Params) { p.LaserEfficiency = 0 }},
+		{"efficiency above 1", func(p *Params) { p.LaserEfficiency = 1.5 }},
+		{"NaN loss", func(p *Params) { p.WaveguideLossDBCM = math.NaN() }},
+		{"Inf sensitivity", func(p *Params) { p.ReceiverSensUW = math.Inf(1) }},
+	}
+	for _, m := range mutations {
+		p := DefaultParams()
+		m.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s passed Validate", m.name)
+		}
+		if _, err := Solve(p, defaultGeom()); err == nil {
+			t.Errorf("%s passed Solve", m.name)
+		}
+	}
+	// The Ideal flavor (all losses zero, 100% laser) must stay legal.
+	if err := DefaultParams().Ideal().Validate(); err != nil {
+		t.Errorf("Ideal params rejected: %v", err)
+	}
+	for _, name := range Variants() {
+		p, _ := ByName(name)
+		if err := p.Validate(); err != nil {
+			t.Errorf("registry variant %q rejected: %v", name, err)
+		}
+	}
+}

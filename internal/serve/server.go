@@ -46,7 +46,9 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/photonics"
 	"repro/internal/system"
+	"repro/internal/tech"
 	"repro/internal/version"
 	"repro/internal/workload"
 )
@@ -394,6 +396,18 @@ func (s *Server) resolve(spec JobSpec) (config.Config, string, JobSpec, error) {
 	if spec.Seed == 0 {
 		spec.Seed = s.runner.Opt.Seed
 	}
+	// Technology scenario: jobs that name none inherit the daemon's
+	// -tech/-optics defaults. The resolved spec stores canonical registry
+	// names so the persisted job identity is spelling-independent and
+	// survives a restart under different daemon defaults.
+	if spec.Tech == "" {
+		spec.Tech = s.runner.Opt.Tech
+	}
+	spec.Tech = tech.Canonical(spec.Tech)
+	if spec.Optics == "" {
+		spec.Optics = s.runner.Opt.Optics
+	}
+	spec.Optics = photonics.Canonical(spec.Optics)
 	cfg, err := experiments.BuildConfig(spec.Geometry)
 	if err != nil {
 		return config.Config{}, "", spec, err

@@ -1,0 +1,139 @@
+// Technology-node scenarios: the paper's 11 nm tri-gate baseline plus
+// projected 7 nm and 5 nm nodes derived by an explicit per-step scaling
+// rule in the spirit of Manipatruni et al.'s analytical device-scaling
+// framework. Each projected node is the previous node transformed by one
+// NodeStep, so the assumptions are inspectable constants rather than a
+// second hand-tuned parameter table, and the invariants the rest of the
+// stack depends on (dynamic energy strictly shrinking, leakage density
+// not improving, wires getting worse per mm) hold by construction.
+package tech
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeStep is one generation of Dennard-broken scaling applied to a
+// Params. Capacitances and supply shrink (dynamic energy improves as
+// C·V²), drive current per width inches up, off-current per width and
+// wire resistance degrade — the standard post-22 nm trade-off.
+type NodeStep struct {
+	Name string // name of the resulting node
+
+	VDD float64 // absolute supply of the new node, V
+
+	GateLength float64 // gate length multiplier
+	GatePitch  float64 // contacted pitch multiplier
+	GateCap    float64 // gate cap per width multiplier
+	DrainCap   float64 // drain (parasitic) cap per width multiplier
+	IOn        float64 // on-current per width multiplier (N and P)
+	IOff       float64 // off-current per width multiplier (> 1: leakier)
+	WireCap    float64 // wire cap per mm multiplier (coupling worsens)
+	WireRes    float64 // wire resistance per mm multiplier (> 1)
+	SRAMCell   float64 // 6T cell area multiplier
+	ClockCap   float64 // clock load per gate multiplier
+}
+
+// Apply returns p scaled one generation by the step.
+func (s NodeStep) Apply(p Params) Params {
+	p.Name = s.Name
+	p.VDD = s.VDD
+	p.GateLengthNM *= s.GateLength
+	p.GatePitchNM *= s.GatePitch
+	p.GateCapFFPerUM *= s.GateCap
+	p.DrainCapFFPerUM *= s.DrainCap
+	p.IOnNUAPerUM *= s.IOn
+	p.IOnPUAPerUM *= s.IOn
+	p.IOffNAPerUM *= s.IOff
+	p.WireCapFFPerMM *= s.WireCap
+	p.WireResOhmPerMM *= s.WireRes
+	p.SRAMCellUM2 *= s.SRAMCell
+	// Array overhead (decode/sense/redundancy) is a ratio; it does not
+	// scale with the cell.
+	p.ClockCapFFPerGate *= s.ClockCap
+	return p
+}
+
+// step11to7 projects 11 nm → 7 nm. Geometry shrinks ~0.78–0.8x per the
+// foundry cadence; gate/drain cap per width improve more slowly than
+// geometry because parasitics dominate at fin pitches this tight; the
+// HVT flavor keeps IOff growth moderate (1.5x) at a 50 mV lower supply;
+// intermediate-layer wire RC degrades sharply (thinner, tighter metal).
+var step11to7 = NodeStep{
+	Name:       "7nm-trigate-HVT",
+	VDD:        0.55,
+	GateLength: 0.80, GatePitch: 0.78,
+	GateCap: 0.88, DrainCap: 0.90,
+	IOn: 1.03, IOff: 1.50,
+	WireCap: 1.03, WireRes: 1.70,
+	SRAMCell: 0.55, ClockCap: 0.85,
+}
+
+// step7to5 projects 7 nm → 5 nm with the same shape of trade-offs one
+// generation further: another 50 mV off the supply, cap-per-width gains
+// flattening, leakage density and wire resistance continuing to worsen.
+var step7to5 = NodeStep{
+	Name:       "5nm-trigate-HVT",
+	VDD:        0.50,
+	GateLength: 0.80, GatePitch: 0.78,
+	GateCap: 0.88, DrainCap: 0.90,
+	IOn: 1.03, IOff: 1.50,
+	WireCap: 1.03, WireRes: 1.70,
+	SRAMCell: 0.55, ClockCap: 0.85,
+}
+
+// Default7nm returns the projected 7 nm node: Default11nm scaled one
+// generation by step11to7.
+func Default7nm() Params { return step11to7.Apply(Default11nm()) }
+
+// Default5nm returns the projected 5 nm node: Default7nm scaled one
+// further generation by step7to5.
+func Default5nm() Params { return step7to5.Apply(Default7nm()) }
+
+// Baseline is the canonical name of the paper's node; ByName("") resolves
+// to it so an unset config field always means "what the paper published".
+const Baseline = "11nm"
+
+// registry maps canonical scenario names to constructors. Constructors
+// (not stored Params) keep every lookup a fresh value: callers can mutate
+// the result freely without poisoning the registry.
+var registry = map[string]func() Params{
+	"11nm": Default11nm,
+	"7nm":  Default7nm,
+	"5nm":  Default5nm,
+}
+
+// Canonical normalizes a scenario name: trimmed, lower-cased, with the
+// empty string mapped to the Baseline node. It does not validate; pair it
+// with ByName when the name comes from user input.
+func Canonical(name string) string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return Baseline
+	}
+	return name
+}
+
+// ByName resolves a scenario name ("", "11nm", "7nm", "5nm"; case- and
+// whitespace-insensitive) to its parameter set.
+func ByName(name string) (Params, error) {
+	if f, ok := registry[Canonical(name)]; ok {
+		return f(), nil
+	}
+	return Params{}, fmt.Errorf("unknown tech scenario %q (have %s)",
+		name, strings.Join(Scenarios(), ", "))
+}
+
+// Scenarios lists the canonical scenario names, baseline first and the
+// rest sorted, so help strings and sweeps are deterministic.
+func Scenarios() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		if n != Baseline {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return append([]string{Baseline}, names...)
+}

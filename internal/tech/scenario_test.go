@@ -1,0 +1,155 @@
+package tech
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTableIII pins Default11nm to the paper's Table III values exactly,
+// field by field, so scenario refactors cannot silently drift the
+// baseline the golden figures are built on.
+func TestTableIII(t *testing.T) {
+	got := Default11nm()
+	want := Params{
+		Name:              "11nm-trigate-HVT",
+		VDD:               0.6,
+		GateLengthNM:      14,
+		GatePitchNM:       44,
+		GateCapFFPerUM:    2.420,
+		DrainCapFFPerUM:   1.150,
+		IOnNUAPerUM:       739,
+		IOnPUAPerUM:       668,
+		IOffNAPerUM:       1,
+		WireCapFFPerMM:    190,
+		WireResOhmPerMM:   2800,
+		SRAMCellUM2:       0.06,
+		SRAMAreaOverhead:  2.0,
+		ClockCapFFPerGate: 0.08,
+	}
+	if got != want {
+		t.Errorf("Default11nm drifted from Table III:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// nodes returns the scaling ladder in generation order.
+func nodes(t *testing.T) []Params {
+	t.Helper()
+	out := make([]Params, 0, 3)
+	for _, name := range []string{"11nm", "7nm", "5nm"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestNodeOrdering pins the physics of the scaling ladder: every
+// per-event dynamic energy and the FO4 delay strictly improve from
+// 11 nm through 7 nm to 5 nm, while leakage density and wire resistance
+// strictly degrade — the post-Dennard trade-off the projections encode.
+func TestNodeOrdering(t *testing.T) {
+	ns := nodes(t)
+	for i := 1; i < len(ns); i++ {
+		prev, cur := ns[i-1], ns[i]
+		// Strictly improving with scaling.
+		if cur.SwitchEnergyJ(10) >= prev.SwitchEnergyJ(10) {
+			t.Errorf("%s switch energy %v not < %s %v",
+				cur.Name, cur.SwitchEnergyJ(10), prev.Name, prev.SwitchEnergyJ(10))
+		}
+		if cur.WireEnergyJPerBitMM() >= prev.WireEnergyJPerBitMM() {
+			t.Errorf("%s wire energy %v not < %s %v",
+				cur.Name, cur.WireEnergyJPerBitMM(), prev.Name, prev.WireEnergyJPerBitMM())
+		}
+		if cur.FO4DelayPS() >= prev.FO4DelayPS() {
+			t.Errorf("%s FO4 %v ps not < %s %v ps",
+				cur.Name, cur.FO4DelayPS(), prev.Name, prev.FO4DelayPS())
+		}
+		if cur.SRAMBitAreaUM2() >= prev.SRAMBitAreaUM2() {
+			t.Errorf("%s SRAM bit area %v not < %s %v",
+				cur.Name, cur.SRAMBitAreaUM2(), prev.Name, prev.SRAMBitAreaUM2())
+		}
+		if cur.VDD >= prev.VDD {
+			t.Errorf("%s VDD %v not < %s %v", cur.Name, cur.VDD, prev.Name, prev.VDD)
+		}
+		// Strictly degrading with scaling.
+		if cur.LeakagePowerWPerUM() <= prev.LeakagePowerWPerUM() {
+			t.Errorf("%s leakage density %v not > %s %v",
+				cur.Name, cur.LeakagePowerWPerUM(), prev.Name, prev.LeakagePowerWPerUM())
+		}
+		if cur.WireResOhmPerMM <= prev.WireResOhmPerMM {
+			t.Errorf("%s wire resistance %v not > %s %v",
+				cur.Name, cur.WireResOhmPerMM, prev.Name, prev.WireResOhmPerMM)
+		}
+		// Sanity on the projected values themselves.
+		if cur.GateCapFFPerUM <= 0 || cur.IOnNUAPerUM <= 0 || cur.SRAMCellUM2 <= 0 {
+			t.Errorf("%s has non-positive device parameters: %+v", cur.Name, cur)
+		}
+	}
+}
+
+// TestRegistryDeterminism: repeated lookups return identical values (so
+// campaign run keys built from scenario names are stable), lookups are
+// case/space-insensitive, "" is the baseline, and Scenarios() is in a
+// fixed order with the baseline first.
+func TestRegistryDeterminism(t *testing.T) {
+	for _, name := range Scenarios() {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		b, _ := ByName(name)
+		if a != b {
+			t.Errorf("ByName(%q) not deterministic: %+v vs %+v", name, a, b)
+		}
+	}
+	def, _ := ByName("")
+	if base := Default11nm(); def != base {
+		t.Errorf(`ByName("") = %+v, want baseline %+v`, def, base)
+	}
+	for _, alias := range []string{"11NM", " 11nm ", "11nm"} {
+		p, err := ByName(alias)
+		if err != nil || p != Default11nm() {
+			t.Errorf("ByName(%q) = %+v, %v; want baseline", alias, p, err)
+		}
+	}
+	if _, err := ByName("3nm"); err == nil {
+		t.Error("ByName(3nm) should fail: not in the registry")
+	}
+	want := []string{"11nm", "5nm", "7nm"}
+	if got := Scenarios(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Scenarios() = %v, want %v", got, want)
+	}
+	if Canonical(" 7NM ") != "7nm" || Canonical("") != Baseline {
+		t.Errorf("Canonical normalization broken: %q %q", Canonical(" 7NM "), Canonical(""))
+	}
+}
+
+// TestRegistryIsolation: mutating a looked-up Params must not leak into
+// later lookups (the registry hands out fresh values).
+func TestRegistryIsolation(t *testing.T) {
+	p, _ := ByName("7nm")
+	p.VDD = 99
+	q, _ := ByName("7nm")
+	if q.VDD == 99 {
+		t.Error("registry returned a shared value: mutation leaked")
+	}
+}
+
+// TestProjectedNodesPlausible sanity-checks the scaled nodes at absolute
+// level: supplies between 0.4 and 0.6 V, FO4 below the 11 nm value but
+// still positive, leakage density below 2 nW/µm (HVT flavor).
+func TestProjectedNodesPlausible(t *testing.T) {
+	for _, p := range nodes(t)[1:] {
+		if p.VDD < 0.4 || p.VDD > 0.6 {
+			t.Errorf("%s VDD %v outside [0.4, 0.6]", p.Name, p.VDD)
+		}
+		if d := p.FO4DelayPS(); d <= 0 || d > 20 {
+			t.Errorf("%s FO4 %v ps implausible", p.Name, d)
+		}
+		if l := p.LeakagePowerWPerUM(); l > 2e-9 {
+			t.Errorf("%s leakage density %v W/µm too high for HVT", p.Name, l)
+		}
+	}
+}

@@ -24,8 +24,11 @@ import (
 // input staging (flits injected or landing off a link become arbitrable
 // the next cycle) and canonical same-cycle ONet receive ordering — the
 // determinism model that makes sharded PDES runs bit-identical to
-// serial ones — shifting every timing-derived figure by about a percent.
-const CacheSchema = 3
+// serial ones — shifting every timing-derived figure by about a percent;
+// 4 Config gained the Tech/Optics technology-scenario fields, which
+// enter both the run key and the serialized config inside every cache
+// key, so schema-3 entries can no longer be matched to their runs.
+const CacheSchema = 4
 
 // GitDescribe returns `git describe --always --dirty --tags` for the
 // working tree, or "" when git or the repository is unavailable.

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Technology-scenario smoke test for the techsweep figure and the
+# scenario-keyed result cache.
+#
+# Runs the techsweep figure (two scenarios, 16 cores) through the cached
+# campaign engine and checks the contract the scenario layer promises:
+#
+#   1. the figure renders one row per scenario, normalized to the paper's
+#      11nm/baseline point, and the provenance manifest records the
+#      campaign's default scenario and the swept scenario set;
+#   2. a second, identical invocation is answered entirely from the cache
+#      (zero fresh simulations) and renders byte-identical output —
+#      scenario identity in the run key is deterministic;
+#   3. cache entries stamped with the pre-scenario schemas 2 and 3 are
+#      quarantined, never served: corrupting two live entries forces
+#      exactly two re-simulations, moves the stale files into quarantine/,
+#      and still renders byte-identical output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cores=16
+scens="11nm/baseline,7nm/baseline"
+jobs=2
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+export REPRO_CACHE="$workdir/cache"
+
+echo "== build"
+go build -o "$workdir/figures" ./cmd/figures
+
+manifest_field() { # manifest_field <file> <numeric-field>
+    sed -n "s/.*\"$2\": \([0-9][0-9]*\).*/\1/p" "$1" | head -n1
+}
+
+echo "== cold campaign (every run simulated)"
+"$workdir/figures" -cores "$cores" -only techsweep -scenarios "$scens" \
+    -jobs "$jobs" -q -o "$workdir/out1.txt" >/dev/null
+cp "$workdir/manifest.json" "$workdir/manifest1.json"
+
+for row in "11nm/baseline" "7nm/baseline"; do
+    if ! grep -q "^$row" "$workdir/out1.txt"; then
+        echo "FAIL: techsweep output has no $row row" >&2
+        cat "$workdir/out1.txt" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"tech": "11nm"' "$workdir/manifest1.json" ||
+    ! grep -q '"optics": "baseline"' "$workdir/manifest1.json" ||
+    ! grep -q '"7nm/baseline"' "$workdir/manifest1.json"; then
+    echo "FAIL: manifest does not record the scenario set" >&2
+    cat "$workdir/manifest1.json" >&2
+    exit 1
+fi
+runs=$(manifest_field "$workdir/manifest1.json" runs)
+fresh=$(manifest_field "$workdir/manifest1.json" fresh_runs)
+if [ "$fresh" -ne "$runs" ]; then
+    echo "FAIL: cold campaign simulated $fresh of $runs runs" >&2
+    exit 1
+fi
+echo "   $runs runs simulated, manifest records both scenarios"
+
+echo "== warm campaign (everything from the cache)"
+"$workdir/figures" -cores "$cores" -only techsweep -scenarios "$scens" \
+    -jobs "$jobs" -q -o "$workdir/out2.txt" >/dev/null
+fresh=$(manifest_field "$workdir/manifest.json" fresh_runs)
+hits=$(manifest_field "$workdir/manifest.json" cache_hits)
+if [ "$fresh" -ne 0 ] || [ "$hits" -ne "$runs" ]; then
+    echo "FAIL: warm campaign re-simulated $fresh runs ($hits cache hits, want $runs)" >&2
+    exit 1
+fi
+if ! cmp -s "$workdir/out1.txt" "$workdir/out2.txt"; then
+    echo "FAIL: warm output differs from cold output" >&2
+    diff "$workdir/out1.txt" "$workdir/out2.txt" >&2 || true
+    exit 1
+fi
+echo "   zero fresh simulations, byte-identical output"
+
+echo "== stale-schema quarantine"
+# Rewrite two live entries to the pre-scenario cache generations; the
+# campaign must quarantine them and re-simulate exactly those two runs.
+stale=0
+for f in "$REPRO_CACHE"/*.json; do
+    [ "$stale" -ge 2 ] && break
+    sed -i "s/\"schema\":4/\"schema\":$((2 + stale))/" "$f"
+    stale=$((stale + 1))
+done
+if [ "$stale" -ne 2 ]; then
+    echo "FAIL: found only $stale cache entries to corrupt" >&2
+    exit 1
+fi
+"$workdir/figures" -cores "$cores" -only techsweep -scenarios "$scens" \
+    -jobs "$jobs" -q -o "$workdir/out3.txt" >/dev/null 2>"$workdir/run3.log"
+fresh=$(manifest_field "$workdir/manifest.json" fresh_runs)
+if [ "$fresh" -ne 2 ]; then
+    echo "FAIL: stale-schema pass re-simulated $fresh runs, want 2" >&2
+    cat "$workdir/run3.log" >&2
+    exit 1
+fi
+quarantined=$(ls "$REPRO_CACHE/quarantine" 2>/dev/null | wc -l)
+if [ "$quarantined" -ne 2 ]; then
+    echo "FAIL: $quarantined entries in quarantine/, want 2" >&2
+    exit 1
+fi
+if ! cmp -s "$workdir/out1.txt" "$workdir/out3.txt"; then
+    echo "FAIL: post-quarantine output differs from the reference" >&2
+    diff "$workdir/out1.txt" "$workdir/out3.txt" >&2 || true
+    exit 1
+fi
+echo "   2 stale entries quarantined and re-simulated, output unchanged"
+
+echo "PASS: techsweep scenario/cache contract holds"
