@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check figures bench fuzz resume-smoke serve-smoke chaos-smoke techsweep-smoke clean
+.PHONY: build test check figures bench fuzz resume-smoke serve-smoke chaos-smoke cluster-smoke techsweep-smoke clean
 
 # Per-target budget for `make fuzz` (go test -fuzztime syntax).
 FUZZTIME ?= 10s
@@ -52,6 +52,16 @@ serve-smoke:
 # match a direct atacsim run. CHAOS_SEED / CHAOS_KILLS tune the schedule.
 chaos-smoke:
 	bash scripts/chaos_smoke.sh
+
+# Fault-tolerance contract of the atacd cluster: three nodes (separate
+# caches/ledgers) on one rendezvous-hash ring, a campaign submitted
+# through the cluster, and the node owning the first run's hash is
+# SIGKILLed mid-flight. Clients must survive on hedged reads + automatic
+# resubmission, results must match a direct atacsim run byte for byte,
+# the concatenated journals must show zero duplicate simulations, and
+# the restarted node must rejoin and drain from its peers' caches.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # End-to-end smoke of the technology-scenario layer: the techsweep figure
 # (two scenarios, 16 cores) through the cached Runner — per-scenario rows

@@ -22,6 +22,12 @@
 // reconnects with Last-Event-ID, so a daemon restart mid--wait is
 // invisible. 429 responses honor the server's Retry-After hint.
 //
+// Against a cluster, pass every node via -endpoints: reads hedge across
+// them (a job lives on the node executing it), the watch stream rotates
+// to a surviving node if its first one dies, and submit -wait resubmits
+// the spec automatically when the whole cluster disowns the job (same
+// run hash — the survivors serve the cached result or rerun it once).
+//
 // Exit codes:
 //
 //	0  success
@@ -67,6 +73,7 @@ func usage() {
 
 func run() int {
 	addr := flag.String("addr", "http://localhost:8347", "atacd base URL")
+	endpoints := flag.String("endpoints", "", "comma-separated additional atacd base URLs (cluster peers); reads hedge across them")
 	retries := flag.Int("retries", 8, "transient-failure retries per request (-1 disables)")
 	quiet := flag.Bool("q", false, "suppress retry/reconnect narration")
 	showVer := flag.Bool("version", false, "print the build version and exit")
@@ -84,6 +91,11 @@ func run() int {
 		Base:    strings.TrimRight(*addr, "/"),
 		Retries: *retries,
 		Logf:    log.Printf,
+	}
+	for _, e := range strings.Split(*endpoints, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			c.Endpoints = append(c.Endpoints, e)
+		}
 	}
 	if *quiet {
 		c.Logf = nil
@@ -157,19 +169,32 @@ func submit(c *serve.Client, args []string) error {
 		printJSON(st)
 		return nil
 	}
-	fmt.Fprintf(os.Stderr, "job %s (%s on %s): %s\n", st.ID, st.Bench, st.Config, st.State)
-	// The watch stream survives daemon restarts (Last-Event-ID
-	// reconnection); if it still dies, fall through to the result poll,
-	// which retries independently — the job is durable server-side.
-	if _, err := c.Watch(st.ID, os.Stderr); err != nil && !serve.IsTransient(err) {
-		return err
+	// A job can be lost mid--wait if the node executing it dies before
+	// any replica holds the result. Submission is idempotent (the run
+	// hash is the identity), so the recovery is to resubmit the same spec
+	// — a surviving node serves the cached result or reruns it once.
+	for attempt := 0; ; attempt++ {
+		fmt.Fprintf(os.Stderr, "job %s (%s on %s): %s\n", st.ID, st.Bench, st.Config, st.State)
+		// The watch stream survives daemon restarts (Last-Event-ID
+		// reconnection); if it still dies, fall through to the result poll,
+		// which retries independently — the job is durable server-side.
+		_, werr := c.Watch(st.ID, os.Stderr)
+		if werr != nil && !serve.IsTransient(werr) && !errors.Is(werr, serve.ErrJobLost) {
+			return werr
+		}
+		body, rerr := c.Result(st.ID, true)
+		if rerr == nil {
+			_, err = os.Stdout.Write(body)
+			return err
+		}
+		if !errors.Is(rerr, serve.ErrJobLost) || attempt >= 2 {
+			return rerr
+		}
+		fmt.Fprintf(os.Stderr, "job %s lost (its node died); resubmitting the spec\n", st.ID)
+		if st, err = c.Submit(spec); err != nil {
+			return err
+		}
 	}
-	body, err := c.Result(st.ID, true)
-	if err != nil {
-		return err
-	}
-	_, err = os.Stdout.Write(body)
-	return err
 }
 
 func status(c *serve.Client, args []string) error {

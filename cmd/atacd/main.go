@@ -32,14 +32,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/photonics"
+	"repro/internal/resultstore"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/tech"
@@ -50,6 +53,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("atacd: ")
 	os.Exit(run())
+}
+
+// selfFromAddr derives this node's ring URL from the listen address when
+// -self is not given: ":8347" and wildcard hosts become loopback, which
+// is right for single-machine clusters (the smoke test's topology); real
+// deployments pass -self explicitly.
+func selfFromAddr(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return cluster.NormalizePeer(addr)
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" || host == "[::]" {
+		host = "127.0.0.1"
+	}
+	return cluster.NormalizePeer("http://" + net.JoinHostPort(host, port))
 }
 
 func run() int {
@@ -75,6 +93,11 @@ func run() int {
 		noStore    = flag.Bool("no-store", false, "disable the durable job store (jobs do not survive a crash)")
 		reqTimeout = flag.Duration("request-timeout", 15*time.Second, "per-request deadline for non-streaming HTTP endpoints")
 		showVer    = flag.Bool("version", false, "print the build version and exit")
+
+		peersFlag = flag.String("peers", "", "comma-separated cluster peer base URLs, including this node (empty = single-node)")
+		selfFlag  = flag.String("self", "", "this node's base URL as it appears in -peers (default: derived from -addr)")
+		replicas  = flag.Int("replicas", 2, "nodes holding each result (owner included); capped at the cluster size")
+		probeIvl  = flag.Duration("probe-interval", 2*time.Second, "peer health-probe cadence")
 	)
 	flag.Parse()
 
@@ -162,11 +185,61 @@ func run() int {
 		}
 	}
 
+	// Cluster mode: a static -peers list joined by a rendezvous-hash ring.
+	// Each node forwards submits to the run hash's owner (falling back to
+	// local execution when the owner is probed down), replicates finished
+	// results to the hash's replica set, and read-through-fetches misses
+	// from peers — so killing any node loses no completed work and costs
+	// no duplicate simulation.
+	var clusterCfg *serve.ClusterConfig
+	if peers := cluster.ParsePeers(*peersFlag); len(peers) > 0 {
+		self := cluster.NormalizePeer(*selfFlag)
+		if self == "" {
+			self = selfFromAddr(*addr)
+		}
+		ring := cluster.NewRing(peers)
+		if !ring.Contains(self) {
+			log.Printf("this node (%s) is not in -peers %s; pass -self with its ring URL", self, strings.Join(ring.Peers(), ","))
+			return experiments.ExitFatal
+		}
+		if ring.Len() > 1 {
+			var others []string
+			for _, p := range ring.Peers() {
+				if p != self {
+					others = append(others, p)
+				}
+			}
+			prober := cluster.NewProber(others, cluster.ProberOptions{Interval: *probeIvl, Logf: log.Printf})
+			prober.Start(context.Background())
+			defer prober.Stop()
+			pick := func(hash string) []string {
+				var out []string
+				for _, p := range ring.Replicas(hash, *replicas) {
+					if p != self && prober.Healthy(p) {
+						out = append(out, p)
+					}
+				}
+				return out
+			}
+			if r.Cache != nil {
+				r.Store = &resultstore.Tiered{
+					Local:  r.Cache,
+					Remote: &resultstore.Peers{Pick: pick, Schema: version.CacheSchema, Logf: log.Printf},
+				}
+			} else {
+				log.Print("warning: clustered without a cache: results cannot replicate to or be recalled from peers")
+			}
+			clusterCfg = &serve.ClusterConfig{Self: self, Ring: ring, Healthy: prober.Healthy, Snapshot: prober.Snapshot}
+			log.Printf("cluster: %d nodes, self %s, %d replicas per result", ring.Len(), self, *replicas)
+		}
+	}
+
 	srv := serve.New(r, serve.Options{
 		QueueDepth:     *depth,
 		Workers:        r.Jobs,
 		RequestTimeout: *reqTimeout,
 		Store:          store,
+		Cluster:        clusterCfg,
 	}, log.Printf)
 	ctx, stopSignals := r.InstallSignalHandlerHook(*grace, log.Printf, func(stage string) {
 		if stage == "drain" {

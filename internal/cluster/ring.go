@@ -1,0 +1,151 @@
+// Package cluster turns a static list of atacd peers into one logical
+// service: a rendezvous-hash ring decides which node owns each run hash
+// (and which replicas back it), and a health prober decides which peers
+// are currently worth talking to.
+//
+// The design mirrors the paper's own degradation story: the ATAC network
+// falls back from the optical broadcast net to the electrical mesh under
+// faults without any central coordinator, and the serving fabric falls
+// back from the hash-designated owner to surviving peers the same way —
+// every node computes ownership independently from the same peer list,
+// so there is no membership protocol, no leader, and nothing to agree on
+// at failure time. Placement is rendezvous (highest-random-weight)
+// hashing rather than a token ring: with a static peer set it needs no
+// virtual-node bookkeeping, spreads keys evenly, and when one node
+// disappears exactly the keys it owned move — everyone else's placement
+// is untouched.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strings"
+)
+
+// Ring is a rendezvous-hash placement over a fixed peer set. Peers are
+// identified by their base URLs; construction normalizes and sorts them,
+// so any two nodes configured with the same -peers list (in any order,
+// with or without trailing slashes) compute identical placements. The
+// zero-peer Ring is valid and owns nothing.
+type Ring struct {
+	peers []string
+}
+
+// NormalizePeer canonicalizes one peer URL the way the ring (and every
+// flag parser feeding it) does: surrounding space and trailing slashes
+// are dropped, and a bare host:port gains the http scheme.
+func NormalizePeer(s string) string {
+	s = strings.TrimRight(strings.TrimSpace(s), "/")
+	if s == "" {
+		return ""
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return s
+}
+
+// ParsePeers splits a comma-separated -peers flag value into normalized,
+// deduplicated peer URLs, preserving nothing of the input order (the
+// ring sorts anyway).
+func ParsePeers(flagVal string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range strings.Split(flagVal, ",") {
+		p = NormalizePeer(p)
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// NewRing builds a ring over the given peers (normalized, deduplicated,
+// sorted).
+func NewRing(peers []string) *Ring {
+	seen := make(map[string]bool, len(peers))
+	r := &Ring{}
+	for _, p := range peers {
+		p = NormalizePeer(p)
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		r.peers = append(r.peers, p)
+	}
+	sort.Strings(r.peers)
+	return r
+}
+
+// Peers returns the ring's member URLs, sorted.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Len returns the number of peers.
+func (r *Ring) Len() int { return len(r.peers) }
+
+// Contains reports whether peer (normalized) is a ring member.
+func (r *Ring) Contains(peer string) bool {
+	peer = NormalizePeer(peer)
+	for _, p := range r.peers {
+		if p == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// score is the rendezvous weight of (peer, hash): the first 8 bytes of
+// sha256 over both. Deterministic across nodes and Go versions.
+func score(peer, hash string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(hash))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// Owner returns the peer that owns hash: the rendezvous winner. Empty
+// for an empty ring.
+func (r *Ring) Owner(hash string) string {
+	owners := r.Replicas(hash, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Replicas returns the n highest-scoring peers for hash, owner first —
+// the nodes that should hold (or know how to find) the run's result.
+// Fewer peers than n returns them all. Ties break on the peer name, so
+// the order is total and identical on every node.
+func (r *Ring) Replicas(hash string, n int) []string {
+	if n <= 0 || len(r.peers) == 0 {
+		return nil
+	}
+	type scored struct {
+		peer string
+		s    uint64
+	}
+	all := make([]scored, len(r.peers))
+	for i, p := range r.peers {
+		all[i] = scored{p, score(p, hash)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].peer < all[j].peer
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].peer
+	}
+	return out
+}

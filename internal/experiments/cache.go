@@ -1,18 +1,18 @@
 package experiments
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/resultstore"
 	"repro/internal/system"
 	"repro/internal/version"
 )
@@ -60,6 +60,10 @@ type Cache struct {
 // quarantineDirName is the subdirectory bad entries are moved into.
 const quarantineDirName = "quarantine"
 
+// Cache is the local-directory backend of the resultstore contract; the
+// daemon mounts it beneath a peer read-through tier.
+var _ resultstore.Store = (*Cache)(nil)
+
 // OpenCache creates (if needed) and opens a cache rooted at dir.
 func OpenCache(dir string) (*Cache, error) {
 	if dir == "" {
@@ -78,18 +82,64 @@ func (c *Cache) Dir() string { return c.dir }
 // next to the entries).
 func (c *Cache) JournalPath() string { return filepath.Join(c.dir, JournalFileName) }
 
-// cacheEntry is the on-disk format. Key holds the full (pre-hash) run key
-// so a hash collision — or a caller mixing cache directories — is detected
-// as a miss instead of silently returning the wrong run's result.
-type cacheEntry struct {
-	Schema int           `json:"schema"`
-	Key    string        `json:"key"`
-	Result system.Result `json:"result"`
-}
+// The on-disk format is resultstore.Entry: Key holds the full (pre-hash)
+// run key so a hash collision — or a caller mixing cache directories — is
+// detected as a miss instead of silently returning the wrong run's
+// result, and the same JSON travels verbatim over the peer cache routes.
 
 func (c *Cache) path(key string) string {
-	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+	return filepath.Join(c.dir, resultstore.Hash(key)+".json")
+}
+
+// entryHashPattern is the only shape EntryByHash accepts: a full sha256
+// hex digest. Anything else (../escapes, prefixes, uppercase) is
+// rejected before touching the filesystem.
+var entryHashPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// EntryByHash returns the raw stored entry whose key hashes to hash —
+// the serving layer's peer-cache read path. The bytes are returned
+// as-persisted (already a resultstore.Entry in JSON); validation of
+// schema and embedded key is the reader's job, exactly as it is for
+// local Gets. A malformed hash or absent entry is a miss.
+func (c *Cache) EntryByHash(hash string) ([]byte, bool) {
+	if !entryHashPattern.MatchString(hash) {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, hash+".json"))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// PutEntry persists pre-marshaled entry bytes under their hash after
+// verifying they parse, carry the current schema, and embed a key that
+// actually hashes to hash — the write half of the peer-cache routes. The
+// same atomic write path as Put, so a replicating peer can never tear or
+// mislabel a local entry.
+func (c *Cache) PutEntry(hash string, data []byte) error {
+	if !entryHashPattern.MatchString(hash) {
+		return fmt.Errorf("cache: malformed entry hash %q", hash)
+	}
+	var e resultstore.Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return fmt.Errorf("cache: invalid entry for %s: %w", hash[:12], err)
+	}
+	if e.Schema != cacheSchemaVersion {
+		return fmt.Errorf("cache: entry schema %d (current %d)", e.Schema, cacheSchemaVersion)
+	}
+	if resultstore.Hash(e.Key) != hash {
+		return fmt.Errorf("cache: entry key does not hash to %s", hash[:12])
+	}
+	if err := AtomicWriteFile(filepath.Join(c.dir, hash+".json"), data, 0o644); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if c.MaxBytes > 0 {
+		if _, err := c.EnforceBudget(); err != nil && c.Log != nil {
+			c.Log(fmt.Sprintf("cache: eviction: %v", err))
+		}
+	}
+	return nil
 }
 
 // Get returns the cached result for key, if present and valid. An entry
@@ -102,7 +152,7 @@ func (c *Cache) Get(key string) (system.Result, bool) {
 	if err != nil {
 		return system.Result{}, false
 	}
-	var e cacheEntry
+	var e resultstore.Entry
 	if err := json.Unmarshal(data, &e); err != nil {
 		c.quarantine(path, fmt.Sprintf("corrupt entry: %v", err))
 		return system.Result{}, false
@@ -150,7 +200,7 @@ func (c *Cache) Quarantined() uint64 { return c.quarantined.Load() }
 // callers can warn, but a failed Put only costs a future re-simulation —
 // it is never fatal.
 func (c *Cache) Put(key string, res system.Result) error {
-	data, err := json.Marshal(cacheEntry{Schema: cacheSchemaVersion, Key: key, Result: res})
+	data, err := json.Marshal(resultstore.Entry{Schema: cacheSchemaVersion, Key: key, Result: res})
 	if err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/resultstore"
+	"repro/internal/system"
+)
+
+// These tests exist to run under -race: the cache is shared by campaign
+// workers, the serving daemon's peer-cache routes, and the budget
+// enforcer, all concurrently. Correctness here means every Get returns
+// either the exact result stored under its key or a miss — never torn
+// bytes, never another key's result — while eviction and quarantine
+// shuffle files underneath.
+
+// TestCacheEnforceBudgetRace hammers one bounded cache with concurrent
+// Puts, Gets, and explicit EnforceBudget sweeps. Evicting a key mid-read
+// must degrade it to a miss, nothing worse.
+func TestCacheEnforceBudgetRace(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small enough that eviction fires constantly; entries are ~1KB, so
+	// only a handful fit.
+	c.MaxBytes = 4096
+	c.Log = func(string) {} // exercise the logging path without t.Log races after test end
+
+	const keys = 16
+	key := func(i int) string { return fmt.Sprintf("race-key-%d", i) }
+	res := func(i int) system.Result {
+		var r system.Result
+		r.Instructions = uint64(1000 + i)
+		return r
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				i := (w + iter) % keys
+				if err := c.Put(key(i), res(i)); err != nil {
+					t.Errorf("Put(%d): %v", i, err)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 100; iter++ {
+				i := (w * 31 * iter) % keys
+				if got, ok := c.Get(key(i)); ok && got.Instructions != uint64(1000+i) {
+					t.Errorf("Get(%d) returned another run's result: %d", i, got.Instructions)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for iter := 0; iter < 50; iter++ {
+			if _, err := c.EnforceBudget(); err != nil {
+				t.Errorf("EnforceBudget: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The budget must hold once the dust settles.
+	if _, err := c.EnforceBudget(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	des, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if info, err := de.Info(); err == nil && !de.IsDir() {
+			total += info.Size()
+		}
+	}
+	if total > c.MaxBytes {
+		t.Errorf("cache holds %d bytes after final sweep, budget %d", total, c.MaxBytes)
+	}
+	if c.Evicted() == 0 {
+		t.Error("no evictions under a 4KB budget; the race never exercised eviction")
+	}
+}
+
+// TestCacheQuarantineEvictionRace plants corrupt entries and races Gets
+// (which quarantine them) against EnforceBudget (which may evict the
+// same files, from either the live dir or quarantine/). Both outcomes
+// are fine; crashing or serving the corrupt bytes is not.
+func TestCacheQuarantineEvictionRace(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MaxBytes = 2048
+	var logMu sync.Mutex
+	var logs []string
+	c.Log = func(s string) {
+		logMu.Lock()
+		logs = append(logs, s)
+		logMu.Unlock()
+	}
+
+	const keys = 8
+	key := func(i int) string { return fmt.Sprintf("corrupt-key-%d", i) }
+	plant := func(i int) {
+		// Large corrupt entries so the budget is always exceeded.
+		data := append([]byte("{\"schema\":0,"), make([]byte, 512)...)
+		if err := os.WriteFile(c.path(key(i)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		plant(i)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 40; iter++ {
+				if _, ok := c.Get(key((w + iter) % keys)); ok {
+					t.Error("corrupt entry served as a hit")
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for iter := 0; iter < 40; iter++ {
+			if _, err := c.EnforceBudget(); err != nil {
+				t.Errorf("EnforceBudget: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Every corrupt file is gone from the live directory, one way or the
+	// other: quarantined (rename) or evicted (remove).
+	for i := 0; i < keys; i++ {
+		if _, err := os.Stat(c.path(key(i))); !os.IsNotExist(err) {
+			// A Get may have quarantined it after the final sweep; one more
+			// Get settles it.
+			if _, ok := c.Get(key(i)); ok {
+				t.Errorf("corrupt entry %d still live and serving", i)
+			}
+		}
+	}
+	if c.Quarantined() == 0 {
+		t.Error("no entries quarantined; the race never exercised quarantine")
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "quarantined") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("quarantine produced no log line")
+	}
+}
+
+// TestCacheEntryByHash: the serving layer's raw read path returns
+// exactly the persisted bytes, and rejects anything that is not a full
+// lowercase sha256 hex digest before touching the filesystem.
+func TestCacheEntryByHash(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res system.Result
+	res.Instructions = 77
+	if err := c.Put("entry-key", res); err != nil {
+		t.Fatal(err)
+	}
+	hash := resultstore.Hash("entry-key")
+
+	data, ok := c.EntryByHash(hash)
+	if !ok {
+		t.Fatal("EntryByHash missed a stored entry")
+	}
+	var e resultstore.Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("stored bytes do not parse: %v", err)
+	}
+	if e.Key != "entry-key" || e.Result.Instructions != 77 {
+		t.Fatalf("EntryByHash returned %+v", e)
+	}
+
+	for _, bad := range []string{
+		"", "short", strings.ToUpper(hash), hash[:63], hash + "0",
+		"../" + hash[3:], "../../etc/passwd0000000000000000000000000000000000000000000000000000"[:64],
+	} {
+		if _, ok := c.EntryByHash(bad); ok {
+			t.Errorf("EntryByHash(%q) accepted a malformed hash", bad)
+		}
+	}
+	if _, ok := c.EntryByHash(resultstore.Hash("absent-key")); ok {
+		t.Error("EntryByHash hit for an absent entry")
+	}
+}
+
+// TestCachePutEntry: the replication write path persists valid entries
+// and rejects malformed hashes, unparsable bytes, schema skew, and
+// entries whose key does not hash to the claimed address.
+func TestCachePutEntry(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res system.Result
+	res.Instructions = 55
+	good, err := json.Marshal(resultstore.Entry{Schema: cacheSchemaVersion, Key: "push-key", Result: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := resultstore.Hash("push-key")
+	if err := c.PutEntry(hash, good); err != nil {
+		t.Fatalf("PutEntry: %v", err)
+	}
+	if got, ok := c.Get("push-key"); !ok || got.Instructions != 55 {
+		t.Fatalf("Get after PutEntry = %+v, %v", got, ok)
+	}
+
+	stale, _ := json.Marshal(resultstore.Entry{Schema: cacheSchemaVersion - 1, Key: "push-key", Result: res})
+	mislabeled, _ := json.Marshal(resultstore.Entry{Schema: cacheSchemaVersion, Key: "other-key", Result: res})
+	for name, tc := range map[string]struct {
+		hash string
+		data []byte
+	}{
+		"malformed hash": {"nope", good},
+		"corrupt bytes":  {hash, []byte("{trunc")},
+		"stale schema":   {hash, stale},
+		"key mismatch":   {hash, mislabeled},
+	} {
+		if err := c.PutEntry(tc.hash, tc.data); err == nil {
+			t.Errorf("PutEntry accepted %s", name)
+		}
+	}
+	if got, ok := c.Get("push-key"); !ok || got.Instructions != 55 {
+		t.Fatalf("rejected writes damaged the good entry: %+v, %v", got, ok)
+	}
+	if _, ok := c.Get("other-key"); ok {
+		t.Error("mislabeled entry became readable")
+	}
+	// Quarantine must not have fired: rejected PutEntries never hit disk.
+	if q := c.Quarantined(); q != 0 {
+		t.Errorf("PutEntry rejections quarantined %d entries", q)
+	}
+}

@@ -23,8 +23,6 @@ package experiments
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
@@ -38,6 +36,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/photonics"
+	"repro/internal/resultstore"
 	"repro/internal/sim"
 	"repro/internal/system"
 	"repro/internal/tech"
@@ -69,6 +68,11 @@ type Runner struct {
 	Shards int
 	// Cache, if non-nil, persists results on disk across processes.
 	Cache *Cache
+	// Store, if non-nil, overrides where completed results persist — e.g.
+	// a resultstore.Tiered that consults cluster peers on local misses
+	// and replicates completions outward. Nil means Cache alone; the
+	// engine's read/write discipline is identical either way.
+	Store resultstore.Store
 	// Journal, if non-nil, write-ahead logs every run-state transition
 	// (journal.jsonl next to the cache), making the campaign resumable.
 	Journal *Journal
@@ -280,8 +284,19 @@ func (r *Runner) record(rec RunRecord) {
 // journal uses it so two processes with different in-memory state agree
 // on which runs are which.
 func runHash(cacheKey string) string {
-	sum := sha256.Sum256([]byte(cacheKey))
-	return hex.EncodeToString(sum[:])
+	return resultstore.Hash(cacheKey)
+}
+
+// resultStore returns where this Runner persists results: the explicit
+// Store if set, else the local Cache (possibly nil — callers check).
+func (r *Runner) resultStore() resultstore.Store {
+	if r.Store != nil {
+		return r.Store
+	}
+	if r.Cache != nil {
+		return r.Cache
+	}
+	return nil
 }
 
 // shortHash abbreviates a run hash for log lines and error messages.
@@ -385,8 +400,8 @@ func (r *Runner) execute(ctx context.Context, k string, cfg config.Config, bench
 	hash := runHash(ck)
 	rec := RunRecord{Key: k, Hash: hash, Benchmark: bench, Config: configLabel(cfg)}
 
-	if r.Cache != nil && ck != "" {
-		if res, ok := r.Cache.Get(ck); ok {
+	if store := r.resultStore(); store != nil && ck != "" {
+		if res, ok := store.Get(ck); ok {
 			r.cacheHits.Add(1)
 			rec.Status, rec.Source = StatusDone, "cache"
 			r.record(rec)
@@ -449,8 +464,8 @@ func (r *Runner) execute(ctx context.Context, k string, cfg config.Config, bench
 			rec.Status, rec.Source, rec.Attempts = StatusDone, "sim", attempt
 			rec.WallMS = float64(wall.Microseconds()) / 1e3
 			r.record(rec)
-			if r.Cache != nil && ck != "" {
-				r.Cache.Put(ck, res) // best effort: a failed write only costs a re-run
+			if store := r.resultStore(); store != nil && ck != "" {
+				store.Put(ck, res) // best effort: a failed write only costs a re-run
 			}
 			r.emitEvent(RunEvent{Hash: hash, Benchmark: bench, Config: rec.Config,
 				Phase: PhaseDone, Attempt: attempt, Cycles: uint64(res.Cycles),

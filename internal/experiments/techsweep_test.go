@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/resultstore"
 	"repro/internal/system"
 )
 
@@ -247,7 +248,7 @@ func TestCacheQuarantinesOldSchemas(t *testing.T) {
 	}
 	plant := func(key string, schema int) string {
 		t.Helper()
-		data, err := json.Marshal(cacheEntry{Schema: schema, Key: key,
+		data, err := json.Marshal(resultstore.Entry{Schema: schema, Key: key,
 			Result: system.Result{Cycles: 123}})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,66 @@
+// Package resultstore lifts the campaign's content-addressed result
+// cache behind an interface, so "where completed simulations live" is a
+// pluggable decision instead of a hard-wired local directory.
+//
+// The contract is the one the campaign engine has relied on since the
+// persistent cache was introduced: results are keyed by the full run
+// identity (the pre-hash cache key), stored under its sha256, and a Get
+// either returns exactly the bytes a simulation of that key would
+// produce or reports a miss — never a near-match. Three stores compose:
+//
+//   - *experiments.Cache is the local-directory backend (it satisfies
+//     Store as-is; the interface was extracted from it);
+//   - Peers is an HTTP read-through backend over other cluster nodes'
+//     caches, plus best-effort push replication, speaking the same Entry
+//     wire format the local backend persists;
+//   - Tiered composes the two: local first, then peers, with peer hits
+//     written back locally so each key is fetched over the network at
+//     most once per node.
+//
+// The package sits below internal/experiments (it imports only
+// internal/system and the standard library), so the engine, the serving
+// daemon, and any future backend (S3, NFS) share one definition of what
+// a stored result is.
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/system"
+)
+
+// Store is where completed simulation results persist. Implementations
+// must be safe for concurrent use.
+//
+// Get returns the result stored under key, or reports a miss. A store
+// must never return a result for a different key: backends verify the
+// embedded key (and schema stamp) before answering, so hash collisions,
+// mixed cache directories, and version-skewed peers all read as misses.
+//
+// Put persists res under key. A failed Put only costs a future
+// re-simulation — callers treat it as best-effort — but implementations
+// return the error so it can be logged.
+type Store interface {
+	Get(key string) (system.Result, bool)
+	Put(key string, res system.Result) error
+}
+
+// Entry is the wire and on-disk form of one stored result: the schema
+// stamp that guards against version skew, the full (pre-hash) run key
+// that guards against collisions and mixed directories, and the result
+// itself. The local cache persists exactly this JSON per entry, and the
+// peer backend exchanges it verbatim over HTTP.
+type Entry struct {
+	Schema int           `json:"schema"`
+	Key    string        `json:"key"`
+	Result system.Result `json:"result"`
+}
+
+// Hash returns the content address of a run key: the sha256 hex the
+// local backend files the entry under, the journal records state under,
+// and the peer backend addresses GETs with.
+func Hash(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,60 @@
+// Tiered store: the cluster-wide "shared store" a node actually mounts.
+// Local results answer immediately; on a local miss the surviving
+// replicas are asked before anyone re-simulates, and a peer hit is
+// written back locally so the network round trip happens at most once
+// per key per node. Completed runs replicate outward on Put, so the
+// death of the node that simulated a run does not take its result along.
+package resultstore
+
+import (
+	"sync/atomic"
+
+	"repro/internal/system"
+)
+
+// Tiered composes a local Store with a peer read-through/replication
+// tier. With a nil Remote it degrades to exactly the local store; the
+// Runner behaves identically either way.
+type Tiered struct {
+	// Local is the authoritative on-node store (the directory cache).
+	// Required.
+	Local Store
+	// Remote, if non-nil, is consulted on local misses and pushed to on
+	// Put.
+	Remote *Peers
+
+	writebacks atomic.Uint64
+}
+
+// Get answers from the local tier, then the peers; a peer hit is written
+// back into the local tier (best effort) before returning.
+func (t *Tiered) Get(key string) (system.Result, bool) {
+	if res, ok := t.Local.Get(key); ok {
+		return res, true
+	}
+	if t.Remote == nil {
+		return system.Result{}, false
+	}
+	res, ok := t.Remote.Get(key)
+	if !ok {
+		return system.Result{}, false
+	}
+	if t.Local.Put(key, res) == nil {
+		t.writebacks.Add(1)
+	}
+	return res, true
+}
+
+// Put persists locally (the returned error is the local one — that is
+// the write that matters) and replicates to peers best effort.
+func (t *Tiered) Put(key string, res system.Result) error {
+	err := t.Local.Put(key, res)
+	if t.Remote != nil {
+		_ = t.Remote.Put(key, res) // best effort; Peers logs its own trouble
+	}
+	return err
+}
+
+// Writebacks reports how many peer hits were persisted into the local
+// tier.
+func (t *Tiered) Writebacks() uint64 { return t.writebacks.Load() }

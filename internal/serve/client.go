@@ -24,6 +24,8 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +33,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
@@ -45,6 +48,12 @@ var (
 	// ErrJobFailed means the job itself terminally failed — the transport
 	// worked fine.
 	ErrJobFailed = errors.New("job failed")
+	// ErrJobLost means no configured endpoint knows the job — typically
+	// the node that was executing it died before finishing. Jobs are
+	// identified by their spec's run hash, so the recovery is mechanical:
+	// resubmit the same spec anywhere (atacctl does this automatically)
+	// and the surviving nodes either serve the cached result or rerun it.
+	ErrJobLost = errors.New("job lost: no endpoint knows it")
 )
 
 // transientError wraps failures a retry could plausibly fix: connection
@@ -62,11 +71,18 @@ func IsTransient(err error) bool {
 	return errors.As(err, &te)
 }
 
-// Client talks to one atacd base URL with retries, backoff, and SSE
-// reconnection. The zero value plus Base is usable.
+// Client talks to an atacd daemon — or a cluster of them — with
+// retries, backoff, and SSE reconnection. The zero value plus Base is
+// usable. With Endpoints set, reads hedge across nodes (a job lives only
+// on the node executing it, so a 404 from one peer means "ask the
+// next"), writes try each node in turn before backing off, and an
+// exhaustive miss surfaces ErrJobLost so the caller can resubmit.
 type Client struct {
-	// Base is the daemon's base URL, e.g. "http://localhost:8347".
+	// Base is the primary daemon base URL, e.g. "http://localhost:8347".
 	Base string
+	// Endpoints lists additional daemon base URLs (cluster peers), tried
+	// after Base in order. Duplicates of Base are ignored.
+	Endpoints []string
 	// HTTP is the underlying client; nil means http.DefaultClient.
 	HTTP *http.Client
 	// Retries caps transient-failure re-attempts per operation. Zero
@@ -76,11 +92,62 @@ type Client struct {
 	// experiments.RetryBackoff). Zero takes the campaign defaults
 	// (100ms doubling to a 5s cap).
 	BackoffBase, BackoffCap time.Duration
+	// BackoffSalt decorrelates this client's deterministic retry jitter
+	// from every other client retrying the same operation: RetryBackoff
+	// keys on the operation string, so without a salt a fleet of watchers
+	// reconnecting to a restarted daemon would all sleep identical
+	// schedules and arrive as one synchronized thundering herd. Empty
+	// draws a random salt once per Client; tests pin it for reproducible
+	// schedules.
+	BackoffSalt string
 	// Logf, if non-nil, narrates retries and reconnections.
 	Logf func(format string, args ...any)
 
 	// sleep is the test seam for pauses; nil means time.Sleep.
 	sleep func(time.Duration)
+
+	saltOnce sync.Once
+	saltVal  string
+}
+
+// endpoints returns the deduplicated base-URL list, Base first. A client
+// with neither Base nor Endpoints gets the empty base (requests then
+// fail with an obvious URL error).
+func (c *Client) endpoints() []string {
+	seen := make(map[string]bool)
+	var eps []string
+	add := func(s string) {
+		s = strings.TrimRight(strings.TrimSpace(s), "/")
+		if s == "" || seen[s] {
+			return
+		}
+		seen[s] = true
+		eps = append(eps, s)
+	}
+	add(c.Base)
+	for _, e := range c.Endpoints {
+		add(e)
+	}
+	if len(eps) == 0 {
+		eps = []string{""}
+	}
+	return eps
+}
+
+// salt resolves the backoff salt: the pinned BackoffSalt, else eight
+// random bytes drawn once for this Client's lifetime.
+func (c *Client) salt() string {
+	c.saltOnce.Do(func() {
+		if c.BackoffSalt != "" {
+			c.saltVal = c.BackoffSalt
+			return
+		}
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			c.saltVal = hex.EncodeToString(b[:])
+		}
+	})
+	return c.saltVal
 }
 
 func (c *Client) http() *http.Client {
@@ -115,9 +182,11 @@ func (c *Client) doSleep(d time.Duration) {
 }
 
 // pause sleeps the deterministic backoff for one retry of the keyed
-// operation.
+// operation. The schedule is capped-exponential with jitter seeded by
+// (salt, key, attempt): reproducible within one client, decorrelated
+// across a fleet.
 func (c *Client) pause(key string, attempt int) {
-	d := experiments.RetryBackoff(key, attempt, c.BackoffBase, c.BackoffCap)
+	d := experiments.RetryBackoff(c.salt()+"|"+key, attempt, c.BackoffBase, c.BackoffCap)
 	c.logf("retrying %s in %v (attempt %d)", key, d.Round(time.Millisecond), attempt+1)
 	c.doSleep(d)
 }
@@ -145,26 +214,52 @@ func transientStatus(code int) bool {
 }
 
 // get performs one GET with transient-failure retries, returning the
-// final response body and status code.
+// final response body and status code. With multiple endpoints the read
+// hedges: a job lives only on the node executing it, so a 404 from one
+// peer advances to the next, and only every endpoint agreeing on 404
+// makes the 404 final. Transient failures likewise advance — a dead
+// node costs one connection attempt within the same attempt round, not
+// a backoff pause.
 func (c *Client) get(path string) (int, []byte, error) {
+	eps := c.endpoints()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		resp, err := c.http().Get(c.Base + path)
-		if err == nil {
+		notFound := 0
+		var nfBody []byte
+		for _, base := range eps {
+			resp, err := c.http().Get(base + path)
+			if err != nil {
+				lastErr = &transientError{err}
+				continue
+			}
 			body, rerr := io.ReadAll(resp.Body)
 			resp.Body.Close()
-			if rerr == nil && !transientStatus(resp.StatusCode) {
+			switch {
+			case rerr != nil:
+				lastErr = &transientError{rerr}
+			case resp.StatusCode == http.StatusNotFound && len(eps) > 1:
+				notFound++
+				nfBody = body
+			case transientStatus(resp.StatusCode):
+				lastErr = &transientError{apiErr(resp.Status, body)}
+			default:
 				return resp.StatusCode, body, nil
 			}
-			if rerr != nil {
-				lastErr = &transientError{rerr}
-			} else {
-				lastErr = &transientError{apiErr(resp.Status, body)}
-			}
-		} else {
-			lastErr = &transientError{err}
+		}
+		if notFound == len(eps) {
+			// Unanimous: the job genuinely is nowhere.
+			return http.StatusNotFound, nfBody, nil
 		}
 		if attempt >= c.retries() {
+			if notFound > 0 {
+				// Every endpoint that answered said 404; the rest stayed
+				// unreachable through all retries. The job may live on a
+				// node we cannot reach, but waiting longer won't tell us —
+				// surface the 404 (ErrJobLost upstream) so the caller can
+				// resubmit: idempotent, and the worst case of a healed
+				// partition is one redundant cache hit.
+				return http.StatusNotFound, nfBody, nil
+			}
 			return 0, nil, fmt.Errorf("GET %s: %w", path, lastErr)
 		}
 		c.pause("GET "+path, attempt+1)
@@ -186,19 +281,25 @@ func (c *Client) getJSON(path string, out any) error {
 // Submit posts a job spec. Transient transport failures re-submit — safe
 // because the run hash makes submission idempotent: a retry lands on the
 // job the torn request created (202 the first time, 200 coalesced after).
-// A full queue honors Retry-After and re-submits; if it never drains, the
-// returned error wraps ErrQueueFull.
+// With multiple endpoints, an unreachable node advances to the next peer
+// in the same attempt round (whichever node accepts will route the job
+// to its owner itself). A full queue honors Retry-After and re-submits;
+// if it never drains, the returned error wraps ErrQueueFull.
 func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return JobStatus{}, err
 	}
+	eps := c.endpoints()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		resp, err := c.http().Post(c.Base+"/v1/jobs", "application/json", bytes.NewReader(body))
-		if err != nil {
-			lastErr = &transientError{err}
-		} else {
+		retryAfter, queueFull := "", false
+		for _, base := range eps {
+			resp, err := c.http().Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				lastErr = &transientError{err}
+				continue
+			}
 			raw, rerr := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			switch {
@@ -212,10 +313,7 @@ func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
 				return st, nil
 			case resp.StatusCode == http.StatusTooManyRequests:
 				lastErr = fmt.Errorf("%w: %v", ErrQueueFull, apiErr(resp.Status, raw))
-				if attempt < c.retries() {
-					c.waitRetryAfter(resp.Header.Get("Retry-After"), attempt+1)
-					continue
-				}
+				retryAfter, queueFull = resp.Header.Get("Retry-After"), true
 			case transientStatus(resp.StatusCode):
 				lastErr = &transientError{apiErr(resp.Status, raw)}
 			default:
@@ -225,36 +323,57 @@ func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
 		if attempt >= c.retries() {
 			return JobStatus{}, fmt.Errorf("submit: %w", lastErr)
 		}
-		if IsTransient(lastErr) {
+		switch {
+		case queueFull:
+			c.waitRetryAfter(retryAfter, attempt+1)
+		case IsTransient(lastErr):
 			c.pause("POST /v1/jobs", attempt+1)
 		}
 	}
 }
 
-// waitRetryAfter sleeps the server's Retry-After hint (seconds), clamped
-// to [1s, 30s]; an unparsable hint falls back to the deterministic
-// backoff schedule.
+// waitRetryAfter sleeps the server's Retry-After hint — either delta
+// seconds or an HTTP-date (both forms RFC 9110 allows) — clamped to
+// [1s, 30s]; an unparsable hint falls back to the deterministic backoff
+// schedule.
 func (c *Client) waitRetryAfter(header string, attempt int) {
-	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
-		d := time.Duration(secs) * time.Second
-		if d < time.Second {
-			d = time.Second
-		}
-		if d > 30*time.Second {
-			d = 30 * time.Second
-		}
-		c.logf("queue full; honoring Retry-After: sleeping %v (attempt %d)", d, attempt+1)
-		c.doSleep(d)
+	header = strings.TrimSpace(header)
+	var d time.Duration
+	parsed := false
+	if secs, err := strconv.Atoi(header); err == nil && secs >= 0 {
+		d, parsed = time.Duration(secs)*time.Second, true
+	} else if t, err := http.ParseTime(header); err == nil {
+		d, parsed = time.Until(t), true
+	}
+	if !parsed {
+		c.pause("retry-after", attempt)
 		return
 	}
-	c.pause("retry-after", attempt)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	c.logf("queue full; honoring Retry-After: sleeping %v (attempt %d)", d, attempt+1)
+	c.doSleep(d)
 }
 
-// Status fetches one job's status.
+// Status fetches one job's status, hedging across endpoints. In
+// multi-endpoint mode a unanimous 404 wraps ErrJobLost.
 func (c *Client) Status(id string) (JobStatus, error) {
+	code, body, err := c.get("/v1/jobs/" + id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if code == http.StatusNotFound && len(c.endpoints()) > 1 {
+		return JobStatus{}, fmt.Errorf("%w: job %s", ErrJobLost, id)
+	}
+	if code >= 300 {
+		return JobStatus{}, apiErr(fmt.Sprintf("%d %s", code, http.StatusText(code)), body)
+	}
 	var st JobStatus
-	err := c.getJSON("/v1/jobs/"+id, &st)
-	return st, err
+	return st, json.Unmarshal(body, &st)
 }
 
 // List fetches every job's status.
@@ -293,6 +412,10 @@ func (c *Client) Result(id string, wait bool) ([]byte, error) {
 		switch {
 		case code == http.StatusOK:
 			return body, nil
+		case code == http.StatusNotFound && len(c.endpoints()) > 1:
+			// Every endpoint disowned the job: its executor died. The
+			// caller resubmits the spec (same hash, so nothing is wasted).
+			return nil, fmt.Errorf("%w: job %s", ErrJobLost, id)
 		case code == http.StatusAccepted && wait:
 			c.doSleep(200 * time.Millisecond)
 		case code == http.StatusInternalServerError:
@@ -307,26 +430,47 @@ func (c *Client) Result(id string, wait bool) ([]byte, error) {
 	}
 }
 
+// errWatchNotFound marks a 404 from one endpoint's event stream — in a
+// cluster it means "this node doesn't hold the job", which is only final
+// once every endpoint says it.
+var errWatchNotFound = errors.New("no such job")
+
 // Watch follows the job's SSE feed, writing one line per event to w,
 // until the job reaches a terminal state; the final state is returned.
 // A torn stream — daemon restart, slow-consumer eviction, proxy timeout —
 // reconnects with Last-Event-ID, so the caller sees one continuous
-// stream across any number of server lives. Receiving events counts as
-// progress and resets the retry budget; only consecutive dead
-// connections exhaust it.
+// stream across any number of server lives; in a cluster, reconnects
+// rotate across endpoints, so the watch survives the death of the node
+// it first attached to (the run hash names the same job everywhere).
+// Receiving events counts as progress and resets the retry budget; only
+// consecutive dead connections exhaust it. Every endpoint answering 404
+// wraps ErrJobLost.
 func (c *Client) Watch(id string, w io.Writer) (string, error) {
+	eps := c.endpoints()
 	lastID := -1
-	attempt := 0
-	for {
-		state, gotAny, err := c.streamOnce(id, &lastID, w)
+	attempt, notFound := 0, 0
+	for i := 0; ; i++ {
+		base := eps[i%len(eps)]
+		state, gotAny, err := c.streamOnce(base, id, &lastID, w)
 		if state != "" {
 			return state, nil
+		}
+		if errors.Is(err, errWatchNotFound) && len(eps) > 1 {
+			notFound++
+			if notFound >= len(eps) {
+				return "", fmt.Errorf("watch %s: %w", id, ErrJobLost)
+			}
+			continue // ask the next peer immediately; no backoff for a 404
 		}
 		if err != nil && !IsTransient(err) {
 			return "", err
 		}
+		// Only a live stream clears the 404 tally: an unreachable node must
+		// not launder the survivors' unanimous "we don't hold this job"
+		// back to zero, or a watch on a lost job would spin until the retry
+		// budget dies instead of surfacing ErrJobLost.
 		if gotAny {
-			attempt = 0
+			attempt, notFound = 0, 0
 		}
 		attempt++
 		if attempt > c.retries() {
@@ -341,8 +485,8 @@ func (c *Client) Watch(id string, w io.Writer) (string, error) {
 // authoritative) and reports whether any event arrived. A terminal "end"
 // event returns the job's final state; everything else returns "" and an
 // error describing the disconnect.
-func (c *Client) streamOnce(id string, lastID *int, w io.Writer) (string, bool, error) {
-	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+func (c *Client) streamOnce(base, id string, lastID *int, w io.Writer) (string, bool, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return "", false, err
 	}
@@ -357,6 +501,9 @@ func (c *Client) streamOnce(id string, lastID *int, w io.Writer) (string, bool, 
 	if resp.StatusCode >= 300 {
 		body, _ := io.ReadAll(resp.Body)
 		err := apiErr(resp.Status, body)
+		if resp.StatusCode == http.StatusNotFound {
+			return "", false, fmt.Errorf("%s: %w", base, errWatchNotFound)
+		}
 		if transientStatus(resp.StatusCode) {
 			return "", false, &transientError{err}
 		}

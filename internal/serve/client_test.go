@@ -39,6 +39,9 @@ func testClient(base string, sr *sleepRecorder, retries int) *Client {
 		Retries:     retries,
 		BackoffBase: 10 * time.Millisecond,
 		BackoffCap:  100 * time.Millisecond,
+		// Pinned salt: production clients draw a random one to decorrelate
+		// fleet retry schedules; tests pin it so schedules are assertable.
+		BackoffSalt: "test",
 		sleep:       sr.sleep,
 	}
 }
@@ -81,9 +84,11 @@ func TestClientBackoffDeterminism(t *testing.T) {
 	if len(got) != 2 {
 		t.Fatalf("recorded %d pauses, want 2: %v", len(got), got)
 	}
-	// The schedule is the engine's: RetryBackoff keyed on the request.
+	// The schedule is the engine's: RetryBackoff keyed on the client's
+	// salt plus the request, so two clients with the same pinned salt
+	// sleep identically and differently salted clients do not.
 	for i, d := range got {
-		want := experiments.RetryBackoff("GET /v1/jobs/x", i+1, 10*time.Millisecond, 100*time.Millisecond)
+		want := experiments.RetryBackoff("test|GET /v1/jobs/x", i+1, 10*time.Millisecond, 100*time.Millisecond)
 		if d != want {
 			t.Errorf("pause %d = %v, want %v", i, d, want)
 		}

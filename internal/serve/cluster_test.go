@@ -1,0 +1,390 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/resultstore"
+	"repro/internal/version"
+)
+
+// testCluster is an in-process multi-node atacd: each node has its own
+// Runner, cache directory, and HTTP listener, all joined by one ring —
+// exactly the topology scripts/cluster_smoke.sh builds out of real
+// processes. Peer health is a test-controlled map instead of a live
+// prober, so tests flip a node "down" deterministically.
+type testCluster struct {
+	t     *testing.T
+	ring  *cluster.Ring
+	nodes []*testNode
+
+	mu   sync.Mutex
+	down map[string]bool
+}
+
+type testNode struct {
+	url     string
+	s       *Server
+	r       *experiments.Runner
+	ts      *httptest.Server
+	handler atomic.Pointer[http.Handler]
+}
+
+func (tc *testCluster) healthy(peer string) bool {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return !tc.down[peer]
+}
+
+func (tc *testCluster) setDown(url string, down bool) {
+	tc.mu.Lock()
+	tc.down[url] = down
+	tc.mu.Unlock()
+}
+
+// kill makes a node both unreachable (its listener drops connections)
+// and probed-down, like SIGKILL plus the prober noticing.
+func (tc *testCluster) kill(n *testNode) {
+	tc.setDown(n.url, true)
+	n.ts.CloseClientConnections()
+	n.ts.Close()
+}
+
+func (tc *testCluster) node(url string) *testNode {
+	for _, n := range tc.nodes {
+		if n.url == url {
+			return n
+		}
+	}
+	tc.t.Fatalf("no node %s", url)
+	return nil
+}
+
+// freshTotal sums actually-executed simulations across every node — the
+// number the chaos tests pin to prove zero duplicates.
+func (tc *testCluster) freshTotal() uint64 {
+	var n uint64
+	for _, node := range tc.nodes {
+		n += node.r.FreshRuns()
+	}
+	return n
+}
+
+// newTestCluster brings up n nodes. Listener URLs must exist before the
+// ring (and the ring before the servers), so each httptest server starts
+// with a swappable handler that is pointed at the real daemon handler
+// once it exists.
+func newTestCluster(t *testing.T, n, replicas int) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t, down: make(map[string]bool)}
+	var urls []string
+	for i := 0; i < n; i++ {
+		node := &testNode{}
+		node.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if h := node.handler.Load(); h != nil {
+				(*h).ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+		}))
+		node.url = node.ts.URL
+		urls = append(urls, node.url)
+		tc.nodes = append(tc.nodes, node)
+	}
+	tc.ring = cluster.NewRing(urls)
+	for i, node := range tc.nodes {
+		self := node.url
+		r := experiments.NewRunner(experiments.Options{Cores: 16, Scale: 1, Seed: 1})
+		c, err := experiments.OpenCache(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Cache = c
+		pick := func(hash string) []string {
+			var out []string
+			for _, p := range tc.ring.Replicas(hash, replicas) {
+				if p != self && tc.healthy(p) {
+					out = append(out, p)
+				}
+			}
+			return out
+		}
+		r.Store = &resultstore.Tiered{
+			Local:  c,
+			Remote: &resultstore.Peers{Pick: pick, Schema: version.CacheSchema, Logf: t.Logf},
+		}
+		node.r = r
+		node.s = New(r, Options{
+			QueueDepth: 8, Workers: 2,
+			Cluster: &ClusterConfig{Self: self, Ring: tc.ring, Healthy: tc.healthy},
+		}, func(format string, args ...any) { t.Logf("[node %d] "+format, append([]any{i}, args...)...) })
+		h := node.s.Handler()
+		node.handler.Store(&h)
+	}
+	t.Cleanup(func() {
+		for _, node := range tc.nodes {
+			node.ts.Close()
+		}
+	})
+	return tc
+}
+
+// TestClusterForwardsToOwner: a submit landing on a non-owner is relayed
+// to the ring owner, executes there exactly once, and both sides count
+// it on /metrics. Every node reports the same job with the owner's URL
+// in its status.
+func TestClusterForwardsToOwner(t *testing.T) {
+	tc := newTestCluster(t, 2, 2)
+	spec := testSpec(0.05)
+
+	// Resolve the spec's owner via node 0's resolver (identical on all).
+	_, hash, _, err := tc.nodes[0].s.resolve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := tc.ring.Owner(hash)
+	var nonOwner *testNode
+	for _, n := range tc.nodes {
+		if n.url != owner {
+			nonOwner = n
+		}
+	}
+
+	resp, st := submit(t, nonOwner.url, spec)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit via non-owner: %s", resp.Status)
+	}
+	if st.Peer != owner {
+		t.Fatalf("job executing on %q, want owner %q", st.Peer, owner)
+	}
+	waitDone(t, owner, st.ID)
+
+	if got := tc.node(owner).r.FreshRuns() + nonOwner.r.FreshRuns(); got != 1 {
+		t.Errorf("fresh runs across cluster = %d, want 1", got)
+	}
+	if n := nonOwner.s.met.forwarded.Load(); n != 1 {
+		t.Errorf("non-owner forwarded = %d, want 1", n)
+	}
+	if n := tc.node(owner).s.met.receivedForwards.Load(); n != 1 {
+		t.Errorf("owner receivedForwards = %d, want 1", n)
+	}
+	// The job is findable through the owner; the non-owner holds no copy
+	// (jobs live only where they execute).
+	if j := tc.node(owner).s.job(st.ID); j == nil {
+		t.Error("owner does not know the job it executed")
+	}
+	if j := nonOwner.s.job(st.ID); j != nil {
+		t.Error("non-owner grew a local copy of a forwarded job")
+	}
+}
+
+// TestClusterFailoverExecutesLocally: when the owner is probed down, a
+// non-owner executes the job itself instead of forwarding — the cluster
+// keeps serving through the death of any node.
+func TestClusterFailoverExecutesLocally(t *testing.T) {
+	tc := newTestCluster(t, 2, 2)
+	spec := testSpec(0.07)
+	_, hash, _, err := tc.nodes[0].s.resolve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := tc.ring.Owner(hash)
+	var survivor *testNode
+	for _, n := range tc.nodes {
+		if n.url != owner {
+			survivor = n
+		}
+	}
+	tc.kill(tc.node(owner))
+
+	resp, st := submit(t, survivor.url, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("failover submit: %s", resp.Status)
+	}
+	if st.Peer != survivor.url {
+		t.Fatalf("failover job executing on %q, want local %q", st.Peer, survivor.url)
+	}
+	waitDone(t, survivor.url, st.ID)
+	if n := survivor.s.met.forwardFailovers.Load(); n == 0 {
+		t.Error("failover not counted")
+	}
+	if n := survivor.s.met.forwarded.Load(); n != 0 {
+		t.Errorf("survivor forwarded %d submits to a dead owner", n)
+	}
+}
+
+// TestClusterKillOwnerNoDuplicateSimulation is the tentpole guarantee
+// end to end: a run completes on its owner and replicates outward; the
+// owner dies; resubmitting anywhere is answered from the surviving
+// replicas — byte-identical bytes, zero additional simulations.
+func TestClusterKillOwnerNoDuplicateSimulation(t *testing.T) {
+	tc := newTestCluster(t, 3, 2)
+	spec := testSpec(0.09)
+	_, hash, _, err := tc.nodes[0].s.resolve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := tc.ring.Owner(hash)
+
+	// Run to completion through the owner (submitting anywhere would
+	// forward there anyway).
+	resp, st := submit(t, owner, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	waitDone(t, owner, st.ID)
+	want := fetchResult(t, owner, st.ID)
+	if got := tc.freshTotal(); got != 1 {
+		t.Fatalf("fresh runs = %d, want 1", got)
+	}
+
+	tc.kill(tc.node(owner))
+
+	// Resubmit through every survivor: each answers from the replicated
+	// (or read-through) result without simulating anything.
+	for _, n := range tc.nodes {
+		if n.url == owner {
+			continue
+		}
+		resp, st2 := submit(t, n.url, spec)
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("resubmit via %s: %s", n.url, resp.Status)
+		}
+		waitDone(t, n.url, st2.ID)
+		if st2.ID != st.ID {
+			t.Fatalf("resubmitted job got ID %s, want %s (hash identity broke)", st2.ID, st.ID)
+		}
+		got := fetchResult(t, n.url, st2.ID)
+		if string(got) != string(want) {
+			t.Errorf("result via %s differs from the owner's bytes", n.url)
+		}
+	}
+	if got := tc.freshTotal(); got != 1 {
+		t.Errorf("fresh runs after owner death = %d, want still 1 (a survivor re-simulated)", got)
+	}
+}
+
+// TestClusterCacheEndpoints: the peer-cache routes serve raw entries,
+// 404 cleanly, and reject invalid pushes.
+func TestClusterCacheEndpoints(t *testing.T) {
+	tc := newTestCluster(t, 2, 1) // replicas=1: no push replication, pure read-through
+	n0, n1 := tc.nodes[0], tc.nodes[1]
+	spec := testSpec(0.11)
+	_, hash, _, err := n0.s.resolve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := tc.ring.Owner(hash)
+	resp, st := submit(t, owner, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	waitDone(t, owner, st.ID)
+
+	// GET the entry from the owner the way a peer would.
+	r2, err := http.Get(owner + resultstore.CachePathPrefix + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e resultstore.Entry
+	derr := json.NewDecoder(r2.Body).Decode(&e)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK || derr != nil {
+		t.Fatalf("cache GET: %s (%v)", r2.Status, derr)
+	}
+	if e.Schema != version.CacheSchema || resultstore.Hash(e.Key) != hash {
+		t.Fatalf("cache GET served a mismatched entry: schema %d", e.Schema)
+	}
+
+	// Unknown and malformed hashes miss without touching anything.
+	for _, bad := range []string{strings.Repeat("0", 64), "..%2F..%2Fescape"} {
+		r3, err := http.Get(owner + resultstore.CachePathPrefix + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r3.Body.Close()
+		if r3.StatusCode != http.StatusNotFound {
+			t.Errorf("cache GET %q: %s, want 404", bad, r3.Status)
+		}
+	}
+
+	// An invalid push is rejected with 400 and counted.
+	req, _ := http.NewRequest(http.MethodPut, n1.url+resultstore.CachePathPrefix+hash,
+		strings.NewReader(`{"schema":0,"key":"bogus"}`))
+	r4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid cache PUT: %s, want 400", r4.Status)
+	}
+	if n1.s.met.cacheRejects.Load() == 0 {
+		t.Error("invalid push not counted")
+	}
+}
+
+// TestClusterHealthzAndMetrics: the cluster block appears in /healthz
+// and the cluster series (peer health, forward counters, build info) in
+// /metrics.
+func TestClusterHealthzAndMetrics(t *testing.T) {
+	tc := newTestCluster(t, 2, 2)
+	n0 := tc.nodes[0]
+
+	resp, err := http.Get(n0.url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Cluster == nil || h.Cluster.Self != n0.url || h.Cluster.Size != 2 {
+		t.Fatalf("healthz cluster block = %+v", h.Cluster)
+	}
+
+	r2, err := http.Get(n0.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(strings.Builder)
+	if _, err := fmt.Fprint(body, readAll(t, r2)); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	for _, want := range []string{
+		"atacd_build_info{version=",
+		"atacd_cluster_forwarded_total",
+		"atacd_cluster_forward_failovers_total",
+		"atacd_cluster_received_forwards_total",
+		"atacd_resultstore_writebacks_total",
+		"atacd_resultstore_peer_pushes_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}

@@ -61,6 +61,7 @@ type Job struct {
 	Hash string // full run hash
 	Spec JobSpec
 	Cfg  config.Config
+	Peer string // executing node's ring URL ("" single-node)
 
 	mu        sync.Mutex
 	state     string
@@ -83,6 +84,7 @@ type JobStatus struct {
 	State     string `json:"state"`
 	Bench     string `json:"bench"`
 	Config    string `json:"config"`
+	Peer      string `json:"peer,omitempty"`
 	Resumed   bool   `json:"resumed,omitempty"`
 	Coalesced uint64 `json:"coalesced"`
 	Events    int    `json:"events"`
@@ -109,6 +111,7 @@ func (j *Job) Status() JobStatus {
 		Hash:      j.Hash,
 		State:     j.state,
 		Bench:     j.Spec.Bench,
+		Peer:      j.Peer,
 		Resumed:   j.resumed,
 		Coalesced: j.coalesced,
 		Events:    len(j.events),

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/resultstore"
+	"repro/internal/version"
 )
 
 // latWindow is how many recent job durations the p50/p99 summary covers.
@@ -33,6 +35,15 @@ type metricsState struct {
 	orphaned    atomic.Uint64 // ledger jobs whose identity no longer resolves
 	panics      atomic.Uint64 // panics recovered in HTTP handlers
 	storeErrors atomic.Uint64 // job-store appends that failed a submission
+
+	// Cluster counters (all zero when single-node).
+	forwarded        atomic.Uint64 // submits relayed to the hash's owner
+	forwardFailovers atomic.Uint64 // forwards that fell back to local execution
+	receivedForwards atomic.Uint64 // submits received from a peer's forwarder
+	cacheServes      atomic.Uint64 // cache entries served to peers
+	cacheMisses      atomic.Uint64 // peer cache reads that missed
+	cacheStores      atomic.Uint64 // replicated entries accepted from peers
+	cacheRejects     atomic.Uint64 // replicated entries rejected as invalid
 
 	latMu  sync.Mutex
 	lats   [latWindow]float64 // seconds, ring buffer
@@ -75,13 +86,18 @@ func (m *metricsState) quantiles() (p50, p99, sum float64, n uint64) {
 // hits) ride along so a scrape can compute the cache hit ratio and — as
 // the CI smoke test does — prove that coalesced submissions cost one
 // fresh simulation.
-func (m *metricsState) write(w io.Writer, r *experiments.Runner, store *JobStore, queueDepth, queueCap int) {
+func (m *metricsState) write(w io.Writer, r *experiments.Runner, store *JobStore, queueDepth, queueCap int, cl *ClusterConfig) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v int) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
+	// Build info first: a constant gauge carrying the version tags, the
+	// standard way to join any other series to "which build was this".
+	fmt.Fprintf(w, "# HELP atacd_build_info Build and cache-schema identity of this daemon (constant 1).\n# TYPE atacd_build_info gauge\n")
+	fmt.Fprintf(w, "atacd_build_info{version=%q,revision=%q,cache_schema=\"%d\"} 1\n",
+		version.String(), version.Revision(), version.CacheSchema)
 	counter("atacd_jobs_submitted_total", "Parsed job submissions.", m.submitted.Load())
 	counter("atacd_jobs_coalesced_total", "Submissions folded onto an existing identical job.", m.coalesced.Load())
 	counter("atacd_jobs_rejected_total", "Submissions rejected because the queue was full.", m.rejected.Load())
@@ -103,6 +119,36 @@ func (m *metricsState) write(w io.Writer, r *experiments.Runner, store *JobStore
 		}
 		gauge("atacd_store_writable", "Whether the job store can take an append (1) or not (0).", writable)
 		gauge("atacd_store_pending", "Jobs accepted but not yet terminally settled in the store.", store.Pending())
+	}
+
+	if cl != nil {
+		counter("atacd_cluster_forwarded_total", "Submits relayed to the owning peer.", m.forwarded.Load())
+		counter("atacd_cluster_forward_failovers_total", "Submits executed locally because the owner was down or unreachable.", m.forwardFailovers.Load())
+		counter("atacd_cluster_received_forwards_total", "Submits received from a peer's forwarder.", m.receivedForwards.Load())
+		counter("atacd_cluster_cache_serves_total", "Result-cache entries served to peers.", m.cacheServes.Load())
+		counter("atacd_cluster_cache_misses_total", "Peer result-cache reads that missed locally.", m.cacheMisses.Load())
+		counter("atacd_cluster_cache_stores_total", "Replicated result entries accepted from peers.", m.cacheStores.Load())
+		counter("atacd_cluster_cache_rejects_total", "Replicated result entries rejected as invalid.", m.cacheRejects.Load())
+		if cl.Snapshot != nil {
+			fmt.Fprintf(w, "# HELP atacd_peer_healthy Damped health-probe verdict per peer (1 healthy, 0 down).\n# TYPE atacd_peer_healthy gauge\n")
+			for _, ph := range cl.Snapshot() {
+				v := 0
+				if ph.Healthy {
+					v = 1
+				}
+				fmt.Fprintf(w, "atacd_peer_healthy{peer=%q} %d\n", ph.Peer, v)
+			}
+		}
+	}
+	if ts, ok := r.Store.(*resultstore.Tiered); ok && ts != nil {
+		counter("atacd_resultstore_writebacks_total", "Peer-fetched results written back into the local cache.", ts.Writebacks())
+		if ts.Remote != nil {
+			counter("atacd_resultstore_peer_hits_total", "Result reads answered by a peer's cache.", ts.Remote.Hits())
+			counter("atacd_resultstore_peer_misses_total", "Result reads no peer could answer.", ts.Remote.Misses())
+			counter("atacd_resultstore_peer_errors_total", "Peer result reads that failed or returned invalid entries.", ts.Remote.Errors())
+			counter("atacd_resultstore_peer_pushes_total", "Result entries replicated to peers.", ts.Remote.Pushes())
+			counter("atacd_resultstore_peer_push_errors_total", "Result replication attempts that failed.", ts.Remote.PushErrors())
+		}
 	}
 
 	fresh, hits := r.FreshRuns(), r.CacheHits()

@@ -71,6 +71,10 @@ type Options struct {
 	// startup, making the daemon survivable under SIGKILL. Nil serves
 	// non-durably.
 	Store *JobStore
+	// Cluster, if non-nil, joins this daemon to a peer ring: submits for
+	// hashes owned by other nodes are forwarded (with local failover),
+	// and the local result cache is served to peers. Nil is single-node.
+	Cluster *ClusterConfig
 }
 
 // Server is the daemon: a job registry and bounded queue in front of one
@@ -204,7 +208,7 @@ func (s *Server) resume() {
 			s.logf("resume: orphaned job %s (%s): %v", e.ID, e.Spec.Bench, err)
 			continue
 		}
-		j := &Job{ID: e.ID, Hash: hash, Spec: spec, Cfg: cfg,
+		j := &Job{ID: e.ID, Hash: hash, Spec: spec, Cfg: cfg, Peer: s.self(),
 			state: StateQueued, resumed: true, created: time.Now()}
 		j.onEvict = s.noteEvicted
 		s.mu.Lock()
@@ -318,6 +322,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}", s.timed(s.handleStatus))
 	mux.Handle("GET /v1/jobs/{id}/result", s.timed(s.handleResult))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.Handle("GET /v1/cache/{hash}", s.timed(s.handleCacheGet))
+	mux.Handle("PUT /v1/cache/{hash}", s.timed(s.handleCachePut))
 	mux.Handle("GET /healthz", s.timed(s.handleHealthz))
 	mux.Handle("GET /metrics", s.timed(s.handleMetrics))
 	return s.recovered(mux)
@@ -428,6 +434,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.submitted.Add(1)
 
+	// Cluster routing: a submit for a hash another node owns is forwarded
+	// there — unless this request already hopped once (loop guard), the
+	// job is already known locally (coalescing is cheaper and correct), or
+	// the owner is down (execute locally; the hash keeps it idempotent).
+	if r.Header.Get(ForwardHeader) != "" {
+		s.met.receivedForwards.Add(1)
+	} else if owner, forward := s.forwardTarget(hash); forward {
+		s.mu.Lock()
+		_, known := s.byHash[hash]
+		s.mu.Unlock()
+		if !known && s.forwardSubmit(w, owner, spec) {
+			return
+		}
+	}
+
 	s.mu.Lock()
 	if j, ok := s.byHash[hash]; ok {
 		// Identical spec already known — whatever its state, this request
@@ -452,6 +473,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Hash:    hash,
 		Spec:    spec,
 		Cfg:     cfg,
+		Peer:    s.self(),
 		state:   StateQueued,
 		created: time.Now(),
 		onEvict: s.noteEvicted,
@@ -602,10 +624,11 @@ type Health struct {
 	Status      string       `json:"status"` // ok | draining | store-unwritable
 	Version     string       `json:"version"`
 	CacheSchema int          `json:"cache_schema"`
-	Jobs        int          `json:"jobs"`
-	QueueDepth  int          `json:"queue_depth"`
-	QueueCap    int          `json:"queue_capacity"`
-	Store       *StoreHealth `json:"store,omitempty"`
+	Jobs        int            `json:"jobs"`
+	QueueDepth  int            `json:"queue_depth"`
+	QueueCap    int            `json:"queue_capacity"`
+	Store       *StoreHealth   `json:"store,omitempty"`
+	Cluster     *ClusterHealth `json:"cluster,omitempty"`
 }
 
 // StoreHealth is the job ledger's slice of /healthz: where it lives,
@@ -632,6 +655,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Jobs:        n,
 		QueueDepth:  depth,
 		QueueCap:    s.opt.QueueDepth,
+		Cluster:     s.clusterHealth(),
 	}
 	code := http.StatusOK
 	if st := s.opt.Store; st != nil {
@@ -663,7 +687,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.runner, s.opt.Store, len(s.queue), s.opt.QueueDepth)
+	s.met.write(w, s.runner, s.opt.Store, len(s.queue), s.opt.QueueDepth, s.opt.Cluster)
 }
 
 func configString(cfg config.Config) string {
