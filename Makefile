@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check figures bench fuzz resume-smoke serve-smoke chaos-smoke cluster-smoke techsweep-smoke clean
+.PHONY: build test check figures bench fuzz resume-smoke serve-smoke chaos-smoke cluster-smoke techsweep-smoke xtopo-smoke clean
 
 # Per-target budget for `make fuzz` (go test -fuzztime syntax).
 FUZZTIME ?= 10s
@@ -31,6 +31,8 @@ bench:
 fuzz:
 	$(GO) test ./internal/noc -run '^$$' -fuzz '^FuzzMeshConservation$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/noc -run '^$$' -fuzz '^FuzzAtacConservation$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/noc -run '^$$' -fuzz '^FuzzCrossbarConservation$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/noc -run '^$$' -fuzz '^FuzzHybridConservation$$' -fuzztime $(FUZZTIME)
 
 # End-to-end crash-safety smoke: SIGINT a figure campaign mid-flight,
 # resume it from the journal+cache, and require byte-identical output with
@@ -66,9 +68,16 @@ cluster-smoke:
 # End-to-end smoke of the technology-scenario layer: the techsweep figure
 # (two scenarios, 16 cores) through the cached Runner — per-scenario rows
 # and manifest provenance, a fully-cached second pass with byte-identical
-# output, and quarantine of pre-scenario (schema 2/3) cache entries.
+# output, and quarantine of stale pre-current-schema cache entries.
 techsweep-smoke:
 	bash scripts/techsweep_smoke.sh
+
+# End-to-end smoke of the crossbar backends: the xtopo figure (EMesh-BCast
+# vs Corona, 16 cores) through the cached Runner — per-topology column
+# groups, a fully-cached second pass with byte-identical output, and
+# quarantine of pre-crossbar cache entries.
+xtopo-smoke:
+	bash scripts/xtopo_smoke.sh
 
 clean:
 	$(GO) clean ./...

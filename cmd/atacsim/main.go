@@ -39,13 +39,14 @@ func main() {
 
 	var (
 		bench   = flag.String("bench", "radix", "benchmark: dynamic_graph, radix, barnes, fmm, ocean_contig, lu_contig, ocean_non_contig, lu_non_contig")
-		net     = flag.String("net", "atac+", "network: pure, bcast, atac, atac+")
+		net     = flag.String("net", "atac+", "network: pure, bcast, atac, atac+, corona, hybrid")
 		cores   = flag.Int("cores", 64, "total cores (perfect square, multiple of cluster size)")
 		scale   = flag.Int("scale", 1, "workload scale factor")
 		sharers = flag.Int("sharers", 4, "ACKwise/DirKB hardware sharer pointers")
 		proto   = flag.String("coherence", "ackwise", "coherence protocol: ackwise, dirkb")
 		flit    = flag.Int("flit", 64, "flit width in bits")
 		rthres  = flag.Int("rthres", 0, "distance routing threshold (0 = auto)")
+		hybridR = flag.Int("hybrid-radius", 0, "hybrid network: photonic-gateway radius in clusters (0 = 1, a gateway per cluster)")
 		techN   = flag.String("tech", "", "electrical technology scenario: "+strings.Join(tech.Scenarios(), ", ")+" (default 11nm)")
 		opticsN = flag.String("optics", "", "optical technology scenario: "+strings.Join(photonics.Variants(), ", ")+" (default baseline)")
 		seed    = flag.Int64("seed", 42, "simulation seed")
@@ -97,7 +98,8 @@ func main() {
 		cfg, err = experiments.BuildConfig(experiments.Geometry{
 			Net: *net, Cores: *cores, Sharers: *sharers, Coherence: *proto,
 			FlitBits: *flit, RThres: *rthres, Seed: *seed,
-			Tech: *techN, Optics: *opticsN,
+			HybridRadius: *hybridR,
+			Tech:         *techN, Optics: *opticsN,
 		})
 	}
 	if err != nil {

@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/photonics"
 	"repro/internal/plot"
@@ -51,7 +52,8 @@ func run() int {
 		techN    = flag.String("tech", "", "electrical technology scenario for every figure: "+strings.Join(tech.Scenarios(), ", ")+" (default 11nm)")
 		opticsN  = flag.String("optics", "", "optical technology scenario for every figure: "+strings.Join(photonics.Variants(), ", ")+" (default baseline)")
 		scenList = flag.String("scenarios", "", `techsweep scenario list, comma-separated "tech[/optics]" pairs (default: the built-in six-point sweep)`)
-		only     = flag.String("only", "", "comma-separated subset, e.g. 3,8,tablev,techsweep")
+		topoList = flag.String("topos", "", `xtopo topology list, comma-separated network names, e.g. "bcast,corona,hybrid" (default: bcast,atac+,corona,hybrid; first entry is the normalization reference)`)
+		only     = flag.String("only", "", "comma-separated subset, e.g. 3,8,tablev,techsweep,xtopo")
 		out      = flag.String("o", "", "also write results to this file")
 		svgDir   = flag.String("svg", "", "also render each figure as an SVG into this directory")
 		format   = flag.String("format", "text", "output format: text, csv, json")
@@ -102,8 +104,13 @@ func run() int {
 		log.Print(err)
 		return experiments.ExitFatal
 	}
+	topos, err := parseTopologies(*topoList)
+	if err != nil {
+		log.Print(err)
+		return experiments.ExitFatal
+	}
 	o := experiments.Options{Cores: *cores, Scale: *scale, Seed: *seed,
-		Tech: *techN, Optics: *opticsN, Scenarios: scens}
+		Tech: *techN, Optics: *opticsN, Scenarios: scens, Topologies: topos}
 	r := experiments.NewRunner(o)
 	r.Jobs = *jobsN
 	r.Shards = *shards
@@ -181,6 +188,7 @@ func run() int {
 		{"17", r.Fig17},
 		{"tablev", r.TableV},
 		{"techsweep", r.TechSweep},
+		{"xtopo", r.Xtopo},
 		{"ablations", r.Ablations},
 		{"faults", func() (*experiments.Table, error) { return r.FaultSweep("radix") }},
 	}
@@ -249,6 +257,31 @@ func run() int {
 			len(r.FailedRuns()))
 	}
 	return code
+}
+
+// parseTopologies parses the -topos list through the shared network-name
+// resolver, so the xtopo figure accepts exactly the spellings atacsim
+// does. An empty string yields nil (the built-in four-topology set).
+func parseTopologies(s string) ([]config.NetworkKind, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []config.NetworkKind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := experiments.ParseNetworkKind(part)
+		if err != nil {
+			return nil, fmt.Errorf("-topos: %v", err)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-topos %q names no topologies", s)
+	}
+	return out, nil
 }
 
 // manifestDir picks where the provenance manifest lives: beside the SVG

@@ -28,6 +28,19 @@ const (
 	// ATACPlus is the paper's proposal: ENet + adaptive SWMR ONet +
 	// point-to-point StarNet, with distance-based unicast routing.
 	ATACPlus
+	// Corona is a Corona-style optical crossbar: one MWSR serpentine
+	// waveguide channel per destination cluster, token-based arbitration
+	// among the writers, and ejection through the destination cluster's
+	// receive networks. Intra-cluster traffic stays on the electrical
+	// mesh; there is no broadcast medium, so a broadcast becomes one
+	// crossbar packet per destination cluster.
+	Corona
+	// HybridMesh is a MorphoNoC-style configurable hybrid: a full
+	// electrical multicast mesh overlaid with photonic express links
+	// between gateway clusters at a configurable granularity
+	// (Hybrid.Radius). Long unicasts ride the express links; broadcasts
+	// and short unicasts stay electrical.
+	HybridMesh
 )
 
 func (k NetworkKind) String() string {
@@ -40,13 +53,27 @@ func (k NetworkKind) String() string {
 		return "ATAC"
 	case ATACPlus:
 		return "ATAC+"
+	case Corona:
+		return "Corona"
+	case HybridMesh:
+		return "Hybrid"
 	default:
 		return fmt.Sprintf("NetworkKind(%d)", int(k))
 	}
 }
 
-// IsOptical reports whether the network contains the ONet optical fabric.
+// IsOptical reports whether the network contains the ONet optical fabric
+// (the ATAC hub/receive-net composition). The crossbar and hybrid fabrics
+// are photonic but not ONet-shaped; use HasPhotonics for "needs a link
+// budget" checks.
 func (k NetworkKind) IsOptical() bool { return k == ATAC || k == ATACPlus }
+
+// HasPhotonics reports whether the network contains any photonic fabric
+// and therefore needs a solved optical link budget (laser power, ring
+// tuning, per-bit modulator/receiver energies).
+func (k NetworkKind) HasPhotonics() bool {
+	return k.IsOptical() || k == Corona || k == HybridMesh
+}
 
 // ReceiveNet selects the hub-to-core distribution network inside a cluster.
 type ReceiveNet int
@@ -285,6 +312,17 @@ func (f *Fault) Active() bool {
 	return f.Enabled && (f.MeshBER > 0 || f.OpticalBER > 0)
 }
 
+// Hybrid configures the HybridMesh fabric's photonic overlay. Radius is
+// the gateway granularity in cluster-grid units: every Radius×Radius block
+// of clusters shares one photonic express gateway (attached to the block's
+// center-most hub core). Radius 1 gives every cluster its own gateway —
+// the most optical configuration the hybrid admits; larger radii thin the
+// overlay toward a plain electrical mesh, spanning the MorphoNoC
+// configuration space with a single knob.
+type Hybrid struct {
+	Radius int
+}
+
 // Memory holds the external memory parameters (Table I).
 type Memory struct {
 	Controllers   int     // on-chip memory controllers
@@ -314,8 +352,9 @@ type Config struct {
 	Memory     Memory
 	Coherence  Coherence
 	Core       Core
-	Fault      Fault // fault injection + watchdog; zero value = disabled
-	Seed       int64 // base seed for all per-core PRNGs
+	Hybrid     Hybrid // photonic-overlay granularity; used by HybridMesh only
+	Fault      Fault  // fault injection + watchdog; zero value = disabled
+	Seed       int64  // base seed for all per-core PRNGs
 
 	// Tech and Optics select the device-technology scenario the energy
 	// and area models are evaluated under: an electrical node from the
@@ -370,6 +409,50 @@ func (c *Config) CoreXY(core int) (x, y int) {
 	return core % dim, core / dim
 }
 
+// hybridGrid returns the edge length of the HybridMesh gateway grid: the
+// cluster-grid edge divided by Hybrid.Radius (a zero radius reads as 1).
+func (c *Config) hybridGrid() int {
+	cw := c.MeshDim() / c.ClusterDim
+	r := c.Hybrid.Radius
+	if r <= 0 {
+		r = 1
+	}
+	return cw / r
+}
+
+// HybridGateways returns the number of photonic express gateways in a
+// HybridMesh configuration.
+func (c *Config) HybridGateways() int {
+	g := c.hybridGrid()
+	return g * g
+}
+
+// GatewayOf returns the index of the express gateway serving core id.
+func (c *Config) GatewayOf(core int) int {
+	r := c.Hybrid.Radius
+	if r <= 0 {
+		r = 1
+	}
+	x, y := c.CoreXY(core)
+	gx := (x / c.ClusterDim) / r
+	gy := (y / c.ClusterDim) / r
+	return gy*c.hybridGrid() + gx
+}
+
+// GatewayCore returns the core a gateway's photonic transceiver attaches
+// to: the hub core of the center-most cluster in the gateway's block.
+func (c *Config) GatewayCore(g int) int {
+	r := c.Hybrid.Radius
+	if r <= 0 {
+		r = 1
+	}
+	grid := c.hybridGrid()
+	cw := c.MeshDim() / c.ClusterDim
+	gx, gy := g%grid, g/grid
+	cl := (gy*r+r/2)*cw + gx*r + r/2
+	return c.HubCore(cl)
+}
+
 // Distance returns the Manhattan distance in mesh hops between two cores.
 func (c *Config) Distance(a, b int) int {
 	ax, ay := c.CoreXY(a)
@@ -415,6 +498,25 @@ func (c *Config) Validate() error {
 		}
 		if (c.Network.Routing == DistanceRouting || c.Network.Routing == AdaptiveRouting) && c.Network.RThres < 1 {
 			return fmt.Errorf("config: %v routing needs RThres >= 1, got %d", c.Network.Routing, c.Network.RThres)
+		}
+	}
+	if c.Network.Kind == Corona && c.Clusters() < 2 {
+		return fmt.Errorf("config: crossbar network needs >= 2 clusters, got %d", c.Clusters())
+	}
+	if c.Network.Kind == HybridMesh {
+		r := c.Hybrid.Radius
+		if r < 1 {
+			return fmt.Errorf("config: Hybrid.Radius must be >= 1, got %d", r)
+		}
+		cw := dim / c.ClusterDim
+		if cw%r != 0 {
+			return fmt.Errorf("config: Hybrid.Radius %d does not tile the %dx%d cluster grid", r, cw, cw)
+		}
+		if c.HybridGateways() < 2 {
+			return fmt.Errorf("config: hybrid network needs >= 2 gateways, got %d (radius %d)", c.HybridGateways(), r)
+		}
+		if c.Network.RThres < 1 {
+			return fmt.Errorf("config: hybrid network needs RThres >= 1, got %d", c.Network.RThres)
 		}
 	}
 	if _, err := tech.ByName(c.Tech); err != nil {
@@ -560,6 +662,19 @@ func (c Config) WithNetwork(k NetworkKind) Config {
 	case ATACPlus:
 		c.Network.ReceiveNet = StarNet
 		c.Network.Routing = DistanceRouting
+	case Corona:
+		// The crossbar always ejects through the destination cluster's
+		// receive networks; every inter-cluster packet rides the optics.
+		c.Network.ReceiveNet = StarNet
+		c.Network.Routing = ClusterRouting
+	case HybridMesh:
+		// Long unicasts ride the photonic express overlay, everything
+		// else the electrical multicast mesh.
+		c.Network.ReceiveNet = StarNet
+		c.Network.Routing = DistanceRouting
+		if c.Hybrid.Radius < 1 {
+			c.Hybrid.Radius = 1
+		}
 	}
 	return c
 }

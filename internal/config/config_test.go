@@ -105,6 +105,26 @@ func TestValidateRejects(t *testing.T) {
 		{"too many dir slices", func(c *Config) { c.Caches.DirSlices = 2048 }},
 		{"no mem controllers", func(c *Config) { c.Memory.Controllers = 0 }},
 		{"distance routing without rthres", func(c *Config) { c.Network.RThres = 0 }},
+		{"corona with one cluster", func(c *Config) {
+			*c = Config{}
+			*c = Default().WithNetwork(Corona)
+			c.Cores = 16
+			c.ClusterDim = 4
+			c.Caches.DirSlices = 1
+			c.Memory.Controllers = 1
+		}},
+		{"hybrid radius does not tile", func(c *Config) {
+			*c = Default().WithNetwork(HybridMesh)
+			c.Hybrid.Radius = 3 // cluster grid is 8 wide
+		}},
+		{"hybrid with one gateway", func(c *Config) {
+			*c = Default().WithNetwork(HybridMesh)
+			c.Hybrid.Radius = 8 // 8x8 cluster grid collapses to one gateway
+		}},
+		{"hybrid radius zero", func(c *Config) {
+			*c = Default().WithNetwork(HybridMesh)
+			c.Hybrid.Radius = 0
+		}},
 	}
 	for _, tc := range cases {
 		c := Default()
@@ -127,6 +147,36 @@ func TestWithNetwork(t *testing.T) {
 	if c.Network.Kind.IsOptical() {
 		t.Errorf("EMeshPure reported optical")
 	}
+	c = Default().WithNetwork(Corona)
+	if c.Network.Kind.IsOptical() || !c.Network.Kind.HasPhotonics() {
+		t.Errorf("Corona must use photonics without being the ATAC ONet")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Corona default invalid: %v", err)
+	}
+	c = Default().WithNetwork(HybridMesh)
+	if c.Hybrid.Radius != 1 {
+		t.Errorf("hybrid default radius = %d, want 1", c.Hybrid.Radius)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Hybrid default invalid: %v", err)
+	}
+	if got := c.HybridGateways(); got != 64 {
+		t.Errorf("1024-core radius-1 hybrid has %d gateways, want 64", got)
+	}
+	c.Hybrid.Radius = 4
+	if got := c.HybridGateways(); got != 4 {
+		t.Errorf("radius-4 hybrid has %d gateways, want 4", got)
+	}
+	for core := 0; core < c.Cores; core += 97 {
+		g := c.GatewayOf(core)
+		if g < 0 || g >= c.HybridGateways() {
+			t.Fatalf("GatewayOf(%d) = %d out of range", core, g)
+		}
+		if back := c.GatewayOf(c.GatewayCore(g)); back != g {
+			t.Fatalf("gateway %d's core maps to gateway %d", g, back)
+		}
+	}
 }
 
 func TestStringers(t *testing.T) {
@@ -137,6 +187,8 @@ func TestStringers(t *testing.T) {
 		{EMeshBCast.String(), "EMesh-BCast"},
 		{ATACPlus.String(), "ATAC+"},
 		{ATAC.String(), "ATAC"},
+		{Corona.String(), "Corona"},
+		{HybridMesh.String(), "Hybrid"},
 		{FlavorCons.String(), "ATAC+(Cons)"},
 		{FlavorIdeal.String(), "ATAC+(Ideal)"},
 		{FlavorRingTuned.String(), "ATAC+(RingTuned)"},

@@ -27,6 +27,10 @@ func (k *NetworkKind) UnmarshalJSON(b []byte) error {
 		*k = ATAC
 	case "ATAC+":
 		*k = ATACPlus
+	case "Corona":
+		*k = Corona
+	case "Hybrid":
+		*k = HybridMesh
 	default:
 		return fmt.Errorf("config: unknown network kind %q", s)
 	}

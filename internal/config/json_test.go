@@ -98,7 +98,7 @@ func TestValidateNeverPanics(t *testing.T) {
 		c.ClusterDim = int(cd%8) + 1
 		c.Network.FlitBits = int(flit)
 		c.Coherence.Sharers = int(sharers)
-		c.Network.Kind = NetworkKind(kind % 5) // includes one invalid value
+		c.Network.Kind = NetworkKind(kind % 7) // all six kinds plus one invalid value
 		c.Network.Routing = RoutingPolicy(routing % 5)
 		_ = c.Validate() // must not panic
 		return true
@@ -110,8 +110,12 @@ func TestValidateNeverPanics(t *testing.T) {
 
 // Property: every valid preset survives a JSON round trip bit-exactly.
 func TestJSONRoundTripProperty(t *testing.T) {
+	hybridR2 := Small().WithNetwork(HybridMesh)
+	hybridR2.Hybrid.Radius = 2
 	for _, c := range []Config{Default(), Small(), Tiny(),
-		Default().WithNetwork(EMeshPure), Default().WithNetwork(ATAC)} {
+		Default().WithNetwork(EMeshPure), Default().WithNetwork(ATAC),
+		Default().WithNetwork(Corona), Default().WithNetwork(HybridMesh),
+		hybridR2} {
 		data, err := c.ToJSON()
 		if err != nil {
 			t.Fatal(err)

@@ -121,15 +121,27 @@ func BuildWith(cfg config.Config, tp tech.Params, pp photonics.Params) (Models, 
 		return m, err
 	}
 
-	if cfg.Network.Kind.IsOptical() {
+	if cfg.Network.Kind.HasPhotonics() {
 		if cfg.Network.Flavor == config.FlavorIdeal {
 			pp = pp.Ideal()
 		}
-		// The ONet waveguide loop serpentines through every cluster:
+		// The optical waveguide loop serpentines through every endpoint:
 		// ~2.5x the die edge.
 		pp.WaveguideLoopCM = 2.5 * m.DieEdgeMM / 10
-		geo := photonics.NewGeometry(cfg.Clusters(), cfg.Network.FlitBits)
-		if m.Opt, err = photonics.Solve(pp, geo); err != nil {
+		switch cfg.Network.Kind {
+		case config.Corona:
+			// MWSR home channels with radix-scaled worst-case loss.
+			geo := photonics.CrossbarGeometry(cfg.Clusters(), cfg.Network.FlitBits)
+			m.Opt, err = photonics.SolveCrossbar(pp, geo)
+		case config.HybridMesh:
+			// Express overlay: one SWMR channel per gateway.
+			geo := photonics.NewGeometry(cfg.HybridGateways(), cfg.Network.FlitBits)
+			m.Opt, err = photonics.Solve(pp, geo)
+		default:
+			geo := photonics.NewGeometry(cfg.Clusters(), cfg.Network.FlitBits)
+			m.Opt, err = photonics.Solve(pp, geo)
+		}
+		if err != nil {
 			return m, err
 		}
 	}
@@ -215,12 +227,46 @@ func Combine(m Models, r system.Result) Breakdown {
 	dim := float64(cfg.MeshDim())
 	nLinks := 4 * dim * (dim - 1)
 	b.NetElecStatic = n*(m.Router.LeakageW+m.Router.ClockW)*T + nLinks*m.Link.LeakageW*T
-	if cfg.Network.Kind.IsOptical() {
+	switch {
+	case cfg.Network.Kind.IsOptical() || cfg.Network.Kind == config.Corona:
 		b.NetElecStatic += float64(cfg.Clusters()) * (m.Cluster.HubLeakageW + m.Cluster.HubClockW) * T
+	case cfg.Network.Kind == config.HybridMesh:
+		b.NetElecStatic += float64(cfg.HybridGateways()) * (m.Cluster.HubLeakageW + m.Cluster.HubClockW) * T
 	}
 
-	// Optical network.
-	if cfg.Network.Kind.IsOptical() {
+	// Optical network, by fabric shape.
+	switch {
+	case cfg.Network.Kind == config.Corona:
+		// Home-channel transfers have exactly one reader; token grants and
+		// NACKs are one-bit select-class events on the token wavelength.
+		xbF := float64(r.Net.XbarFlits)
+		b.ONetOther = xbF*m.Opt.ModulatorEnergyJPerFlit() +
+			xbF*m.Opt.ReceiverEnergyJPerFlit(1) +
+			float64(r.Net.TokensGranted)*m.Opt.SelectEventEnergyJ(1e-9) +
+			float64(r.Net.OpticalNacks)*m.Opt.SelectEventEnergyJ(1e-9)
+		if cfg.Network.Flavor.LaserGated() {
+			b.Laser = float64(r.Net.XbarLaserCycles) * m.Opt.DataLinkWallPowerW(false) * 1e-9
+		} else {
+			// No power gating: every home channel's data and token lasers
+			// burn full power for the whole run.
+			b.Laser = float64(cfg.Clusters()) * (m.Opt.DataLinkWallPowerW(false) + m.Opt.SelectLinkWallPowerW()) * T
+		}
+		b.RingTuning = m.Opt.TuningPowerW(cfg.Network.Flavor.Athermal()) * T
+	case cfg.Network.Kind == config.HybridMesh:
+		// Express transfers are SWMR unicasts between gateways, each led
+		// by a select notification.
+		exF := float64(r.Net.ExpressFlits)
+		b.ONetOther = exF*m.Opt.ModulatorEnergyJPerFlit() +
+			exF*m.Opt.ReceiverEnergyJPerFlit(1) +
+			float64(r.Net.SelectEvents)*m.Opt.SelectEventEnergyJ(1e-9) +
+			float64(r.Net.OpticalNacks)*m.Opt.SelectEventEnergyJ(1e-9)
+		if cfg.Network.Flavor.LaserGated() {
+			b.Laser = float64(r.Net.ExpressLaserCycles) * m.Opt.DataLinkWallPowerW(false) * 1e-9
+		} else {
+			b.Laser = float64(cfg.HybridGateways()) * (m.Opt.DataLinkWallPowerW(true) + m.Opt.SelectLinkWallPowerW()) * T
+		}
+		b.RingTuning = m.Opt.TuningPowerW(cfg.Network.Flavor.Athermal()) * T
+	case cfg.Network.Kind.IsOptical():
 		hubs := float64(cfg.Clusters())
 		uniF := float64(r.Net.ONetUniFlits)
 		bcF := float64(r.Net.ONetBcastFlits)
@@ -255,7 +301,7 @@ func Combine(m Models, r system.Result) Breakdown {
 func ResilienceOverheadJ(m Models, r system.Result) float64 {
 	v := float64(r.Net.MeshNacks)*m.Link.PerFlitJ +
 		float64(r.Net.MeshRetxFlits)*(m.Link.PerFlitJ+m.Router.PerFlitJ())
-	if m.Cfg.Network.Kind.IsOptical() {
+	if m.Cfg.Network.Kind.HasPhotonics() {
 		v += float64(r.Net.OpticalNacks) * m.Opt.SelectEventEnergyJ(1e-9)
 		v += float64(r.Net.OpticalRetxFlits) * (m.Opt.ModulatorEnergyJPerFlit() +
 			m.Opt.ReceiverEnergyJPerFlit(1) + m.Opt.DataLinkWallPowerW(false)*1e-9)
@@ -307,8 +353,12 @@ func ComputeArea(m Models) Area {
 		Links:   4 * dim * (dim - 1) * m.Link.AreaMM2,
 	}
 	a.CoreLogic = 0.10 * (a.L1I + a.L1D + a.L2)
-	if cfg.Network.Kind.IsOptical() {
+	switch {
+	case cfg.Network.Kind.IsOptical() || cfg.Network.Kind == config.Corona:
 		a.Hubs = float64(cfg.Clusters()) * m.Cluster.AreaMM2
+		a.Photonics = m.Opt.AreaMM2()
+	case cfg.Network.Kind == config.HybridMesh:
+		a.Hubs = float64(cfg.HybridGateways()) * m.Cluster.AreaMM2
 		a.Photonics = m.Opt.AreaMM2()
 	}
 	return a

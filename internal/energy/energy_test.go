@@ -19,7 +19,8 @@ func run(t *testing.T, cfg config.Config, name string) system.Result {
 }
 
 func TestBuildAllNetworks(t *testing.T) {
-	for _, k := range []config.NetworkKind{config.EMeshPure, config.EMeshBCast, config.ATAC, config.ATACPlus} {
+	for _, k := range []config.NetworkKind{config.EMeshPure, config.EMeshBCast,
+		config.ATAC, config.ATACPlus, config.Corona, config.HybridMesh} {
 		cfg := config.Default().WithNetwork(k)
 		m, err := Build(cfg)
 		if err != nil {
@@ -28,9 +29,19 @@ func TestBuildAllNetworks(t *testing.T) {
 		if m.HopMM <= 0 || m.DieMM2 <= 0 {
 			t.Errorf("%v: geometry %v %v", k, m.HopMM, m.DieMM2)
 		}
-		if k.IsOptical() && m.Opt.LaserWallUnicastW <= 0 {
+		if cfg.Network.Kind.HasPhotonics() && m.Opt.LaserWallUnicastW <= 0 {
 			t.Errorf("%v: optical link not solved", k)
 		}
+	}
+	// The crossbar's link budget must reflect its MWSR geometry: a single
+	// reader per home channel, so no broadcast power split.
+	m, err := Build(config.Default().WithNetwork(config.Corona))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Opt.LaserWallBroadcastW != m.Opt.LaserWallUnicastW {
+		t.Errorf("Corona broadcast laser power %v != unicast %v",
+			m.Opt.LaserWallBroadcastW, m.Opt.LaserWallUnicastW)
 	}
 }
 

@@ -146,40 +146,46 @@ func breakdownFieldSum(t *testing.T, b Breakdown) float64 {
 	return sum
 }
 
-// TestBreakdownReconciliation: for every flavor × tech × optics scenario,
-// the sum of all per-component Breakdown fields equals Core() + Caches()
-// + Network() equals Total(), and UncoreTotal() is Total() minus Core().
-// One real Tiny run provides the counters; the model grid reuses it
-// (scenarios change models, never simulation results).
+// TestBreakdownReconciliation: for every fabric × flavor × tech × optics
+// scenario, the sum of all per-component Breakdown fields equals Core()
+// + Caches() + Network() equals Total(), and UncoreTotal() is Total()
+// minus Core(). One real Tiny run per fabric provides the counters; the
+// model grid reuses it (scenarios change models, never simulation
+// results). Covering every NetworkKind here keeps each fabric's uncore
+// charging path — including the crossbar and hybrid backends — inside
+// the reflection-checked reconciliation.
 func TestBreakdownReconciliation(t *testing.T) {
-	cfg := config.Tiny()
-	res := run(t, cfg, "radix")
+	kinds := []config.NetworkKind{config.ATACPlus, config.Corona, config.HybridMesh}
 	flavors := []config.Flavor{config.FlavorDefault, config.FlavorIdeal, config.FlavorRingTuned, config.FlavorCons}
-	for _, node := range tech.Scenarios() {
-		for _, optics := range photonics.Variants() {
-			for _, fl := range flavors {
-				c := cfg
-				c.Tech, c.Optics = node, optics
-				c.Network.Flavor = fl
-				m, err := Build(c)
-				if err != nil {
-					t.Fatalf("%s/%s/%v: %v", node, optics, fl, err)
-				}
-				b := Combine(m, res)
-				total := b.Total()
-				if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
-					t.Fatalf("%s/%s/%v: total %v not finite positive", node, optics, fl, total)
-				}
-				rel := func(a, b float64) float64 { return math.Abs(a-b) / total }
-				if sum := breakdownFieldSum(t, b); rel(sum, total) > 1e-12 {
-					t.Errorf("%s/%s/%v: field sum %v != Total() %v", node, optics, fl, sum, total)
-				}
-				if got := b.Core() + b.Caches() + b.Network(); rel(got, total) > 1e-12 {
-					t.Errorf("%s/%s/%v: category sum %v != Total() %v", node, optics, fl, got, total)
-				}
-				if rel(b.UncoreTotal(), total-b.Core()) > 1e-12 {
-					t.Errorf("%s/%s/%v: UncoreTotal %v != Total-Core %v",
-						node, optics, fl, b.UncoreTotal(), total-b.Core())
+	for _, kind := range kinds {
+		cfg := config.Tiny().WithNetwork(kind)
+		res := run(t, cfg, "radix")
+		for _, node := range tech.Scenarios() {
+			for _, optics := range photonics.Variants() {
+				for _, fl := range flavors {
+					c := cfg
+					c.Tech, c.Optics = node, optics
+					c.Network.Flavor = fl
+					m, err := Build(c)
+					if err != nil {
+						t.Fatalf("%v/%s/%s/%v: %v", kind, node, optics, fl, err)
+					}
+					b := Combine(m, res)
+					total := b.Total()
+					if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+						t.Fatalf("%v/%s/%s/%v: total %v not finite positive", kind, node, optics, fl, total)
+					}
+					rel := func(a, b float64) float64 { return math.Abs(a-b) / total }
+					if sum := breakdownFieldSum(t, b); rel(sum, total) > 1e-12 {
+						t.Errorf("%v/%s/%s/%v: field sum %v != Total() %v", kind, node, optics, fl, sum, total)
+					}
+					if got := b.Core() + b.Caches() + b.Network(); rel(got, total) > 1e-12 {
+						t.Errorf("%v/%s/%s/%v: category sum %v != Total() %v", kind, node, optics, fl, got, total)
+					}
+					if rel(b.UncoreTotal(), total-b.Core()) > 1e-12 {
+						t.Errorf("%v/%s/%s/%v: UncoreTotal %v != Total-Core %v",
+							kind, node, optics, fl, b.UncoreTotal(), total-b.Core())
+					}
 				}
 			}
 		}

@@ -340,6 +340,12 @@ func key(cfg config.Config, bench string) string {
 		cfg.Coherence.Kind, cfg.Cores, cfg.Seed,
 		cfg.Network.StarNetsPerCl, cfg.Network.SelectDataLag, cfg.Network.BcastAsUnicast,
 		tech.Canonical(cfg.Tech), photonics.Canonical(cfg.Optics))
+	// The gateway radius changes hybrid timing and energy; it enters the
+	// key only for that kind so every other kind's keys stay byte-stable
+	// across the fabric's introduction.
+	if cfg.Network.Kind == config.HybridMesh {
+		k += fmt.Sprintf("|hr%d", cfg.Hybrid.Radius)
+	}
 	if f := cfg.Fault; f.Enabled {
 		k += fmt.Sprintf("|F:m%g:o%g:dp%d:dd%d:dm%g:lr%g:thr%g:fs%d",
 			f.MeshBER, f.OpticalBER, f.DriftPeriod, f.DriftDuty, f.DriftBERMult,
@@ -667,9 +673,10 @@ func dedupSpecs(specs []RunSpec) []RunSpec {
 
 // FigureRuns returns the run-set figure id draws on, in the figure's own
 // serial execution order. IDs follow cmd/figures: "4".."17", "tablev",
-// "ablations", "faults" (the faults sweep's default benchmark), and
-// "techsweep" (one ATAC+ run per technology scenario per benchmark).
-// Figures without Runner-backed runs ("3", "10") return nil.
+// "ablations", "faults" (the faults sweep's default benchmark),
+// "techsweep" (one ATAC+ run per technology scenario per benchmark), and
+// "xtopo" (one run per topology per benchmark). Figures without
+// Runner-backed runs ("3", "10") return nil.
 func (r *Runner) FigureRuns(id string) []RunSpec {
 	var specs []RunSpec
 	add := func(cfg config.Config, bench string) {
@@ -764,6 +771,12 @@ func (r *Runner) FigureRuns(id string) []RunSpec {
 		for _, s := range r.techScenarios() {
 			for _, b := range r.apps() {
 				add(r.scenarioConfig(s), b)
+			}
+		}
+	case "xtopo":
+		for _, b := range r.apps() {
+			for _, k := range r.xtopoKinds() {
+				add(r.xtopoConfig(k), b)
 			}
 		}
 	}

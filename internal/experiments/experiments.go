@@ -50,6 +50,11 @@ type Options struct {
 	// Scenarios, when non-empty, replaces the built-in scenario set of
 	// the techsweep figure (see DefaultTechScenarios).
 	Scenarios []TechScenario
+
+	// Topologies, when non-empty, replaces the built-in topology set of
+	// the xtopo figure (see DefaultTopologies). The first entry is the
+	// normalization reference.
+	Topologies []config.NetworkKind
 }
 
 // DefaultOptions returns the campaign scale: the paper's full 1024-core

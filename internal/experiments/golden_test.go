@@ -99,3 +99,46 @@ func TestGoldenFigures16Core(t *testing.T) {
 			got.AvgEDPPureOverAtac, want.AvgEDPPureOverAtac, d, tol)
 	}
 }
+
+// TestGoldenXtopo16Core is the crossbar/hybrid regression gate: the
+// 16-core cross-topology figure — one run per backend per benchmark,
+// rendered through the same table path cmd/figures uses — must match the
+// committed golden exactly. Any timing or energy drift in the Corona
+// crossbar or the hybrid fabric shows up as a reviewable golden diff.
+func TestGoldenXtopo16Core(t *testing.T) {
+	r := NewRunner(Options{Cores: 16, Scale: 1, Seed: 42})
+	r.Cache = nil // hermetic: never recall results from a REPRO_CACHE dir
+	r.Apps = []string{"radix", "fmm", "lu_contig"}
+
+	tbl, err := r.Xtopo()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "golden_xtopo_16core.json")
+	if *update {
+		data, err := json.MarshalIndent(tbl, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	var want Table
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tbl, &want) {
+		t.Errorf("xtopo diverged from golden:\ngot:\n%v\nwant:\n%v", tbl, &want)
+	}
+}

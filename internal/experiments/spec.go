@@ -18,7 +18,8 @@ import (
 )
 
 // ParseNetworkKind maps the user-facing network names (pure, bcast, atac,
-// atac+) to config kinds. The empty string defaults to ATAC+.
+// atac+, corona, hybrid) to config kinds. The empty string defaults to
+// ATAC+.
 func ParseNetworkKind(s string) (config.NetworkKind, error) {
 	switch strings.ToLower(s) {
 	case "pure", "emesh-pure":
@@ -29,6 +30,10 @@ func ParseNetworkKind(s string) (config.NetworkKind, error) {
 		return config.ATAC, nil
 	case "", "atac+", "atacplus":
 		return config.ATACPlus, nil
+	case "corona", "crossbar":
+		return config.Corona, nil
+	case "hybrid", "morpho":
+		return config.HybridMesh, nil
 	default:
 		return 0, fmt.Errorf("unknown network %q", s)
 	}
@@ -59,6 +64,10 @@ type Geometry struct {
 	FlitBits  int    `json:"flit,omitempty"`
 	RThres    int    `json:"rthres,omitempty"`
 	Seed      int64  `json:"seed,omitempty"`
+	// HybridRadius sets the photonic-gateway granularity of the hybrid
+	// network (config.Hybrid.Radius); 0 means the fabric default (1).
+	// Ignored for other network kinds.
+	HybridRadius int `json:"hybrid_radius,omitempty"`
 	// Tech and Optics name the device-technology scenario the energy
 	// models run under (internal/tech and internal/photonics registries).
 	// Empty means the paper's baseline ("11nm" electronics, "baseline"
@@ -106,6 +115,9 @@ func BuildConfig(g Geometry) (config.Config, error) {
 			return config.Config{}, err
 		}
 		cfg.Coherence.Kind = ck
+	}
+	if kind == config.HybridMesh && g.HybridRadius > 0 {
+		cfg.Hybrid.Radius = g.HybridRadius
 	}
 	if g.RThres > 0 {
 		cfg.Network.RThres = g.RThres

@@ -83,3 +83,57 @@ func BenchmarkAtacUniformTraffic(b *testing.B) {
 	}
 	k.RunAll()
 }
+
+// BenchmarkCrossbarUniformTraffic tracks the Corona fabric's host-side
+// throughput under the same uniform load as the ATAC benchmark; the
+// extra metric is the mean token wait, the crossbar's arbitration cost.
+func BenchmarkCrossbarUniformTraffic(b *testing.B) {
+	cfg := config.Small().WithNetwork(config.Corona)
+	rng := rand.New(rand.NewSource(2))
+	var k sim.Kernel
+	x := NewCrossbar(&k, &cfg)
+	x.SetDeliver(func(int, *Message) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := rng.Intn(64), rng.Intn(64)
+		if i%200 == 0 {
+			dst = BroadcastDst
+		}
+		x.Send(&Message{Src: src, Dst: dst, Bits: 104})
+		if i%64 == 63 {
+			k.Run(k.Now() + 32)
+		}
+	}
+	k.RunAll()
+	if st := x.Stats(); st.TokensGranted > 0 {
+		b.ReportMetric(float64(st.TokenWaitCycles)/float64(st.TokensGranted), "token-wait/grant")
+	}
+}
+
+// BenchmarkHybridUniformTraffic tracks the hybrid fabric's host-side
+// throughput under the same uniform load; the extra metric is the share
+// of unicasts that took the photonic express path.
+func BenchmarkHybridUniformTraffic(b *testing.B) {
+	cfg := config.Small().WithNetwork(config.HybridMesh)
+	rng := rand.New(rand.NewSource(2))
+	var k sim.Kernel
+	hy := NewHybrid(&k, &cfg)
+	hy.SetDeliver(func(int, *Message) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := rng.Intn(64), rng.Intn(64)
+		if i%200 == 0 {
+			dst = BroadcastDst
+		}
+		hy.Send(&Message{Src: src, Dst: dst, Bits: 104})
+		if i%64 == 63 {
+			k.Run(k.Now() + 32)
+		}
+	}
+	k.RunAll()
+	if st := hy.Stats(); st.UnicastSent > 0 {
+		b.ReportMetric(float64(st.ExpressPkts)/float64(st.UnicastSent), "express-frac")
+	}
+}

@@ -1,7 +1,7 @@
 // Flit-conservation property tests: every injected message is delivered
 // exactly once at its destination (unicast) or exactly once at every
 // core including the sender's (broadcast) — no loss, no duplication —
-// across all three fabrics, under randomized traffic, and with fault
+// across every fabric backend, under randomized traffic, and with fault
 // injection forcing retransmission and rerouting. The same property
 // backs the fuzz targets in fuzz_test.go.
 package noc
@@ -93,15 +93,28 @@ func (h *conservationHarness) check(t testing.TB) {
 			}
 		}
 	}
-	if d, ok := h.net.(interface{ Drained() bool }); ok && !d.Drained() {
+	d, ok := h.net.(Drainer)
+	if !ok {
+		t.Fatalf("%T does not implement noc.Drainer", h.net)
+	}
+	if !d.Drained() {
 		t.Fatal("network not drained after RunAll")
 	}
 }
 
+// Every fabric backend must satisfy Drainer so the harness check above —
+// and the system layer's end-of-run accounting — hold by construction.
+var (
+	_ Drainer = (*Mesh)(nil)
+	_ Drainer = (*Atac)(nil)
+	_ Drainer = (*Crossbar)(nil)
+	_ Drainer = (*Hybrid)(nil)
+)
+
 // atacConservationFixture builds a 16-core ATAC+ with optional faults.
 func atacConservationFixture(t testing.TB, fc config.Fault) (*sim.Kernel, *Atac) {
 	cfg := config.Tiny().WithNetwork(config.ATACPlus)
-	cfg.Fault = fc // before NewAtac: fault-aware structures hang off this
+	cfg.Fault = fc // set ahead of construction: the fabric sizes its fault-aware state from it
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -111,6 +124,51 @@ func atacConservationFixture(t testing.TB, fc config.Fault) (*sim.Kernel, *Atac)
 		a.SetFaults(inj)
 	}
 	return &k, a
+}
+
+// crossbarConservationFixture builds a 16-core Corona crossbar with
+// optional faults.
+func crossbarConservationFixture(t testing.TB, fc config.Fault) (*sim.Kernel, *Crossbar) {
+	cfg := config.Tiny().WithNetwork(config.Corona)
+	cfg.Fault = fc
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var k sim.Kernel
+	x := NewCrossbar(&k, &cfg)
+	if inj := fault.NewInjector(cfg.Fault, cfg.Network.FlitBits, cfg.Seed, &k); inj != nil {
+		x.SetFaults(inj)
+	}
+	return &k, x
+}
+
+// hybridConservationFixture builds a 16-core hybrid (4 gateways, radius 1)
+// with optional faults.
+func hybridConservationFixture(t testing.TB, fc config.Fault) (*sim.Kernel, *Hybrid) {
+	cfg := config.Tiny().WithNetwork(config.HybridMesh)
+	cfg.Fault = fc
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var k sim.Kernel
+	hy := NewHybrid(&k, &cfg)
+	if inj := fault.NewInjector(cfg.Fault, cfg.Network.FlitBits, cfg.Seed, &k); inj != nil {
+		hy.SetFaults(inj)
+	}
+	return &k, hy
+}
+
+// opticalFaultProfile is the shared faulty-fixture profile: optical and
+// mesh error rates high enough to force retransmission, degradation armed
+// at its default, no watchdog (the harness drives raw kernels).
+func opticalFaultProfile(seed int64) config.Fault {
+	fc := config.DefaultFault()
+	fc.Enabled = true
+	fc.OpticalBER = 1e-3
+	fc.MeshBER = 2e-4
+	fc.WatchdogInterval = 0
+	fc.Seed = seed
+	return fc
 }
 
 func TestFlitConservation(t *testing.T) {
@@ -137,14 +195,24 @@ func TestFlitConservation(t *testing.T) {
 			return &k, m, 16
 		}},
 		{"ATACFaulty", func(t testing.TB, seed int64) (*sim.Kernel, Network, int) {
-			fc := config.DefaultFault()
-			fc.Enabled = true
-			fc.OpticalBER = 1e-3
-			fc.MeshBER = 2e-4
-			fc.WatchdogInterval = 0 // harness drives raw kernels, no watchdog host
-			fc.Seed = seed
-			k, a := atacConservationFixture(t, fc)
+			k, a := atacConservationFixture(t, opticalFaultProfile(seed))
 			return k, a, 16
+		}},
+		{"Corona", func(t testing.TB, seed int64) (*sim.Kernel, Network, int) {
+			k, x := crossbarConservationFixture(t, config.Fault{})
+			return k, x, 16
+		}},
+		{"CoronaFaulty", func(t testing.TB, seed int64) (*sim.Kernel, Network, int) {
+			k, x := crossbarConservationFixture(t, opticalFaultProfile(seed))
+			return k, x, 16
+		}},
+		{"Hybrid", func(t testing.TB, seed int64) (*sim.Kernel, Network, int) {
+			k, hy := hybridConservationFixture(t, config.Fault{})
+			return k, hy, 16
+		}},
+		{"HybridFaulty", func(t testing.TB, seed int64) (*sim.Kernel, Network, int) {
+			k, hy := hybridConservationFixture(t, opticalFaultProfile(seed))
+			return k, hy, 16
 		}},
 	}
 	for _, tc := range cases {
@@ -173,4 +241,65 @@ func TestConservationUnderLoadBursts(t *testing.T) {
 		k.Run(k.Now() + 20) // partial drain: next burst collides mid-flight
 	}
 	h.check(t)
+}
+
+// checkTokenConservation asserts the crossbar's token invariant: every
+// token grant is matched by exactly one release once the fabric drains,
+// under faults included (the writer holds the token across retries).
+func checkTokenConservation(t testing.TB, x *Crossbar) {
+	t.Helper()
+	st := x.Stats()
+	if st.TokensGranted != st.TokensReturned {
+		t.Fatalf("token leak: %d granted, %d returned", st.TokensGranted, st.TokensReturned)
+	}
+	if st.XbarPkts > 0 && st.TokensGranted == 0 {
+		t.Fatalf("%d crossbar packets moved without a token grant", st.XbarPkts)
+	}
+}
+
+// TestCrossbarTokenConservation drives randomized traffic — clean and
+// under optical faults — and asserts every granted home-channel token is
+// returned, with token waits actually accumulated under contention.
+func TestCrossbarTokenConservation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fc   func(seed int64) config.Fault
+	}{
+		{"Clean", func(int64) config.Fault { return config.Fault{} }},
+		{"Faulty", opticalFaultProfile},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				k, x := crossbarConservationFixture(t, tc.fc(seed))
+				h := newConservationHarness(k, x, 16)
+				h.inject(rand.New(rand.NewSource(seed)), 300, 0.25)
+				h.check(t)
+				checkTokenConservation(t, x)
+				if st := x.Stats(); st.TokensGranted == 0 {
+					t.Fatal("traffic never exercised the crossbar channels")
+				}
+			}
+		})
+	}
+}
+
+// TestHybridBoundaryConservation asserts flit conservation across the
+// hybrid's electrical/photonic boundary on a clean fabric: every express
+// packet enters a gateway exactly once (TX enqueue) and leaves exactly
+// once (RX drain), so the gateway flit count is exactly twice the express
+// flit count; faulty variants are covered by the harness cases, where
+// retransmissions legitimately break this equality.
+func TestHybridBoundaryConservation(t *testing.T) {
+	k, hy := hybridConservationFixture(t, config.Fault{})
+	h := newConservationHarness(k, hy, 16)
+	h.inject(rand.New(rand.NewSource(7)), 300, 0.25)
+	h.check(t)
+	st := hy.Stats()
+	if st.ExpressPkts == 0 {
+		t.Fatal("traffic never exercised the express channels")
+	}
+	if st.HubFlits != 2*st.ExpressFlits {
+		t.Fatalf("gateway boundary leak: %d gateway flits, want 2x%d express flits",
+			st.HubFlits, st.ExpressFlits)
+	}
 }

@@ -60,3 +60,50 @@ func FuzzAtacConservation(f *testing.F) {
 		h.check(t)
 	})
 }
+
+func FuzzCrossbarConservation(f *testing.F) {
+	f.Add(int64(1), uint8(50), uint8(25), uint8(0))
+	f.Add(int64(2), uint8(150), uint8(10), uint8(2))
+	f.Add(int64(3), uint8(90), uint8(60), uint8(3))
+	f.Add(int64(4), uint8(200), uint8(35), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nMsgs, bcastPct, oBERSel uint8) {
+		fc := config.Fault{}
+		if o := fuzzBER(oBERSel); o > 0 {
+			fc = config.DefaultFault()
+			fc.Enabled = true
+			fc.OpticalBER = o
+			fc.WatchdogInterval = 0 // raw kernel harness, no watchdog host
+			fc.Seed = seed
+		}
+		k, x := crossbarConservationFixture(t, fc)
+		h := newConservationHarness(k, x, 16)
+		h.inject(rand.New(rand.NewSource(seed)), int(nMsgs)%200+1, float64(bcastPct%101)/100)
+		h.check(t)
+		checkTokenConservation(t, x)
+	})
+}
+
+func FuzzHybridConservation(f *testing.F) {
+	f.Add(int64(1), uint8(50), uint8(25), uint8(0), uint8(0), false)
+	f.Add(int64(2), uint8(150), uint8(10), uint8(2), uint8(1), false)
+	f.Add(int64(3), uint8(90), uint8(60), uint8(3), uint8(0), true)
+	f.Add(int64(4), uint8(200), uint8(35), uint8(1), uint8(2), true)
+	f.Fuzz(func(t *testing.T, seed int64, nMsgs, bcastPct, oBERSel, mBERSel uint8, degrade bool) {
+		fc := config.Fault{}
+		if o, m := fuzzBER(oBERSel), fuzzBER(mBERSel); o > 0 || m > 0 {
+			fc = config.DefaultFault()
+			fc.Enabled = true
+			fc.OpticalBER = o
+			fc.MeshBER = m
+			fc.WatchdogInterval = 0 // raw kernel harness, no watchdog host
+			fc.Seed = seed
+			if !degrade {
+				fc.DegradeThreshold = 0
+			}
+		}
+		k, hy := hybridConservationFixture(t, fc)
+		h := newConservationHarness(k, hy, 16)
+		h.inject(rand.New(rand.NewSource(seed)), int(nMsgs)%200+1, float64(bcastPct%101)/100)
+		h.check(t)
+	})
+}

@@ -1,12 +1,14 @@
 // Package noc implements cycle-level models of the on-chip networks the
-// paper evaluates: a wormhole electrical 2-D mesh (EMesh-Pure), the same
-// mesh with native tree multicast (EMesh-BCast), and the composed
-// ATAC/ATAC+ fabric (ENet mesh + adaptive SWMR optical ONet + BNet/StarNet
-// cluster receive networks) with cluster- or distance-based routing.
+// paper evaluates and their architectural alternatives: a wormhole
+// electrical 2-D mesh (EMesh-Pure), the same mesh with native tree
+// multicast (EMesh-BCast), the composed ATAC/ATAC+ fabric (ENet mesh +
+// adaptive SWMR optical ONet + BNet/StarNet cluster receive networks) with
+// cluster- or distance-based routing, a Corona-style token-arbitrated MWSR
+// optical crossbar, and a MorphoNoC-style electrical/photonic hybrid.
 //
 // All networks implement the Network interface; the coherence layer and the
 // synthetic-traffic harness (Fig 3) use networks through it exclusively.
-// The models are flit-accurate: wormhole flow control with credit-based
+// Every model is flit-accurate: wormhole flow control with credit-based
 // back-pressure and a single virtual channel, per Table I. Endpoint
 // ejection always drains into unbounded protocol queues, which keeps the
 // fabric free of protocol-level deadlock (see DESIGN.md).
@@ -72,6 +74,14 @@ type Network interface {
 	Stats() *Stats
 }
 
+// Drainer is implemented by fabrics that can report quiescence: no flit
+// buffered, no transmission in flight, no delivery pending. The
+// conservation tests and the system layer assert it after the kernel
+// runs dry — a fabric that is not drained then has lost traffic.
+type Drainer interface {
+	Drained() bool
+}
+
 // FlitsFor returns the number of flits needed for bits at the given flit
 // width (minimum 1).
 func FlitsFor(bits, flitBits int) int {
@@ -120,6 +130,21 @@ type Stats struct {
 	BNetFlits      uint64 // flits broadcast over a BNet tree
 	StarUniFlits   uint64 // flits over a single StarNet link
 	StarBcastFlits uint64 // flits over all StarNet links of a cluster
+
+	// Corona crossbar events. The token counters back the token-
+	// conservation property: after a drain every granted token has been
+	// returned to the serpentine ring.
+	XbarPkts        uint64 // packets sent over a home channel
+	XbarFlits       uint64 // data flits sent over a home channel
+	XbarLaserCycles uint64 // cycles any home-channel laser spent transmitting
+	TokenWaitCycles uint64 // cycles packets waited for a channel token (request -> first flit)
+	TokensGranted   uint64 // channel tokens handed to a writer
+	TokensReturned  uint64 // channel tokens released back to the ring
+
+	// HybridMesh photonic-express events.
+	ExpressPkts        uint64 // packets sent over a gateway express link
+	ExpressFlits       uint64 // data flits sent over a gateway express link
+	ExpressLaserCycles uint64 // cycles any express laser spent transmitting
 
 	// Fault-injection / resilience events (internal/fault). All zero
 	// when the fault layer is disabled.

@@ -196,6 +196,67 @@ func Solve(p Params, g Geometry) (Link, error) {
 	}, nil
 }
 
+// CrossbarGeometry derives the geometry of a Corona-style MWSR crossbar:
+// H home channels of W data wavelengths each, plus one token wavelength
+// per channel standing in for the select link (token arbitration replaces
+// select notifications; the grant is a one-bit event).
+func CrossbarGeometry(hubs, flitBits int) Geometry {
+	return Geometry{Hubs: hubs, DataBits: flitBits, SelectBits: 1}
+}
+
+// SolveCrossbar computes the link budget of one MWSR home-channel
+// wavelength in a Corona-style crossbar. The structure follows Solve, with
+// two differences rooted in the MWSR topology:
+//
+//   - worst-case through loss scales with radix at 3·(H-1) ring passes
+//     (Li et al.-style accounting): a wavelength launched by the farthest
+//     writer passes the detuned modulator banks of the H-1 other writers
+//     sharing the channel — each contributing modulator-ring and
+//     neighboring-filter passes — before the home hub's drop ring, three
+//     detuned ring crossings per intermediate hub against the SWMR
+//     fabric's two;
+//   - a home channel has exactly one reader (the home hub's fixed-tuned
+//     drop filters), so there is no broadcast split: broadcast power
+//     equals unicast power, and the nonlinearity feasibility check applies
+//     to that single-receiver budget.
+func SolveCrossbar(p Params, g Geometry) (Link, error) {
+	if g.Hubs < 2 {
+		return Link{}, fmt.Errorf("photonics: need at least 2 hubs, got %d", g.Hubs)
+	}
+	if err := p.Validate(); err != nil {
+		return Link{}, err
+	}
+	ringsPassed := float64(3 * (g.Hubs - 1))
+	wgLoss := p.WaveguideLossDBCM * p.WaveguideLoopCM
+	if p.TotalWaveguideLossDB > 0 {
+		wgLoss = p.TotalWaveguideLossDB
+	}
+	lossDB := p.ModulatorInsDB +
+		wgLoss +
+		p.RingThroughDB*ringsPassed +
+		p.RingDropDB +
+		p.PhotodetectorDB
+	loss := dbToLinear(lossDB)
+
+	sensW := p.ReceiverSensUW * 1e-6
+	uni := sensW * loss
+
+	if uni > p.NonlinearityMW*1e-3 {
+		return Link{}, fmt.Errorf("photonics: channel power %.2f mW exceeds %v mW nonlinearity limit",
+			uni*1e3, p.NonlinearityMW)
+	}
+	eff := p.LaserEfficiency
+	return Link{
+		Params:                 p,
+		Geometry:               g,
+		WorstCaseLossDB:        lossDB,
+		LaserOpticalUnicastW:   uni,
+		LaserOpticalBroadcastW: uni, // single reader: no broadcast split
+		LaserWallUnicastW:      uni / eff,
+		LaserWallBroadcastW:    uni / eff,
+	}, nil
+}
+
 // DataLinkWallPowerW returns the wall-plug laser power of the whole
 // W-bit-wide data link of one hub in the given mode ("unicast" power for a
 // single receiver, "broadcast" for all).

@@ -59,6 +59,57 @@ func TestSolveBudget(t *testing.T) {
 	}
 }
 
+func TestSolveCrossbarBudget(t *testing.T) {
+	g := CrossbarGeometry(64, 64)
+	if g.SelectBits != 1 {
+		t.Fatalf("crossbar select width = %d, want 1 (token wavelength)", g.SelectBits)
+	}
+	xl, err := SolveCrossbar(DefaultParams(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A home channel has exactly one reader: no broadcast power split.
+	if xl.LaserOpticalBroadcastW != xl.LaserOpticalUnicastW {
+		t.Errorf("MWSR broadcast power %v != unicast %v", xl.LaserOpticalBroadcastW, xl.LaserOpticalUnicastW)
+	}
+	// The MWSR worst-case path passes 3(H-1) detuned rings against the
+	// SWMR link's 2(H-1): strictly lossier at equal radix, and the gap
+	// must grow with radix (the crossbar's scaling liability).
+	sl, err := Solve(DefaultParams(), NewGeometry(64, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xl.WorstCaseLossDB <= sl.WorstCaseLossDB {
+		t.Errorf("crossbar loss %v dB not above SWMR loss %v dB", xl.WorstCaseLossDB, sl.WorstCaseLossDB)
+	}
+	prevGap := 0.0
+	for _, hubs := range []int{4, 16, 64, 256} {
+		x, err := SolveCrossbar(DefaultParams(), CrossbarGeometry(hubs, 64))
+		if err != nil {
+			t.Fatalf("%d hubs: %v", hubs, err)
+		}
+		s, err := Solve(DefaultParams(), NewGeometry(hubs, 64))
+		if err != nil {
+			t.Fatalf("%d hubs: %v", hubs, err)
+		}
+		gap := x.WorstCaseLossDB - s.WorstCaseLossDB
+		if gap <= prevGap {
+			t.Errorf("%d hubs: crossbar loss penalty %v dB did not grow (prev %v)", hubs, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	if _, err := SolveCrossbar(DefaultParams(), CrossbarGeometry(1, 64)); err == nil {
+		t.Error("single-hub crossbar accepted")
+	}
+	// The feasibility check binds on the single-reader budget: a loss high
+	// enough to push one channel past the nonlinearity limit must fail.
+	p := DefaultParams()
+	p.TotalWaveguideLossDB = 31 // 25 µW sensitivity × >10^3 ≈ >30 mW
+	if _, err := SolveCrossbar(p, g); err == nil {
+		t.Error("above-nonlinearity crossbar budget accepted")
+	}
+}
+
 func TestIdealParams(t *testing.T) {
 	ideal := DefaultParams().Ideal()
 	l, err := Solve(ideal, defaultGeom())

@@ -135,6 +135,10 @@ func (s *System) AttachMetrics(c *metrics.Collector) {
 		n.SetLatencyHist(s.LatHist)
 	case *noc.Atac:
 		n.SetLatencyHist(s.LatHist)
+	case *noc.Crossbar:
+		n.SetLatencyHist(s.LatHist)
+	case *noc.Hybrid:
+		n.SetLatencyHist(s.LatHist)
 	}
 	c.AddHistogram("lat", s.LatHist)
 

@@ -67,11 +67,17 @@ func shardMap(cfg *config.Config, eff int) []int {
 //
 // Fault-injected configurations always run serially: the injector draws
 // from one global RNG stream, whose draw order is a cross-shard total
-// order no conservative window schedule can reproduce.
+// order no conservative window schedule can reproduce. The Corona
+// crossbar runs serially too: its home channels are token-ordered
+// resources written by every cluster, shared state no spatial partition
+// can cut.
 func NewSharded(cfg config.Config, shards int) (*System, error) {
 	s, err := New(cfg)
 	if err != nil || shards <= 1 || cfg.Fault.Enabled {
 		return s, err
+	}
+	if _, ok := s.Net.(*noc.Crossbar); ok {
+		return s, nil
 	}
 	eff := EffectiveShards(&s.Cfg, shards)
 	if eff <= 1 {
@@ -88,6 +94,8 @@ func NewSharded(cfg config.Config, shards int) (*System, error) {
 		n.Partition(dom)
 	case *noc.Atac:
 		n.Partition(dom) // partitions the embedded ENet too
+	case *noc.Hybrid:
+		n.Partition(dom) // partitions the embedded mesh too
 	}
 	s.Coh.Partition(dom)
 	for i, c := range s.Core {

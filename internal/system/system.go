@@ -60,6 +60,10 @@ func New(cfg config.Config) (*System, error) {
 		a := noc.NewAtac(s.K, &s.Cfg)
 		s.Atac = a
 		s.Net = a
+	case config.Corona:
+		s.Net = noc.NewCrossbar(s.K, &s.Cfg)
+	case config.HybridMesh:
+		s.Net = noc.NewHybrid(s.K, &s.Cfg)
 	default:
 		return nil, fmt.Errorf("system: unknown network kind %v", n.Kind)
 	}

@@ -27,8 +27,12 @@ import (
 // serial ones — shifting every timing-derived figure by about a percent;
 // 4 Config gained the Tech/Optics technology-scenario fields, which
 // enter both the run key and the serialized config inside every cache
-// key, so schema-3 entries can no longer be matched to their runs.
-const CacheSchema = 4
+// key, so schema-3 entries can no longer be matched to their runs;
+// 5 the Corona crossbar and hybrid fabric backends arrived: Config
+// gained the Hybrid.Radius field (part of the hybrid run key) and Stats
+// gained the crossbar/express counters, so pre-crossbar entries neither
+// parse into the new Result layout nor key identically.
+const CacheSchema = 5
 
 // GitDescribe returns `git describe --always --dirty --tags` for the
 // working tree, or "" when git or the repository is unavailable.

@@ -1,25 +1,25 @@
 #!/usr/bin/env bash
-# Technology-scenario smoke test for the techsweep figure and the
-# scenario-keyed result cache.
+# Cross-topology smoke test for the xtopo figure and the topology-keyed
+# result cache.
 #
-# Runs the techsweep figure (two scenarios, 16 cores) through the cached
-# campaign engine and checks the contract the scenario layer promises:
+# Runs the xtopo figure (two topologies, 16 cores) through the cached
+# campaign engine and checks the contract the crossbar backends promise:
 #
-#   1. the figure renders one row per scenario, normalized to the paper's
-#      11nm/baseline point, and the provenance manifest records the
-#      campaign's default scenario and the swept scenario set;
+#   1. the figure renders one column group per topology — the electrical
+#      reference and the Corona crossbar — with per-benchmark rows plus
+#      the average, normalized to the first topology;
 #   2. a second, identical invocation is answered entirely from the cache
 #      (zero fresh simulations) and renders byte-identical output —
-#      scenario identity in the run key is deterministic;
-#   3. cache entries stamped with the pre-scenario schemas 2 and 3 are
-#      quarantined, never served: corrupting two live entries forces
-#      exactly two re-simulations, moves the stale files into quarantine/,
-#      and still renders byte-identical output.
+#      topology identity in the run key is deterministic;
+#   3. cache entries stamped with pre-crossbar schemas are quarantined,
+#      never served: corrupting two live entries forces exactly two
+#      re-simulations, moves the stale files into quarantine/, and still
+#      renders byte-identical output.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cores=16
-scens="11nm/baseline,7nm/baseline"
+topos="bcast,corona"
 jobs=2
 
 workdir=$(mktemp -d)
@@ -34,22 +34,20 @@ manifest_field() { # manifest_field <file> <numeric-field>
 }
 
 echo "== cold campaign (every run simulated)"
-"$workdir/figures" -cores "$cores" -only techsweep -scenarios "$scens" \
+"$workdir/figures" -cores "$cores" -only xtopo -topos "$topos" \
     -jobs "$jobs" -q -o "$workdir/out1.txt" >/dev/null
 cp "$workdir/manifest.json" "$workdir/manifest1.json"
 
-for row in "11nm/baseline" "7nm/baseline"; do
-    if ! grep -q "^$row" "$workdir/out1.txt"; then
-        echo "FAIL: techsweep output has no $row row" >&2
+for col in "EMesh-BCast EDP" "Corona EDP"; do
+    if ! grep -q "$col" "$workdir/out1.txt"; then
+        echo "FAIL: xtopo output has no \"$col\" column" >&2
         cat "$workdir/out1.txt" >&2
         exit 1
     fi
 done
-if ! grep -q '"tech": "11nm"' "$workdir/manifest1.json" ||
-    ! grep -q '"optics": "baseline"' "$workdir/manifest1.json" ||
-    ! grep -q '"7nm/baseline"' "$workdir/manifest1.json"; then
-    echo "FAIL: manifest does not record the scenario set" >&2
-    cat "$workdir/manifest1.json" >&2
+if ! grep -q "^average" "$workdir/out1.txt"; then
+    echo "FAIL: xtopo output has no average row" >&2
+    cat "$workdir/out1.txt" >&2
     exit 1
 fi
 runs=$(manifest_field "$workdir/manifest1.json" runs)
@@ -58,10 +56,10 @@ if [ "$fresh" -ne "$runs" ]; then
     echo "FAIL: cold campaign simulated $fresh of $runs runs" >&2
     exit 1
 fi
-echo "   $runs runs simulated, manifest records both scenarios"
+echo "   $runs runs simulated, both topologies rendered"
 
 echo "== warm campaign (everything from the cache)"
-"$workdir/figures" -cores "$cores" -only techsweep -scenarios "$scens" \
+"$workdir/figures" -cores "$cores" -only xtopo -topos "$topos" \
     -jobs "$jobs" -q -o "$workdir/out2.txt" >/dev/null
 fresh=$(manifest_field "$workdir/manifest.json" fresh_runs)
 hits=$(manifest_field "$workdir/manifest.json" cache_hits)
@@ -77,19 +75,19 @@ fi
 echo "   zero fresh simulations, byte-identical output"
 
 echo "== stale-schema quarantine"
-# Rewrite two live entries to the pre-scenario cache generations; the
+# Rewrite two live entries to pre-crossbar cache generations; the
 # campaign must quarantine them and re-simulate exactly those two runs.
 stale=0
 for f in "$REPRO_CACHE"/*.json; do
     [ "$stale" -ge 2 ] && break
-    sed -i "s/\"schema\":5/\"schema\":$((2 + stale))/" "$f"
+    sed -i "s/\"schema\":5/\"schema\":$((3 + stale))/" "$f"
     stale=$((stale + 1))
 done
 if [ "$stale" -ne 2 ]; then
     echo "FAIL: found only $stale cache entries to corrupt" >&2
     exit 1
 fi
-"$workdir/figures" -cores "$cores" -only techsweep -scenarios "$scens" \
+"$workdir/figures" -cores "$cores" -only xtopo -topos "$topos" \
     -jobs "$jobs" -q -o "$workdir/out3.txt" >/dev/null 2>"$workdir/run3.log"
 fresh=$(manifest_field "$workdir/manifest.json" fresh_runs)
 if [ "$fresh" -ne 2 ]; then
@@ -109,4 +107,4 @@ if ! cmp -s "$workdir/out1.txt" "$workdir/out3.txt"; then
 fi
 echo "   2 stale entries quarantined and re-simulated, output unchanged"
 
-echo "PASS: techsweep scenario/cache contract holds"
+echo "PASS: xtopo topology/cache contract holds"
